@@ -1,0 +1,39 @@
+# Convenience targets for the reproduction. Everything is plain `go` —
+# the Makefile only names the common invocations.
+
+GO ?= go
+
+.PHONY: all build test race cover bench report report-small examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure of the paper's evaluation (full parameter ranges).
+report:
+	$(GO) run ./cmd/experiments -scale full -out experiments_report.txt -csv results_csv
+
+report-small:
+	$(GO) run ./cmd/experiments -scale small
+
+examples:
+	for ex in quickstart museums geotags rdfplaces roadnet stream geosocial; do \
+		echo "--- $$ex"; $(GO) run ./examples/$$ex || exit 1; \
+	done
+
+clean:
+	rm -f experiments_report.txt test_output.txt bench_output.txt
+	rm -rf results_csv

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateAndStats(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "db.gob")
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "dbpedia", "-places", "300", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "300 places") {
+		t.Errorf("unexpected output: %s", buf.String())
+	}
+	buf.Reset()
+	if err := run([]string{"-stats", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "dbpedia-like") {
+		t.Errorf("stats output: %s", buf.String())
+	}
+}
+
+func TestYago2Preset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "yg.gob")
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "yago2", "-places", "200", "-out", out}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "yago2-like") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-preset", "unknown"}, &buf); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if err := run([]string{"-stats", "/nonexistent.gob"}, &buf); err == nil {
+		t.Error("missing stats file accepted")
+	}
+	if err := run([]string{"-places", "200", "-out", "/nonexistent-dir/x.gob"}, &buf); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,0 +1,110 @@
+// Command experiments regenerates the paper's evaluation figures
+// (Section 9) on the synthetic workloads, printing one text table per
+// figure panel.
+//
+// Usage:
+//
+//	experiments [-fig all|fig7a|fig7b|...|ablations] [-scale full|small] [-out report.txt]
+//
+// The "full" scale mirrors the paper's parameter ranges (K up to 1000,
+// |p| up to 400, |G| 36..196, k 5..20); "small" is a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// writeCSV writes one experiment's table as <dir>/<name>.csv.
+func writeCSV(dir, name string, tbl *bench.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return tbl.FprintCSV(f)
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "experiment to run: all, or one of "+strings.Join(bench.Names(), ", "))
+	scale := fs.String("scale", "full", "workload scale: full (paper ranges) or small (smoke)")
+	out := fs.String("out", "", "also write the report to this file")
+	csvDir := fs.String("csv", "", "also write one CSV file per experiment into this directory")
+	plot := fs.Bool("plot", false, "render each experiment as terminal bar charts after its table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc bench.Scale
+	switch *scale {
+	case "full":
+		sc = bench.FullScale()
+	case "small":
+		sc = bench.SmallScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scale)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = io.MultiWriter(stdout, f)
+	}
+
+	fmt.Fprintf(w, "Proportionality in Spatial Keyword Search — experiment report\n")
+	fmt.Fprintf(w, "scale=%s queries=%d places=%d generated=%s\n\n",
+		*scale, sc.Queries, sc.Places, time.Now().Format(time.RFC3339))
+
+	start := time.Now()
+	env, err := bench.NewEnv(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "environment ready in %.1fs (DB: %s | YG: %s)\n\n",
+		time.Since(start).Seconds(), env.DB.Graph.Stats(), env.YG.Graph.Stats())
+
+	names := bench.Names()
+	if *fig != "all" {
+		names = []string{*fig}
+	}
+	for _, name := range names {
+		t0 := time.Now()
+		tbl, err := env.Run(name)
+		if err != nil {
+			return err
+		}
+		tbl.Fprint(w)
+		if *plot {
+			tbl.FprintChart(w, 40)
+		}
+		fmt.Fprintf(w, "(%s took %.1fs)\n\n", name, time.Since(t0).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, name, tbl); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

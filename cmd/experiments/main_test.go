@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleFigureSmall(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "small", "-fig", "fig9b"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"fig9b", "squared_err", "radial_err"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "small", "-fig", "fig12a", "-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig12a") {
+		t.Error("stdout missing table")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "bogus"}, &out); err == nil {
+		t.Error("bogus scale accepted")
+	}
+	if err := run([]string{"-scale", "small", "-fig", "fig99"}, &out); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := run([]string{"-scale", "small", "-fig", "fig9b", "-out", "/nonexistent-dir/x.txt"}, &out); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "small", "-fig", "fig9b", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9b.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "squared_err") {
+		t.Errorf("csv content: %s", data)
+	}
+}

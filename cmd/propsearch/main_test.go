@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func demoFile(t *testing.T) string {
+	t.Helper()
+	cfg := dataset.DBpediaLike(3)
+	cfg.Places = 500
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "demo.gob")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	path := demoFile(t)
+	for _, algo := range []string{"abp", "iadu", "topk", "abp-div", "iadu-div"} {
+		var out bytes.Buffer
+		err := run([]string{"-data", path, "-K", "60", "-k", "5", "-algo", algo}, &out)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if !strings.Contains(out.String(), "HPF(R)") {
+			t.Errorf("%s: missing HPF line:\n%s", algo, out.String())
+		}
+		if got := strings.Count(out.String(), "place:"); got < 5 {
+			t.Errorf("%s: expected ≥5 result rows, got %d", algo, got)
+		}
+	}
+}
+
+func TestRunWithLocationAndKeywords(t *testing.T) {
+	path := demoFile(t)
+	var out bytes.Buffer
+	err := run([]string{"-data", path, "-K", "50", "-k", "5",
+		"-loc", "50,50", "-keywords", "Type:0,never-seen-keyword"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "never-seen-keyword") {
+		t.Error("unknown keyword not reported")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := demoFile(t)
+	cases := [][]string{
+		{"-data", "/nonexistent/file.gob"},
+		{"-data", path, "-loc", "garbage"},
+		{"-data", path, "-loc", "1,2,3junk"},
+		{"-data", path, "-algo", "magic"},
+		{"-data", path, "-K", "5", "-k", "10"}, // k ≥ retrieved
+	}
+	for i, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("case %d (%v): expected error", i, args)
+		}
+	}
+}

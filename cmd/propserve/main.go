@@ -1,0 +1,83 @@
+// Command propserve exposes proportional spatial keyword search as an
+// HTTP JSON API over a generated or loaded corpus.
+//
+//	propserve -data db.gob -addr :8080
+//
+// Endpoints:
+//
+//	GET /healthz                 → {"status":"ok", ...}
+//	GET /stats                   → corpus statistics
+//	GET /search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp
+//	                             → proportional selection with score breakdown
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	fs := flag.NewFlagSet("propserve", flag.ExitOnError)
+	data := fs.String("data", "", "dataset file from datagen (empty: generate a demo corpus)")
+	addr := fs.String("addr", ":8080", "listen address")
+	fs.Parse(os.Args[1:])
+
+	d, err := loadOrGenerate(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "propserve:", err)
+		os.Exit(1)
+	}
+	h := NewServer(d)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	fmt.Printf("propserve: %d places, listening on %s\n", len(d.Places), *addr)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "propserve:", err)
+			os.Exit(1)
+		}
+	case s := <-sig:
+		fmt.Printf("propserve: %v, shutting down\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "propserve: shutdown:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func loadOrGenerate(path string) (*dataset.Dataset, error) {
+	if path == "" {
+		cfg := dataset.DBpediaLike(7)
+		cfg.Places = 1500
+		return dataset.Generate(cfg)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(f)
+}

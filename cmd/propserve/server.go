@@ -1,0 +1,199 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/textctx"
+)
+
+// Server serves proportional search over one corpus. It is safe for
+// concurrent use: the dataset and precomputed grid tables are read-only
+// after construction, and every request builds its own score set.
+type Server struct {
+	mux   *http.ServeMux
+	data  *dataset.Dataset
+	sqTbl *grid.SquaredTable
+}
+
+// NewServer builds the handler tree over d.
+func NewServer(d *dataset.Dataset) *Server {
+	s := &Server{
+		mux:   http.NewServeMux(),
+		data:  d,
+		sqTbl: grid.NewSquaredTable(grid.SideForCells(1024)),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /search", s.handleSearch)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status": "ok",
+		"places": len(s.data.Places),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"dataset":    s.data.Config.Name,
+		"places":     len(s.data.Places),
+		"vocabulary": s.data.Dict.Len(),
+		"extent":     s.data.Config.Extent,
+	})
+}
+
+// searchResponse is the /search payload.
+type searchResponse struct {
+	Query struct {
+		X        float64  `json:"x"`
+		Y        float64  `json:"y"`
+		Keywords []string `json:"keywords,omitempty"`
+		K        int      `json:"K"`
+		SmallK   int      `json:"k"`
+		Lambda   float64  `json:"lambda"`
+		Gamma    float64  `json:"gamma"`
+		Algo     string   `json:"algo"`
+	} `json:"query"`
+	HPF         float64        `json:"hpf"`
+	Breakdown   map[string]any `json:"breakdown"`
+	Diagnostics map[string]any `json:"diagnostics"`
+	Results     []searchResult `json:"results"`
+}
+
+type searchResult struct {
+	Rank    int      `json:"rank"`
+	ID      string   `json:"id"`
+	X       float64  `json:"x"`
+	Y       float64  `json:"y"`
+	Rel     float64  `json:"rel"`
+	Context []string `json:"context"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	getF := func(name string, def float64) (float64, error) {
+		v := q.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		return strconv.ParseFloat(v, 64)
+	}
+	getI := func(name string, def int) (int, error) {
+		v := q.Get(name)
+		if v == "" {
+			return def, nil
+		}
+		return strconv.Atoi(v)
+	}
+
+	x, err1 := getF("x", s.data.Config.Extent/2)
+	y, err2 := getF("y", s.data.Config.Extent/2)
+	bigK, err3 := getI("K", 100)
+	k, err4 := getI("k", 10)
+	lambda, err5 := getF("lambda", 0.5)
+	gamma, err6 := getF("gamma", 0.5)
+	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
+			return
+		}
+	}
+	algo := q.Get("algo")
+	if algo == "" {
+		algo = "abp"
+	}
+
+	var kwIDs []textctx.ItemID
+	for _, kw := range strings.Split(q.Get("keywords"), ",") {
+		kw = strings.TrimSpace(kw)
+		if kw == "" {
+			continue
+		}
+		if id, ok := s.data.Dict.Lookup(kw); ok {
+			kwIDs = append(kwIDs, id)
+		}
+	}
+
+	loc := geo.Pt(x, y)
+	places, err := s.data.Retrieve(dataset.Query{Loc: loc, Keywords: textctx.NewSet(kwIDs...)}, bigK)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "retrieve: %v", err)
+		return
+	}
+	if len(places) <= k {
+		writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), k)
+		return
+	}
+	ss, err := core.ComputeScores(loc, places, core.ScoreOptions{
+		Gamma:        gamma,
+		Spatial:      core.SpatialSquaredGrid,
+		SquaredTable: s.sqTbl,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "score: %v", err)
+		return
+	}
+	params := core.Params{K: k, Lambda: lambda, Gamma: gamma}
+	sel, err := core.Select(core.Algorithm(algo), ss, params)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "select: %v", err)
+		return
+	}
+
+	b := ss.Evaluate(sel.Indices, lambda)
+	var resp searchResponse
+	resp.Query.X, resp.Query.Y = x, y
+	resp.Query.K, resp.Query.SmallK = bigK, k
+	resp.Query.Lambda, resp.Query.Gamma = lambda, gamma
+	resp.Query.Algo = algo
+	for _, kw := range kwIDs {
+		resp.Query.Keywords = append(resp.Query.Keywords, s.data.Dict.Word(kw))
+	}
+	resp.HPF = b.Total
+	resp.Breakdown = map[string]any{"rel": b.Rel, "pC": b.PC, "pS": b.PS}
+	diag := metrics.Evaluate(ss, sel.Indices)
+	resp.Diagnostics = map[string]any{
+		"inference_match":      diag.InferenceMatch,
+		"dominance":            diag.Dominance,
+		"rare_share":           diag.RareShare,
+		"type_coverage":        diag.TypeCoverage,
+		"directional_coverage": diag.DirectionalCoverage,
+		"diversity":            diag.Diversity,
+		"mean_relevance":       diag.MeanRelevance,
+	}
+	for rank, idx := range sel.Indices {
+		p := ss.Places[idx]
+		ctx := p.Context.Words(s.data.Dict)
+		if len(ctx) > 6 {
+			ctx = ctx[:6]
+		}
+		resp.Results = append(resp.Results, searchResult{
+			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctx,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

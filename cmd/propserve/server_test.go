@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	cfg := dataset.DBpediaLike(5)
+	cfg.Places = 500
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(d)
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body map[string]interface{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "dbpedia-like") {
+		t.Errorf("body = %s", rec.Body.String())
+	}
+}
+
+func TestSearchDefaults(t *testing.T) {
+	s := testServer(t)
+	rec := get(t, s, "/search?K=80&k=8")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != 8 {
+		t.Fatalf("got %d results", len(resp.Results))
+	}
+	if resp.HPF <= 0 {
+		t.Errorf("HPF = %g", resp.HPF)
+	}
+	for _, key := range []string{"diversity", "inference_match", "mean_relevance"} {
+		if _, ok := resp.Diagnostics[key]; !ok {
+			t.Errorf("diagnostics missing %q: %v", key, resp.Diagnostics)
+		}
+	}
+	for i, r := range resp.Results {
+		if r.Rank != i+1 || r.ID == "" || len(r.Context) == 0 {
+			t.Errorf("result %d malformed: %+v", i, r)
+		}
+	}
+}
+
+func TestSearchAllAlgorithms(t *testing.T) {
+	s := testServer(t)
+	for _, algo := range []string{"abp", "iadu", "topk", "abp-div", "iadu-div"} {
+		rec := get(t, s, "/search?K=60&k=5&algo="+algo)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", algo, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSearchWithKeywordsAndLocation(t *testing.T) {
+	s := testServer(t)
+	// Use a real vocabulary word so the keyword resolves.
+	word := s.data.Places[0].Context.Words(s.data.Dict)[0]
+	rec := get(t, s, "/search?x=50&y=50&K=60&k=5&keywords="+word)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Query.Keywords) != 1 || resp.Query.Keywords[0] != word {
+		t.Errorf("keywords echoed wrong: %v", resp.Query.Keywords)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	s := testServer(t)
+	cases := []string{
+		"/search?x=notanumber",
+		"/search?K=abc",
+		"/search?lambda=2",     // rejected by core validation
+		"/search?algo=sorcery", // unknown algorithm
+		"/search?K=5&k=10",     // k ≥ retrieved
+		"/search?K=60&k=5&gamma=7",
+	}
+	for _, path := range cases {
+		rec := get(t, s, path)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", path, rec.Code, rec.Body.String())
+		}
+		if !strings.Contains(rec.Body.String(), "error") {
+			t.Errorf("%s: no error field: %s", path, rec.Body.String())
+		}
+	}
+}
+
+func TestNotFoundAndMethod(t *testing.T) {
+	s := testServer(t)
+	if rec := get(t, s, "/nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/search", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
+		t.Errorf("POST /search status = %d", rec.Code)
+	}
+}
+
+func TestConcurrentSearches(t *testing.T) {
+	s := testServer(t)
+	done := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func() {
+			req := httptest.NewRequest(http.MethodGet, "/search?K=60&k=5", nil)
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				done <- fmt.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

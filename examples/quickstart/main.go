@@ -1,0 +1,76 @@
+// Quickstart: proportional selection over a handful of hand-made places.
+//
+// It builds a tiny retrieved set S (places with locations, relevance and
+// keyword contexts), computes the proportionality scores (Step 1) and
+// selects k = 3 places with ABP (Step 2), printing the result alongside
+// the plain top-k for contrast.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+func main() {
+	dict := textctx.NewDict()
+	place := func(id string, x, y, rel float64, words ...string) core.Place {
+		return core.Place{
+			ID:      id,
+			Loc:     geo.Pt(x, y),
+			Rel:     rel,
+			Context: textctx.NewSetFromStrings(dict, words),
+		}
+	}
+
+	// A user at q looks for museums: three similar history museums lie
+	// east, one music museum south-east, one science museum west.
+	q := geo.Pt(0, 0)
+	s := []core.Place{
+		place("history-1", 2.0, 0.2, 0.95, "history", "museum", "viking", "nordic"),
+		place("history-2", 2.2, -0.1, 0.93, "history", "museum", "viking", "jewellery"),
+		place("history-3", 1.9, 0.4, 0.91, "history", "museum", "nordic", "jewellery"),
+		place("abba", 2.4, -0.8, 0.90, "music", "museum", "abba", "pop"),
+		place("nobel", -1.2, -0.4, 0.88, "science", "museum", "nobel", "literature"),
+		place("garden", 0.5, 2.5, 0.60, "park", "garden", "botanic"),
+	}
+
+	// Step 1: compute and cache all pairwise proportionality scores.
+	scores, err := core.ComputeScores(q, s, core.ScoreOptions{Gamma: 0.5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params := core.Params{K: 3, Lambda: 0.5, Gamma: 0.5}
+
+	// Step 2: greedy proportional selection.
+	prop, err := core.ABP(scores, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topk, err := core.TopK(scores, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(name string, sel core.Selection) {
+		b := scores.Evaluate(sel.Indices, params.Lambda)
+		fmt.Printf("%s (HPF = %.2f):\n", name, b.Total)
+		for rank, i := range sel.Indices {
+			p := scores.Places[i]
+			fmt.Printf("  %d. %-10s rF=%.2f at %v\n", rank+1, p.ID, p.Rel, p.Loc)
+		}
+		fmt.Println()
+	}
+	show("top-k by relevance", topk)
+	show("proportional (ABP)", prop)
+
+	fmt.Println("The proportional result keeps the dominant history cluster")
+	fmt.Println("represented (it is most of the area) while still covering a")
+	fmt.Println("different direction and context — unlike the redundant top-k.")
+}

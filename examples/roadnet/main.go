@@ -1,0 +1,129 @@
+// Roadnet: proportional selection with road-network distance — the
+// paper's future-work extension — contrasted with Euclidean distance.
+//
+// A river splits the city: the only bridge is at the northern edge, so
+// two places facing each other across the river are Euclidean-close but
+// network-far. Proportional selection under network distance treats the
+// far bank as a separate, diverse neighbourhood, while the Euclidean
+// scorer happily lumps the banks together.
+//
+// Run with: go run ./examples/roadnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/pairs"
+	"repro/internal/roadnet"
+	"repro/internal/textctx"
+)
+
+func main() {
+	// Build an 11×11 street grid over [0,10]², then cut every east-west
+	// street crossing x = 5 except the northern bridge (y = 10): a river.
+	net := roadnet.New()
+	const n = 11
+	ids := make([][]roadnet.NodeID, n)
+	for r := 0; r < n; r++ {
+		ids[r] = make([]roadnet.NodeID, n)
+		for c := 0; c < n; c++ {
+			id, err := net.AddNode(geo.Pt(float64(c), float64(r)))
+			if err != nil {
+				log.Fatal(err)
+			}
+			ids[r][c] = id
+		}
+	}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			if c+1 < n {
+				crossesRiver := c == 4 // segment from x=4 to x=5
+				if !crossesRiver || r == n-1 {
+					if err := net.AddEdge(ids[r][c], ids[r][c+1], 0); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			if r+1 < n {
+				if err := net.AddEdge(ids[r][c], ids[r+1][c], 0); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Printf("road network: %d junctions, %d segments (river at x=4.5, bridge at y=10)\n\n",
+		net.NumNodes(), net.NumEdges())
+
+	// Places: cafés on both banks near the river, plus a cluster downtown
+	// east. The query stands on the east bank.
+	rng := rand.New(rand.NewSource(2))
+	dict := textctx.NewDict()
+	var places []core.Place
+	add := func(id string, x, y float64, words ...string) {
+		places = append(places, core.Place{
+			ID: id, Loc: geo.Pt(x, y), Rel: 0.6 + 0.05*rng.Float64(),
+			Context: textctx.NewSetFromStrings(dict, words),
+		})
+	}
+	for i := 0; i < 6; i++ {
+		add(fmt.Sprintf("east-cafe-%d", i), 5.6+rng.Float64(), 1+rng.Float64()*3,
+			"cafe", "riverside", fmt.Sprintf("e%d", i%3))
+	}
+	for i := 0; i < 6; i++ {
+		add(fmt.Sprintf("west-cafe-%d", i), 3.4-rng.Float64(), 1+rng.Float64()*3,
+			"cafe", "riverside", fmt.Sprintf("w%d", i%3))
+	}
+	for i := 0; i < 8; i++ {
+		add(fmt.Sprintf("downtown-%d", i), 8+rng.Float64()*1.5, 7+rng.Float64()*2,
+			"restaurant", "downtown", fmt.Sprintf("d%d", i%4))
+	}
+	q := geo.Pt(6, 2)
+
+	scorer := roadnet.NewScorer(net)
+	params := core.Params{K: 8, Lambda: 0.5, Gamma: 0.8} // spatially weighted
+
+	run := func(name string, opt core.ScoreOptions) {
+		ss, err := core.ComputeScores(q, places, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel, err := core.ABP(ss, params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, i := range sel.Indices {
+			switch {
+			case ss.Places[i].ID[:4] == "east":
+				counts["east-bank"]++
+			case ss.Places[i].ID[:4] == "west":
+				counts["west-bank"]++
+			default:
+				counts["downtown"]++
+			}
+		}
+		fmt.Printf("%-22s %v\n", name+":", counts)
+	}
+
+	run("euclidean proportional", core.ScoreOptions{Gamma: 0.8})
+	run("road-network proportional", core.ScoreOptions{
+		Gamma:   0.8,
+		Spatial: core.SpatialCustom,
+		CustomSpatial: func(q geo.Point, pl []core.Place) (*pairs.Matrix, error) {
+			pts := make([]geo.Point, len(pl))
+			for i := range pl {
+				pts[i] = pl[i].Loc
+			}
+			return scorer.AllPairs(q, pts)
+		},
+	})
+
+	fmt.Println("\nUnder Euclidean distance the two banks are symmetric and the west")
+	fmt.Println("bank fills its full quota; under network distance the bridge detour")
+	fmt.Println("re-shapes the spatial similarities and a west-bank slot moves to")
+	fmt.Println("the east bank — the metric visibly changes what is proportional.")
+}

@@ -1,0 +1,218 @@
+// End-to-end integration tests: generated corpus → IR-tree retrieval →
+// Step-1 scoring under every engine combination → Step-2 selection under
+// every algorithm, with cross-engine consistency checks.
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/textctx"
+	"repro/internal/usereval"
+)
+
+func integrationDataset(t *testing.T) (*dataset.Dataset, dataset.Query, []core.Place) {
+	t.Helper()
+	cfg := dataset.DBpediaLike(21)
+	cfg.Places = 800
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := d.GenQueries(1, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	places, err := d.Retrieve(qs[0], 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, qs[0], places
+}
+
+// TestPipelineEngineMatrix runs Step 1 with every contextual engine ×
+// spatial method and Step 2 with every algorithm, checking that (a) exact
+// engines agree bit-for-bit, (b) grid engines stay close, and (c) every
+// selection is feasible with positive HPF.
+func TestPipelineEngineMatrix(t *testing.T) {
+	_, q, places := integrationDataset(t)
+
+	ctxEngines := []textctx.JaccardEngine{
+		nil, // default (msJh)
+		textctx.BaselineEngine{},
+		textctx.MSJHEngine{},
+		textctx.MSJHParallelEngine{Workers: 4},
+		textctx.NaiveInvertedEngine{},
+	}
+	spatials := []core.SpatialMethod{core.SpatialExact, core.SpatialSquaredGrid, core.SpatialRadialGrid}
+
+	var exactRef *core.ScoreSet
+	for _, eng := range ctxEngines {
+		for _, sm := range spatials {
+			ss, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{
+				Gamma:      0.5,
+				Contextual: eng,
+				Spatial:    sm,
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", eng, sm, err)
+			}
+			if sm == core.SpatialExact {
+				if exactRef == nil {
+					exactRef = ss
+				} else {
+					// All exact contextual engines must agree exactly.
+					for i := 0; i < 5; i++ {
+						for j := i + 1; j < 5; j++ {
+							if ss.SC.At(i, j) != exactRef.SC.At(i, j) {
+								t.Fatalf("contextual engines disagree at (%d,%d)", i, j)
+							}
+						}
+					}
+				}
+			}
+			for name, alg := range map[string]func(*core.ScoreSet, core.Params) (core.Selection, error){
+				"IAdU": core.IAdU, "IAdUHeap": core.IAdUHeap,
+				"ABP": core.ABP, "ABPEager": core.ABPEager,
+				"TopK": core.TopK, "IAdUDiv": core.IAdUDiv, "ABPDiv": core.ABPDiv,
+			} {
+				sel, err := alg(ss, core.Params{K: 10, Lambda: 0.5, Gamma: 0.5})
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if len(sel.Indices) != 10 {
+					t.Fatalf("%s: |R| = %d", name, len(sel.Indices))
+				}
+				if sel.HPF <= 0 {
+					t.Fatalf("%s under %v: HPF = %g", name, sm, sel.HPF)
+				}
+			}
+		}
+	}
+}
+
+// TestGridSelectionsNearExact: selections made on grid-approximated
+// scores, re-evaluated under exact scores, must stay within a few percent
+// of the exact-score selections (the Figure 11 claim, end to end).
+func TestGridSelectionsNearExact(t *testing.T) {
+	_, q, places := integrationDataset(t)
+	exact, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{
+		Gamma:   0.5,
+		Spatial: core.SpatialSquaredGrid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+	se, err := core.ABP(exact, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := core.ABP(approx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	he := exact.Evaluate(se.Indices, p.Lambda).Total
+	ha := exact.Evaluate(sa.Indices, p.Lambda).Total
+	if ha < 0.9*he {
+		t.Errorf("grid selection HPF %g more than 10%% below exact %g", ha, he)
+	}
+}
+
+// TestRetrievalFeedsSelection checks the IR-tree contract the framework
+// relies on: the retrieved set is sorted by rF and its scores are valid
+// relevance values.
+func TestRetrievalFeedsSelection(t *testing.T) {
+	_, _, places := integrationDataset(t)
+	for i, p := range places {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("place %d: %v", i, err)
+		}
+		if i > 0 && p.Rel > places[i-1].Rel+1e-12 {
+			t.Fatal("retrieved set not sorted by relevance")
+		}
+	}
+}
+
+// TestPSSAgreesAcrossLayers cross-checks the three pSS computations the
+// system has (core exact path, grid baseline, parallel baseline) on
+// retrieved data.
+func TestPSSAgreesAcrossLayers(t *testing.T) {
+	_, q, places := integrationDataset(t)
+	ss, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{Gamma: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, len(places))
+	for i := range places {
+		pts[i] = places[i].Loc
+	}
+	want, _ := grid.PSSBaseline(q.Loc, pts)
+	for i := range want {
+		if math.Abs(want[i]-ss.PSS[i]) > 1e-9 {
+			t.Fatalf("pSS[%d]: core %g vs grid %g", i, ss.PSS[i], want[i])
+		}
+	}
+	par, _ := grid.PSSBaselineParallel(q.Loc, pts, 3)
+	for i := range want {
+		if want[i] != par[i] {
+			t.Fatalf("parallel pSS[%d] differs", i)
+		}
+	}
+}
+
+// TestStudySetPipeline: the user-study generator output flows through the
+// panel and algorithms without error and with sane score ranges.
+func TestStudySetPipeline(t *testing.T) {
+	ss, err := usereval.SyntheticStudySet(33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	panel := usereval.NewPanel(10, 3)
+	for name, alg := range map[string]func(*core.ScoreSet, core.Params) (core.Selection, error){
+		"ABP": core.ABP, "TopK": core.TopK, "ABPDiv": core.ABPDiv,
+	} {
+		sel, err := alg(ss, core.Params{K: 10, Lambda: 0.5, Gamma: 0.5})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, c := range usereval.Criteria {
+			if s := panel.Score(ss, sel.Indices, c); s < 1 || s > 10 {
+				t.Fatalf("%s/%v: score %g", name, c, s)
+			}
+		}
+	}
+}
+
+// TestWeightedContextualPluggable: the weighted-Jaccard engine (the
+// future-work contextual scoring alternative) drops into Step 1 like any
+// other engine and shifts selections towards rare-attribute diversity.
+func TestWeightedContextualPluggable(t *testing.T) {
+	_, q, places := integrationDataset(t)
+	sets := make([]textctx.Set, len(places))
+	for i := range places {
+		sets[i] = places[i].Context
+	}
+	ss, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{
+		Gamma:      0.5,
+		Contextual: textctx.WeightedJaccardEngine{Weight: textctx.IDFWeight(sets)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := core.ABP(ss, core.Params{K: 10, Lambda: 0.5, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != 10 || sel.HPF <= 0 {
+		t.Fatalf("weighted-contextual selection broken: %+v", sel)
+	}
+}

@@ -1,0 +1,209 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// sharedEnv is built once; environment construction dominates test time.
+var sharedEnv *Env
+
+func env(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		e, err := NewEnv(SmallScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEnv = e
+	}
+	return sharedEnv
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(Scale{}); err == nil {
+		t.Error("degenerate scale accepted")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Name:   "x",
+		Title:  "demo",
+		Header: []string{"a", "bb"},
+		Notes:  []string{"hello"},
+	}
+	tbl.AddRow("1", "2")
+	out := tbl.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "1", "2", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// numericCell parses a table cell as float64.
+func numericCell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tbl.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("%s: cell (%d,%d) = %q not numeric", tbl.Name, row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	e := env(t)
+	for _, name := range Names() {
+		tbl, err := e.Run(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s produced no rows", name)
+		}
+		if len(tbl.Header) == 0 || tbl.Title == "" {
+			t.Errorf("%s missing header or title", name)
+		}
+		for _, r := range tbl.Rows {
+			if len(r) != len(tbl.Header) {
+				t.Errorf("%s: ragged row %v", name, r)
+			}
+		}
+	}
+	if _, err := e.Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestFig7Shape: at the largest K the msJh engine must not be slower than
+// the baseline (the paper's headline contextual result).
+func TestFig7Shape(t *testing.T) {
+	e := env(t)
+	tbl := e.Fig7a()
+	last := len(tbl.Rows) - 1
+	base := numericCell(t, tbl, last, 1)
+	msjh := numericCell(t, tbl, last, 2)
+	if msjh > base*1.2 {
+		t.Errorf("fig7a: msJh (%g ms) slower than baseline (%g ms) at max K", msjh, base)
+	}
+}
+
+// TestFig8Shape: the grids must beat the spatial baseline at the largest K.
+func TestFig8Shape(t *testing.T) {
+	e := env(t)
+	tbl := e.Fig8a()
+	last := len(tbl.Rows) - 1
+	base := numericCell(t, tbl, last, 1)
+	sq := numericCell(t, tbl, last, 2)
+	if sq > base {
+		t.Errorf("fig8a: squared grid (%g ms) not faster than baseline (%g ms)", sq, base)
+	}
+}
+
+// TestFig9Shape: the squared grid error at |G| ≈ K must be small.
+func TestFig9Shape(t *testing.T) {
+	e := env(t)
+	tbl := e.Fig9b()
+	for i := range tbl.Rows {
+		if err := numericCell(t, tbl, i, 1); err > 0.25 {
+			t.Errorf("fig9b row %d: squared error %g implausibly large", i, err)
+		}
+	}
+}
+
+// TestFig11Shape: every method's HPF must be positive and grid variants
+// must stay close to exact ones.
+func TestFig11Shape(t *testing.T) {
+	e := env(t)
+	tbl := e.Fig11()
+	byKey := map[string]float64{}
+	for i, r := range tbl.Rows {
+		hpf := numericCell(t, tbl, i, 6)
+		if hpf <= 0 {
+			t.Errorf("fig11: %v has non-positive HPF", r)
+		}
+		byKey[r[0]+"/"+r[1]+"/"+r[2]] = hpf
+	}
+	for key, exact := range byKey {
+		if strings.HasSuffix(key, "-exact") {
+			gridKey := strings.Replace(key, "-exact", "-grid", 1)
+			if g, ok := byKey[gridKey]; ok && g < 0.7*exact {
+				t.Errorf("fig11: %s (%g) far below %s (%g)", gridKey, g, key, exact)
+			}
+		}
+	}
+}
+
+// TestFig12aShape reproduces the user-study ordering on the mean column:
+// proportional (ABP) > diversified (ABP_D) > top-k (S_k).
+func TestFig12aShape(t *testing.T) {
+	e := env(t)
+	tbl := e.Fig12a()
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("fig12a rows = %d", len(tbl.Rows))
+	}
+	meanCol := len(tbl.Header) - 1
+	sk := numericCell(t, tbl, 0, meanCol)
+	div := numericCell(t, tbl, 1, meanCol)
+	abp := numericCell(t, tbl, 2, meanCol)
+	if !(abp > div && div > sk) {
+		t.Errorf("fig12a ordering: ABP %g, ABP_D %g, S_k %g", abp, div, sk)
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	e := env(t)
+	tbl := e.Ablations()
+	var kinds []string
+	for _, r := range tbl.Rows {
+		kinds = append(kinds, r[0])
+	}
+	joined := strings.Join(kinds, ",")
+	for _, want := range []string{"ctx-engine", "squared-pss", "grid-sizing"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("ablations missing %q section", want)
+		}
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	tbl := &Table{Name: "x", Title: "demo", Header: []string{"a", "b"}}
+	tbl.AddRow("1", "2")
+	var buf strings.Builder
+	if err := tbl.FprintCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# x: demo", "a,b", "1,2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tbl := &Table{Name: "x", Title: "demo", Header: []string{"K", "ms", "who"}}
+	tbl.AddRow("10", "1.5", "a")
+	tbl.AddRow("20", "3.0", "b")
+	var buf strings.Builder
+	tbl.FprintChart(&buf, 10)
+	out := buf.String()
+	for _, want := range []string{"[ms]", "K=10", "K=20", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The larger value gets the longer bar.
+	if strings.Index(out, "██████████ 3.0") < 0 {
+		t.Errorf("max bar not full width:\n%s", out)
+	}
+	// No numeric columns → graceful message.
+	empty := &Table{Name: "y", Header: []string{"a"}, Rows: [][]string{{"q"}}}
+	buf.Reset()
+	empty.FprintChart(&buf, 10)
+	if !strings.Contains(buf.String(), "no numeric columns") {
+		t.Error("empty chart message missing")
+	}
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// FprintChart renders the table's numeric columns as horizontal bar
+// charts, one block per numeric column, scaled to the column maximum —
+// a terminal rendition of the paper's figure panels. Non-numeric columns
+// form the row labels. Columns whose values span several orders of
+// magnitude (like the timing figures) are drawn on a log-like scale with
+// the raw value printed beside each bar, so shapes stay readable.
+func (t *Table) FprintChart(w io.Writer, width int) {
+	if width <= 0 {
+		width = 40
+	}
+	numeric, labels := t.splitColumns()
+	if len(numeric) == 0 {
+		fmt.Fprintf(w, "== %s: no numeric columns to chart ==\n", t.Name)
+		return
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	labWidth := 0
+	for _, l := range labels {
+		if len(l) > labWidth {
+			labWidth = len(l)
+		}
+	}
+	for _, col := range numeric {
+		fmt.Fprintf(w, "\n[%s]\n", t.Header[col])
+		var max float64
+		vals := make([]float64, len(t.Rows))
+		for i := range t.Rows {
+			v, err := strconv.ParseFloat(t.Rows[i][col], 64)
+			if err != nil {
+				continue
+			}
+			vals[i] = v
+			if v > max {
+				max = v
+			}
+		}
+		if max == 0 {
+			max = 1
+		}
+		for i := range t.Rows {
+			bar := int(vals[i] / max * float64(width))
+			if vals[i] > 0 && bar == 0 {
+				bar = 1
+			}
+			fmt.Fprintf(w, "  %s  %s %s\n",
+				pad(labels[i], labWidth), strings.Repeat("█", bar), t.Rows[i][col])
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// splitColumns classifies columns: a column is numeric when every row
+// parses as float64; the remaining columns join into per-row labels.
+func (t *Table) splitColumns() (numeric []int, labels []string) {
+	isNum := make([]bool, len(t.Header))
+	for c := range t.Header {
+		isNum[c] = len(t.Rows) > 0
+		for _, r := range t.Rows {
+			if c >= len(r) {
+				isNum[c] = false
+				break
+			}
+			if _, err := strconv.ParseFloat(r[c], 64); err != nil {
+				isNum[c] = false
+				break
+			}
+		}
+	}
+	// The leading parameter column stays a label even when numeric
+	// (K, |G|, λ ... are the x-axis, not a series).
+	if len(isNum) > 0 {
+		isNum[0] = false
+	}
+	for c, ok := range isNum {
+		if ok {
+			numeric = append(numeric, c)
+		}
+	}
+	labels = make([]string, len(t.Rows))
+	for i, r := range t.Rows {
+		var parts []string
+		for c := range t.Header {
+			if !isNum[c] && c < len(r) {
+				parts = append(parts, t.Header[c]+"="+r[c])
+			}
+		}
+		labels[i] = strings.Join(parts, " ")
+	}
+	return numeric, labels
+}

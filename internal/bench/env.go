@@ -1,0 +1,184 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/textctx"
+)
+
+// Scale sizes an experimental run. Full reproduces the paper's parameter
+// ranges; Small keeps unit tests and smoke runs fast.
+type Scale struct {
+	// Queries is the number of workload queries averaged per data point
+	// (the paper uses 100).
+	Queries int
+	// Places is the generated dataset size (must exceed MaxK).
+	Places int
+	// Ks is the swept result-set size K (paper: 20..1000, default 100).
+	Ks []int
+	// Ps is the swept contextual-set size |p| (paper: 20..400, default 100).
+	Ps []int
+	// Gs is the swept grid size |G| (paper: 36..196, default 100).
+	Gs []int
+	// SmallKs is the swept selection size k (paper: 5..20, default 10).
+	SmallKs []int
+	// DefaultK, DefaultP, DefaultG, Defaultk are the paper's defaults.
+	DefaultK, DefaultP, DefaultG, Defaultk int
+}
+
+// FullScale mirrors the paper's Section 9.1 settings.
+func FullScale() Scale {
+	return Scale{
+		Queries:  10,
+		Places:   4000,
+		Ks:       []int{20, 40, 50, 60, 100, 150, 200, 400, 1000},
+		Ps:       []int{20, 40, 50, 60, 100, 150, 200, 400},
+		Gs:       []int{36, 64, 100, 144, 196},
+		SmallKs:  []int{5, 10, 15, 20},
+		DefaultK: 100, DefaultP: 100, DefaultG: 100, Defaultk: 10,
+	}
+}
+
+// SmallScale is a fast variant for tests.
+func SmallScale() Scale {
+	return Scale{
+		Queries:  2,
+		Places:   600,
+		Ks:       []int{20, 50, 100},
+		Ps:       []int{20, 50},
+		Gs:       []int{36, 100},
+		SmallKs:  []int{5, 10},
+		DefaultK: 50, DefaultP: 50, DefaultG: 64, Defaultk: 5,
+	}
+}
+
+// queryData is one workload query with its retrieved set, pre-materialised
+// at the maximum K and the default |p| so per-point slicing is free.
+type queryData struct {
+	query  dataset.Query
+	places []core.Place // sorted by rF, context size = DefaultP
+}
+
+// Env is a prepared experimental environment over both datasets.
+type Env struct {
+	Scale Scale
+	// DB and YG are the DBpedia-like and Yago2-like corpora.
+	DB, YG *dataset.Dataset
+	// SqTbl and RadTbl are the precomputed grid similarity tables shared
+	// by every query (the Theorem 7.1 reuse).
+	SqTbl  *grid.SquaredTable
+	RadTbl *grid.RadialTable
+
+	dbQueries, ygQueries []queryData
+}
+
+// NewEnv generates both corpora and the query workloads.
+func NewEnv(sc Scale) (*Env, error) {
+	maxK := 0
+	for _, k := range sc.Ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	if maxK == 0 || sc.Queries <= 0 {
+		return nil, fmt.Errorf("bench: degenerate scale %+v", sc)
+	}
+	maxG := sc.DefaultG
+	for _, g := range sc.Gs {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	for _, k := range sc.Ks {
+		if k > maxG {
+			maxG = k // the |G| ≈ K rule needs tables up to max K
+		}
+	}
+
+	e := &Env{
+		Scale:  sc,
+		SqTbl:  grid.NewSquaredTable(grid.SideForCells(maxG)),
+		RadTbl: grid.NewRadialTable(),
+	}
+	cfgDB := dataset.DBpediaLike(1)
+	cfgDB.Places = sc.Places
+	cfgYG := dataset.Yago2Like(2)
+	cfgYG.Places = sc.Places
+	var err error
+	if e.DB, err = dataset.Generate(cfgDB); err != nil {
+		return nil, err
+	}
+	if e.YG, err = dataset.Generate(cfgYG); err != nil {
+		return nil, err
+	}
+	if e.dbQueries, err = prepareQueries(e.DB, sc, maxK, 3); err != nil {
+		return nil, err
+	}
+	if e.ygQueries, err = prepareQueries(e.YG, sc, maxK, 4); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func prepareQueries(d *dataset.Dataset, sc Scale, maxK int, seed int64) ([]queryData, error) {
+	qs, err := d.GenQueries(sc.Queries, maxK, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]queryData, len(qs))
+	for i, q := range qs {
+		places, err := d.Retrieve(q, maxK)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = queryData{
+			query:  q,
+			places: d.AdjustContextSizes(places, sc.DefaultP, seed+int64(i)),
+		}
+	}
+	return out, nil
+}
+
+// topK returns the K most relevant places of qd (retrieval order is
+// already sorted by rF).
+func (qd *queryData) topK(k int) []core.Place {
+	if k > len(qd.places) {
+		k = len(qd.places)
+	}
+	return qd.places[:k]
+}
+
+func sets(places []core.Place) []textctx.Set {
+	out := make([]textctx.Set, len(places))
+	for i := range places {
+		out[i] = places[i].Context
+	}
+	return out
+}
+
+func locations(places []core.Place) []geo.Point {
+	out := make([]geo.Point, len(places))
+	for i := range places {
+		out[i] = places[i].Loc
+	}
+	return out
+}
+
+// avgTime runs f once per query of qs and returns the mean wall-clock
+// duration in milliseconds. An untimed warmup run on the first query
+// absorbs one-off costs (lazy table construction, cache warming).
+func avgTime(qs []queryData, f func(qd *queryData)) float64 {
+	f(&qs[0])
+	var total time.Duration
+	for i := range qs {
+		start := time.Now()
+		f(&qs[i])
+		total += time.Since(start)
+	}
+	return float64(total.Microseconds()) / float64(len(qs)) / 1000
+}

@@ -1,0 +1,110 @@
+// Package bench is the experiment harness of the reproduction: it
+// prepares the synthetic DBpedia-like and Yago2-like workloads, runs one
+// experiment per figure panel of the paper's evaluation (Section 9), and
+// renders the measured rows/series as text tables. cmd/experiments wires
+// it to the command line; the root-level Go benchmarks reuse the same
+// runners.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of rows.
+type Table struct {
+	// Name is the experiment identifier (e.g. "fig7a").
+	Name string
+	// Title describes what the paper panel shows.
+	Title string
+	// Header labels the columns; the first column is the swept parameter.
+	Header []string
+	// Rows hold the measured series, one row per parameter value.
+	Rows [][]string
+	// Notes records workload details and expectations from the paper.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table to w in aligned text form.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.Name, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			wdt := 0
+			if i < len(widths) {
+				wdt = widths[i]
+			}
+			parts[i] = pad(c, wdt)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	seps := make([]string, len(t.Header))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	line(seps)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Fprint(&b)
+	return b.String()
+}
+
+// FprintCSV renders the table as CSV with a leading comment line naming
+// the experiment, for import into plotting tools.
+func (t *Table) FprintCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s: %s\n", t.Name, t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(d float64) string { return fmt.Sprintf("%.3f", d) }
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// TopK returns the k most relevant places (the paper's S_k baseline from
+// the user study: top-k by rF with no diversification).
+func TopK(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return ss.Places[idx[a]].Rel > ss.Places[idx[b]].Rel
+	})
+	r := idx[:p.K]
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// RandomSelect returns k places drawn uniformly without replacement — the
+// random-selection baseline the abstract's user evaluation refers to.
+func RandomSelect(ss *ScoreSet, p Params, seed int64) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	r := perm[:p.K]
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// divPair is the pairwise objective of the diversification framework of
+// Cai et al. [5] (MaxSum relevance + diversity, no proportionality term):
+//
+//	f(u, v) = ((1−λ)·(rF(u) + rF(v)) + 2λ·dF(u, v)) / (k−1)
+//
+// where dF = 1 − sF combines Jaccard distance and Ptolemy's diversity.
+// Summing f over all pairs of R gives (1−λ)·Σ rF + (2λ/(k−1))·Σ dF, so
+// both terms live on the same k-proportional scale and λ genuinely trades
+// them off.
+func (ss *ScoreSet) divPair(i, j, k int, lambda float64) float64 {
+	rel := (1 - lambda) * (ss.Places[i].Rel + ss.Places[j].Rel) / float64(k-1)
+	div := 2 * lambda / float64(k-1) * (1 - ss.sf(i, j))
+	return rel + div
+}
+
+// EvaluateDiv computes the diversification objective of R (relevance plus
+// pairwise dissimilarity), for comparing diversified baselines.
+func (ss *ScoreSet) EvaluateDiv(r []int, lambda float64) float64 {
+	var total float64
+	for a := 0; a < len(r); a++ {
+		for b := a + 1; b < len(r); b++ {
+			total += ss.divPair(r[a], r[b], len(r), lambda)
+		}
+	}
+	return total
+}
+
+// IAdUDiv is the diversification-only variant of IAdU (the framework of
+// Cai et al. [5] that the paper adapts): greedy insertion maximising
+// relevance + dissimilarity to the current R, with no proportional-to-S
+// term. Used as the ABP_D/IAdU_D baseline in the user evaluation.
+func IAdUDiv(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	k := p.K
+	r := make([]int, 0, k)
+	used := make([]bool, n)
+	best := 0
+	for i := 1; i < n; i++ {
+		if ss.Places[i].Rel > ss.Places[best].Rel {
+			best = i
+		}
+	}
+	r = append(r, best)
+	used[best] = true
+	if k == 1 {
+		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+	}
+	contrib := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			contrib[i] = ss.divPair(i, best, k, p.Lambda)
+		}
+	}
+	for len(r) < k {
+		bi := -1
+		for i := 0; i < n; i++ {
+			if !used[i] && (bi < 0 || contrib[i] > contrib[bi]) {
+				bi = i
+			}
+		}
+		r = append(r, bi)
+		used[bi] = true
+		if len(r) == k {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				contrib[i] += ss.divPair(i, bi, k, p.Lambda)
+			}
+		}
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// ABPDiv is the diversification-only variant of ABP: best unused pair by
+// the diversification objective, lazily invalidated.
+func ABPDiv(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	k := p.K
+	if k == 1 {
+		return IAdUDiv(ss, p)
+	}
+	type pair struct {
+		i, j  int32
+		score float64
+	}
+	ps := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ps = append(ps, pair{int32(i), int32(j), ss.divPair(i, j, k, p.Lambda)})
+		}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].score > ps[b].score })
+	r := make([]int, 0, k)
+	used := make([]bool, n)
+	for _, pr := range ps {
+		if len(r)+2 > k {
+			break
+		}
+		if used[pr.i] || used[pr.j] {
+			continue
+		}
+		used[pr.i], used[pr.j] = true, true
+		r = append(r, int(pr.i), int(pr.j))
+	}
+	if len(r) < k {
+		bi := -1
+		var bc float64
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			var c float64
+			for _, j := range r {
+				c += ss.divPair(i, j, k, p.Lambda)
+			}
+			if bi < 0 || c > bc {
+				bi, bc = i, c
+			}
+		}
+		r = append(r, bi)
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// Exact solves Problem 1 by enumerating every k-subset of S and returning
+// the one with maximum HPF(R). It is exponential and guarded: instances
+// with C(K, k) above ~2 million subsets return ErrTooLarge. Used to
+// validate the greedy algorithms' approximation quality on small inputs.
+func Exact(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	if binomialExceeds(n, p.K, 2_000_000) {
+		return Selection{}, ErrTooLarge
+	}
+	k := p.K
+	cur := make([]int, k)
+	best := Selection{HPF: negInf}
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			if h := ss.Evaluate(cur, p.Lambda).Total; h > best.HPF {
+				best.HPF = h
+				best.Indices = append([]int(nil), cur...)
+			}
+			return
+		}
+		for i := start; i <= n-(k-depth); i++ {
+			cur[depth] = i
+			rec(i+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	return best, nil
+}
+
+const negInf = -1e308
+
+// binomialExceeds reports whether C(n, k) > limit, without overflowing.
+func binomialExceeds(n, k, limit int) bool {
+	if k > n-k {
+		k = n - k
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c *= float64(n-i) / float64(i+1)
+		if c > float64(limit) {
+			return true
+		}
+	}
+	return false
+}

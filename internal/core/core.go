@@ -1,0 +1,97 @@
+// Package core implements the proportional selection framework of
+// "Proportionality in Spatial Keyword Search" (SIGMOD 2021): the place
+// model, the contextual/spatial proportionality score functions of
+// Section 4 (Eq. 2–16), the two-step algorithmic framework of Section 5
+// (Step 1 computes and caches all pairwise scores; Step 2 runs a greedy
+// selection), the greedy algorithms IAdU and ABP, the diversification and
+// top-k baselines they are compared against, and an exact solver for small
+// instances together with the NP-hardness reduction of Theorem 4.1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// Place is a retrieved spatial object: a location, a relevance score
+// rF(p) ∈ [0, 1] w.r.t. the query, and a contextual set of items
+// (keywords, tags, or graph entities).
+type Place struct {
+	// ID identifies the place to callers (e.g. an entity URI or name).
+	ID string
+	// Loc is the place's location.
+	Loc geo.Point
+	// Rel is the relevance score rF(p) in [0, 1], supplied by the
+	// retrieval model (e.g. a combination of keyword similarity and
+	// distance to the query location).
+	Rel float64
+	// Context is the place's contextual set C(p).
+	Context textctx.Set
+}
+
+// Validate reports the first problem with p, or nil.
+func (p *Place) Validate() error {
+	if !p.Loc.Valid() {
+		return fmt.Errorf("core: place %q has invalid location %v", p.ID, p.Loc)
+	}
+	if math.IsNaN(p.Rel) || p.Rel < 0 || p.Rel > 1 {
+		return fmt.Errorf("core: place %q has relevance %v outside [0, 1]", p.ID, p.Rel)
+	}
+	return nil
+}
+
+// Params are the selection parameters of the paper.
+type Params struct {
+	// K is the result size k (the paper's k < K); the K of the paper is
+	// implicit in the number of scored places.
+	K int
+	// Lambda trades relevance (0) against proportionality (1); Eq. 9.
+	Lambda float64
+	// Gamma trades contextual (0) against spatial (1) proportionality;
+	// Eq. 8. Gamma is fixed at scoring time (it weights the cached sF
+	// matrix), and recorded here for bookkeeping.
+	Gamma float64
+}
+
+// DefaultParams returns the paper's default setting k=10, λ=γ=0.5.
+func DefaultParams() Params { return Params{K: 10, Lambda: 0.5, Gamma: 0.5} }
+
+func (p Params) validate(n int) error {
+	if p.K <= 0 {
+		return fmt.Errorf("core: k = %d must be positive", p.K)
+	}
+	if p.K >= n {
+		return fmt.Errorf("core: k = %d must be smaller than K = %d", p.K, n)
+	}
+	if math.IsNaN(p.Lambda) || p.Lambda < 0 || p.Lambda > 1 {
+		return fmt.Errorf("core: λ = %v outside [0, 1]", p.Lambda)
+	}
+	if math.IsNaN(p.Gamma) || p.Gamma < 0 || p.Gamma > 1 {
+		return fmt.Errorf("core: γ = %v outside [0, 1]", p.Gamma)
+	}
+	return nil
+}
+
+// ErrTooLarge is returned by Exact for instances beyond brute force.
+var ErrTooLarge = errors.New("core: instance too large for exact solver")
+
+// Selection is the output of a selection algorithm: the chosen indices
+// into the scored set S (in selection order) and the holistic score
+// HPF(R) the algorithm achieved under its score set.
+type Selection struct {
+	Indices []int
+	HPF     float64
+}
+
+// Breakdown decomposes HPF(R) into the three stacked components reported
+// in Figure 11: the relevance part (K−k)·Σ rF, the contextual part Σ pC,
+// and the spatial part Σ pS (each λ/γ-weighted into Total).
+type Breakdown struct {
+	Rel, PC, PS float64
+	// Total is the holistic score HPF(R) of Eq. 10.
+	Total float64
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+)
+
+// IAdU implements the Incremental Add and Update greedy algorithm
+// (Section 5, adapted from Cai et al.): it iteratively adds to R the place
+// with the largest contribution cHPF (Eq. 17) — the relevance score for
+// the first pick, then Σ_{p_j∈R} HPF(p_i, p_j) — updating the remaining
+// contributions incrementally after every insertion. Complexity
+// O(K·k + K log K); a 4-approximation when HPF satisfies the triangle
+// inequality (Theorem 8.2).
+func IAdU(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	k := p.K
+	r := make([]int, 0, k)
+	used := make([]bool, n)
+
+	// First pick: R is empty, so cHPF(p_i) = rF(p_i).
+	best := 0
+	for i := 1; i < n; i++ {
+		if ss.Places[i].Rel > ss.Places[best].Rel {
+			best = i
+		}
+	}
+	r = append(r, best)
+	used[best] = true
+	if k == 1 {
+		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+	}
+
+	// Contributions of all remaining places against the current R,
+	// maintained incrementally: adding p_new adds HPF(p_i, p_new) to
+	// every candidate's contribution.
+	contrib := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if !used[i] {
+			contrib[i] = ss.PairHPF(i, best, k, p.Lambda)
+		}
+	}
+	for len(r) < k {
+		bi := -1
+		for i := 0; i < n; i++ {
+			if !used[i] && (bi < 0 || contrib[i] > contrib[bi]) {
+				bi = i
+			}
+		}
+		r = append(r, bi)
+		used[bi] = true
+		if len(r) == k {
+			break
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				contrib[i] += ss.PairHPF(i, bi, k, p.Lambda)
+			}
+		}
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// ABP implements the Any-Best-Pair greedy algorithm (Section 5, adapted
+// from Cai et al.): all O(K²) pairs are ranked by HPF(p_i, p_j) (Eq. 15)
+// and the best pair whose endpoints are both unused is repeatedly added,
+// invalidating used endpoints lazily. ⌊k/2⌋ pairs are selected; for odd k
+// the last place is the unused one with the largest contribution to the
+// current R (the paper allows an arbitrary choice here). Complexity
+// O(K² log K²); a 2-approximation under the Theorem 8.2 condition.
+func ABP(ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	k := p.K
+	if k == 1 {
+		best := 0
+		for i := 1; i < n; i++ {
+			if ss.Places[i].Rel > ss.Places[best].Rel {
+				best = i
+			}
+		}
+		r := []int{best}
+		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+	}
+
+	type pair struct {
+		i, j  int32
+		score float64
+	}
+	ps := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ps = append(ps, pair{int32(i), int32(j), ss.PairHPF(i, j, k, p.Lambda)})
+		}
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].score > ps[b].score })
+
+	r := make([]int, 0, k)
+	used := make([]bool, n)
+	for _, pr := range ps {
+		if len(r)+2 > k {
+			break
+		}
+		// Lazy invalidation: skip pairs touching an already selected place.
+		if used[pr.i] || used[pr.j] {
+			continue
+		}
+		used[pr.i], used[pr.j] = true, true
+		r = append(r, int(pr.i), int(pr.j))
+	}
+	if len(r) < k {
+		// Odd k: add the unused place contributing most to the current R.
+		bi := -1
+		var bc float64
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			var c float64
+			for _, j := range r {
+				c += ss.PairHPF(i, j, k, p.Lambda)
+			}
+			if bi < 0 || c > bc {
+				bi, bc = i, c
+			}
+		}
+		r = append(r, bi)
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}

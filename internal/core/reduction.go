@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// IndependentSetInstance performs the polynomial reduction of Theorem 4.1:
+// it converts an undirected graph (adjacency lists over vertices 0..n−1)
+// into an instance of the proportional selection problem such that, with
+// λ = 1 and γ = 0, the k-subset maximising HPF(R) restricted to the first
+// n places is a k-independent set of the graph whenever one exists.
+//
+// Construction: every vertex becomes a place whose context holds one item
+// per incident edge; vertices below the maximum degree d are padded with
+// new places (one shared item with the vertex plus d−1 unique items) so
+// that every original place has exactly d context items and the same
+// maximal pCS score. The first len(adj) returned places correspond to the
+// graph's vertices in order.
+func IndependentSetInstance(adj [][]int, dict *textctx.Dict) ([]Place, error) {
+	n := len(adj)
+	if dict == nil {
+		dict = textctx.NewDict()
+	}
+	// Validate symmetry and compute degrees.
+	deg := make([]int, n)
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("core: edge (%d, %d) out of range", u, v)
+			}
+			if v == u {
+				return nil, fmt.Errorf("core: self-loop at vertex %d", u)
+			}
+			deg[u]++
+		}
+	}
+	d := 0
+	for _, dg := range deg {
+		if dg > d {
+			d = dg
+		}
+	}
+
+	ctx := make([][]string, n)
+	for u, nbrs := range adj {
+		for _, v := range nbrs {
+			a, b := u, v
+			if a > b {
+				a, b = b, a
+			}
+			ctx[u] = append(ctx[u], fmt.Sprintf("e_%d_%d", a, b))
+		}
+	}
+
+	places := make([]Place, 0, n)
+	loc := geo.Pt(0, 0) // locations are irrelevant under γ = 0
+	for u := 0; u < n; u++ {
+		places = append(places, Place{
+			ID:      fmt.Sprintf("v%d", u),
+			Loc:     loc,
+			Rel:     1,
+			Context: textctx.NewSetFromStrings(dict, ctx[u]),
+		})
+	}
+	// Pad every vertex with degree < d with d−deg(u) new places, each
+	// sharing exactly one element with u and carrying d−1 unique ones.
+	for u := 0; u < n; u++ {
+		for t := deg[u]; t < d; t++ {
+			items := []string{fmt.Sprintf("pad_%d_%d", u, t)}
+			for x := 0; x < d-1; x++ {
+				items = append(items, fmt.Sprintf("uniq_%d_%d_%d", u, t, x))
+			}
+			places[u].Context = textctx.NewSetFromStrings(dict,
+				append(places[u].Context.Words(dict), items[0]))
+			places = append(places, Place{
+				ID:      fmt.Sprintf("pad%d_%d", u, t),
+				Loc:     loc,
+				Rel:     1,
+				Context: textctx.NewSetFromStrings(dict, items),
+			})
+		}
+	}
+	return places, nil
+}

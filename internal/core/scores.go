@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/pairs"
+	"repro/internal/textctx"
+)
+
+// SpatialMethod selects how Step 1 computes the spatial similarities.
+type SpatialMethod int
+
+const (
+	// SpatialExact computes sS for every pair directly (the baseline of
+	// Section 7, ~20 operations per pair).
+	SpatialExact SpatialMethod = iota
+	// SpatialSquaredGrid approximates points by squared-grid cell centres
+	// (Section 7.1.1) with precomputed cell-centre similarities.
+	SpatialSquaredGrid
+	// SpatialRadialGrid approximates points by radial-grid sector
+	// representatives (Section 7.1.2).
+	SpatialRadialGrid
+	// SpatialCustom delegates to ScoreOptions.CustomSpatial — e.g. a
+	// road-network scorer (the paper's future-work extension).
+	SpatialCustom
+)
+
+// String implements fmt.Stringer.
+func (m SpatialMethod) String() string {
+	switch m {
+	case SpatialExact:
+		return "exact"
+	case SpatialSquaredGrid:
+		return "squared-grid"
+	case SpatialRadialGrid:
+		return "radial-grid"
+	case SpatialCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("SpatialMethod(%d)", int(m))
+	}
+}
+
+// ScoreOptions configures Step 1 of the framework.
+type ScoreOptions struct {
+	// Contextual is the all-pairs Jaccard engine; nil means msJh, the
+	// paper's recommended choice.
+	Contextual textctx.JaccardEngine
+	// Spatial selects exact or grid-based spatial similarity.
+	Spatial SpatialMethod
+	// GridCells is |G| (or |R| for the radial grid); 0 means ≈ K, the
+	// paper's recommended setting.
+	GridCells int
+	// SquaredTable optionally supplies precomputed cell-centre scores.
+	SquaredTable *grid.SquaredTable
+	// RadialTable optionally supplies precomputed sector scores.
+	RadialTable *grid.RadialTable
+	// Gamma is the weight γ of spatial vs contextual similarity (Eq. 8,
+	// 13); the paper's default is 0.5.
+	Gamma float64
+	// CustomSpatial supplies the pairwise spatial similarity matrix when
+	// Spatial is SpatialCustom. It must return an n×n matrix with values
+	// in [0, 1]; pSS is derived from its row sums. Used to swap Euclidean
+	// Ptolemy similarity for alternatives such as road-network distance.
+	CustomSpatial func(q geo.Point, places []Place) (*pairs.Matrix, error)
+}
+
+// ScoreSet is the Step-1 output: every per-place and pairwise score the
+// greedy algorithms need, computed once and reused (Section 5).
+type ScoreSet struct {
+	// Places is the retrieved set S in scoring order.
+	Places []Place
+	// Q is the query location.
+	Q geo.Point
+	// Gamma is the γ the combined scores were built with.
+	Gamma float64
+	// PCS[i] is pCS(p_i) (Eq. 3); PSS[i] is pSS(p_i) (Eq. 6).
+	PCS, PSS []float64
+	// PFS[i] is pFS(p_i) = (1−γ)·pCS + γ·pSS (Eq. 11).
+	PFS []float64
+	// SC and SS are the pairwise contextual and spatial similarity
+	// caches; SF is the γ-weighted combination (Eq. 13).
+	SC, SS, SF *pairs.Matrix
+}
+
+// K returns |S|, the number of scored places.
+func (ss *ScoreSet) K() int { return len(ss.Places) }
+
+// ComputeScores runs Step 1 of the framework: it computes the pairwise
+// contextual and spatial similarities of all places with the configured
+// engines, caches them, and derives the pCS, pSS and pFS vectors.
+func ComputeScores(q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("core: invalid query location %v", q)
+	}
+	for i := range places {
+		if err := places[i].Validate(); err != nil {
+			return nil, fmt.Errorf("place %d: %w", i, err)
+		}
+	}
+	if opt.Gamma < 0 || opt.Gamma > 1 || opt.Gamma != opt.Gamma {
+		return nil, fmt.Errorf("core: γ = %v outside [0, 1]", opt.Gamma)
+	}
+	engine := opt.Contextual
+	if engine == nil {
+		engine = textctx.MSJHEngine{}
+	}
+
+	sets := make([]textctx.Set, len(places))
+	pts := make([]geo.Point, len(places))
+	for i := range places {
+		sets[i] = places[i].Context
+		pts[i] = places[i].Loc
+	}
+
+	sc := engine.AllPairs(sets)
+
+	cells := opt.GridCells
+	if cells <= 0 {
+		cells = len(places) // the paper's |G| ≈ K rule
+	}
+	var sp *pairs.Matrix
+	var pss []float64
+	switch opt.Spatial {
+	case SpatialExact:
+		pss, sp = grid.PSSBaseline(q, pts)
+	case SpatialSquaredGrid:
+		g, err := grid.NewSquared(q, pts, cells)
+		if err != nil {
+			return nil, err
+		}
+		pss = g.PSS(opt.SquaredTable)
+		sp = g.ApproxAllPairs(opt.SquaredTable)
+	case SpatialRadialGrid:
+		g, err := grid.NewRadial(q, pts, cells)
+		if err != nil {
+			return nil, err
+		}
+		pss = g.PSS(opt.RadialTable)
+		sp = g.ApproxAllPairs(opt.RadialTable)
+	case SpatialCustom:
+		if opt.CustomSpatial == nil {
+			return nil, fmt.Errorf("core: SpatialCustom requires CustomSpatial")
+		}
+		var err error
+		if sp, err = opt.CustomSpatial(q, places); err != nil {
+			return nil, err
+		}
+		if sp == nil || sp.N() != len(places) {
+			return nil, fmt.Errorf("core: CustomSpatial returned a matrix of wrong size")
+		}
+		pss = sp.RowSums()
+	default:
+		return nil, fmt.Errorf("core: unknown spatial method %v", opt.Spatial)
+	}
+
+	pcs := sc.RowSums()
+	pfs := make([]float64, len(places))
+	for i := range pfs {
+		pfs[i] = (1-opt.Gamma)*pcs[i] + opt.Gamma*pss[i]
+	}
+	return &ScoreSet{
+		Places: places,
+		Q:      q,
+		Gamma:  opt.Gamma,
+		PCS:    pcs,
+		PSS:    pss,
+		PFS:    pfs,
+		SC:     sc,
+		SS:     sp,
+		SF:     pairs.Combine(sc, sp, 1-opt.Gamma, opt.Gamma),
+	}, nil
+}
+
+// SF returns the combined similarity sF(p_i, p_j) (Eq. 13).
+func (ss *ScoreSet) sf(i, j int) float64 { return ss.SF.At(i, j) }
+
+// PairHPF returns the pairwise holistic score HPF(p_i, p_j) of Eq. 15 for
+// result size k and weight λ. It requires k ≥ 2 (the formula divides by
+// k−1); selection of a single place degenerates to ranking by rF.
+func (ss *ScoreSet) PairHPF(i, j, k int, lambda float64) float64 {
+	K := len(ss.Places)
+	kf := float64(k - 1)
+	rel := (1 - lambda) * float64(K-k) * (ss.Places[i].Rel + ss.Places[j].Rel) / kf
+	prop := lambda * ((ss.PFS[i]+ss.PFS[j])/kf - 2*ss.sf(i, j))
+	return rel + prop
+}
+
+// PlaceHPF returns the per-place holistic score HPF(p_i) of Eq. 9 w.r.t.
+// the (partial) result set R, using the identity
+// HPF(p_i) = (1−λ)(K−k)·rF(p_i) + λ·(pFS(p_i) − pFR(p_i)).
+func (ss *ScoreSet) PlaceHPF(i int, r []int, k int, lambda float64) float64 {
+	K := len(ss.Places)
+	var pfr float64
+	for _, j := range r {
+		if j != i {
+			pfr += ss.sf(i, j)
+		}
+	}
+	return (1-lambda)*float64(K-k)*ss.Places[i].Rel + lambda*(ss.PFS[i]-pfr)
+}
+
+// Evaluate computes HPF(R) (Eq. 10) for the candidate subset r, together
+// with the Figure-11 breakdown. The subset's size is used as k.
+func (ss *ScoreSet) Evaluate(r []int, lambda float64) Breakdown {
+	K := len(ss.Places)
+	k := len(r)
+	var b Breakdown
+	for _, i := range r {
+		b.Rel += ss.Places[i].Rel
+		var scr, ssr float64
+		for _, j := range r {
+			if j != i {
+				scr += ss.SC.At(i, j)
+				ssr += ss.SS.At(i, j)
+			}
+		}
+		b.PC += ss.PCS[i] - scr // pC(p_i) = pCS − pCR (Eq. 2)
+		b.PS += ss.PSS[i] - ssr // pS(p_i) = pSS − pSR (Eq. 5)
+	}
+	b.Rel *= float64(K - k)
+	b.Total = (1-lambda)*b.Rel + lambda*((1-ss.Gamma)*b.PC+ss.Gamma*b.PS)
+	return b
+}
+
+// EvaluatePairwise computes HPF(R) through the pairwise decomposition
+// Σ_{p_i≠p_j∈R} HPF(p_i, p_j); by construction of Eq. 15 it equals
+// Evaluate(r).Total for |r| ≥ 2. Exposed for testing the identity.
+func (ss *ScoreSet) EvaluatePairwise(r []int, lambda float64) float64 {
+	var total float64
+	for a := 0; a < len(r); a++ {
+		for b := a + 1; b < len(r); b++ {
+			total += ss.PairHPF(r[a], r[b], len(r), lambda)
+		}
+	}
+	return total
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Algorithm names a selection algorithm for dispatch from configuration
+// or command-line flags.
+type Algorithm string
+
+// The registered selection algorithms.
+const (
+	AlgABP      Algorithm = "abp"       // proportional, best-pair greedy (recommended)
+	AlgIAdU     Algorithm = "iadu"      // proportional, incremental-add greedy
+	AlgIAdUHeap Algorithm = "iadu-heap" // IAdU with heap-based selection
+	AlgABPEager Algorithm = "abp-eager" // ABP with eager pair invalidation
+	AlgTopK     Algorithm = "topk"      // top-k by relevance (S_k baseline)
+	AlgABPDiv   Algorithm = "abp-div"   // diversification-only ABP (ABP_D)
+	AlgIAdUDiv  Algorithm = "iadu-div"  // diversification-only IAdU
+	AlgExact    Algorithm = "exact"     // brute force (small instances only)
+)
+
+var registry = map[Algorithm]func(*ScoreSet, Params) (Selection, error){
+	AlgABP:      ABP,
+	AlgIAdU:     IAdU,
+	AlgIAdUHeap: IAdUHeap,
+	AlgABPEager: ABPEager,
+	AlgTopK:     TopK,
+	AlgABPDiv:   ABPDiv,
+	AlgIAdUDiv:  IAdUDiv,
+	AlgExact:    Exact,
+}
+
+// Algorithms lists the registered algorithm names, sorted.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, 0, len(registry))
+	for a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Select runs the named algorithm on the score set.
+func Select(alg Algorithm, ss *ScoreSet, p Params) (Selection, error) {
+	f, ok := registry[alg]
+	if !ok {
+		return Selection{}, fmt.Errorf("core: unknown algorithm %q (have %v)", alg, Algorithms())
+	}
+	return f(ss, p)
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestIAdUHeapMatchesArray: the heap-based IAdU must achieve the same HPF
+// as the array-scan version (selections can differ only on exact ties).
+func TestIAdUHeapMatchesArray(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q := geo.Pt(0, 0)
+		rng := rand.New(rand.NewSource(seed))
+		places := makePlaces(rng, q, 50, 10, 40, 0.2)
+		ss := mustScores(t, q, places, ScoreOptions{Gamma: 0.5})
+		for _, k := range []int{1, 2, 5, 10} {
+			p := Params{K: k, Lambda: 0.5, Gamma: 0.5}
+			a, err := IAdU(ss, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h, err := IAdUHeap(ss, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			selectionOK(t, "IAdUHeap", h, k, ss.K())
+			if !almostEqual(a.HPF, h.HPF, 1e-9*(1+a.HPF)) {
+				t.Errorf("seed %d k=%d: array HPF %g vs heap HPF %g", seed, k, a.HPF, h.HPF)
+			}
+		}
+	}
+}
+
+// TestABPEagerMatchesLazy: eager compaction must select the same pairs as
+// lazy skipping (same sort order, same greedy choices).
+func TestABPEagerMatchesLazy(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		q := geo.Pt(0, 0)
+		rng := rand.New(rand.NewSource(100 + seed))
+		places := makePlaces(rng, q, 40, 10, 40, 0.2)
+		ss := mustScores(t, q, places, ScoreOptions{Gamma: 0.5})
+		for _, k := range []int{2, 3, 6, 11} {
+			p := Params{K: k, Lambda: 0.5, Gamma: 0.5}
+			a, err := ABP(ss, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, err := ABPEager(ss, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			as := append([]int(nil), a.Indices...)
+			es := append([]int(nil), e.Indices...)
+			sort.Ints(as)
+			sort.Ints(es)
+			if !equalInts(as, es) {
+				// Pair-sort ties can reorder equal-score pairs; fall back
+				// to comparing achieved HPF.
+				if !almostEqual(a.HPF, e.HPF, 1e-9*(1+a.HPF)) {
+					t.Errorf("seed %d k=%d: lazy %v (%g) vs eager %v (%g)",
+						seed, k, as, a.HPF, es, e.HPF)
+				}
+			}
+		}
+	}
+}
+
+func TestVariantValidation(t *testing.T) {
+	ss := defaultScoreSet(t, 10, 3)
+	for _, alg := range []func(*ScoreSet, Params) (Selection, error){IAdUHeap, ABPEager} {
+		if _, err := alg(ss, Params{K: 0, Lambda: 0.5}); err == nil {
+			t.Error("variant accepted k = 0")
+		}
+		if _, err := alg(ss, Params{K: 10, Lambda: 0.5}); err == nil {
+			t.Error("variant accepted k = K")
+		}
+	}
+}
+
+func TestVariantK1(t *testing.T) {
+	ss := defaultScoreSet(t, 10, 5)
+	p := Params{K: 1, Lambda: 0.5, Gamma: 0.5}
+	h, err := IAdUHeap(ss, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ABPEager(ss, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i := range ss.Places {
+		if ss.Places[i].Rel > ss.Places[best].Rel {
+			best = i
+		}
+	}
+	if h.Indices[0] != best {
+		t.Errorf("IAdUHeap k=1 picked %d, want %d", h.Indices[0], best)
+	}
+	if len(e.Indices) != 1 {
+		t.Errorf("ABPEager k=1 size %d", len(e.Indices))
+	}
+}
+
+func BenchmarkIAdUArrayK400(b *testing.B) { benchGreedy(b, IAdU, 400, 10) }
+func BenchmarkIAdUHeapK400(b *testing.B)  { benchGreedy(b, IAdUHeap, 400, 10) }
+func BenchmarkABPLazyK400(b *testing.B)   { benchGreedy(b, ABP, 400, 10) }
+func BenchmarkABPEagerK400(b *testing.B)  { benchGreedy(b, ABPEager, 400, 10) }

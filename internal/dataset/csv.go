@@ -1,0 +1,125 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/irtree"
+	"repro/internal/textctx"
+)
+
+// LoadCSV builds a queryable Dataset from user-supplied CSV place data,
+// so the framework can run on real POI exports. Expected header:
+//
+//	label,x,y,tags
+//
+// where tags is a ;-separated list of contextual items. Extra columns are
+// ignored; column order is taken from the header. The returned dataset
+// has no RDF graph (contexts come directly from the tags).
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv header: %w", err)
+	}
+	col := map[string]int{}
+	for i, h := range header {
+		col[strings.TrimSpace(strings.ToLower(h))] = i
+	}
+	for _, need := range []string{"label", "x", "y", "tags"} {
+		if _, ok := col[need]; !ok {
+			return nil, fmt.Errorf("dataset: csv missing column %q (header %v)", need, header)
+		}
+	}
+
+	dict := textctx.NewDict()
+	var places []PlaceRecord
+	var minX, minY, maxX, maxY float64
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		get := func(name string) string {
+			i := col[name]
+			if i >= len(rec) {
+				return ""
+			}
+			return strings.TrimSpace(rec[i])
+		}
+		x, errX := strconv.ParseFloat(get("x"), 64)
+		y, errY := strconv.ParseFloat(get("y"), 64)
+		if errX != nil || errY != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: bad coordinates %q, %q", line, get("x"), get("y"))
+		}
+		loc := geo.Pt(x, y)
+		if !loc.Valid() {
+			return nil, fmt.Errorf("dataset: csv line %d: non-finite coordinates", line)
+		}
+		var tags []string
+		for _, t := range strings.Split(get("tags"), ";") {
+			if t = strings.TrimSpace(t); t != "" {
+				tags = append(tags, t)
+			}
+		}
+		if len(places) == 0 {
+			minX, maxX, minY, maxY = x, x, y, y
+		} else {
+			minX, maxX = minf(minX, x), maxf(maxX, x)
+			minY, maxY = minf(minY, y), maxf(maxY, y)
+		}
+		places = append(places, PlaceRecord{
+			Label:   get("label"),
+			Loc:     loc,
+			Context: textctx.NewSetFromStrings(dict, tags),
+		})
+	}
+	if len(places) == 0 {
+		return nil, fmt.Errorf("dataset: csv has no data rows")
+	}
+
+	extent := maxf(maxX-minX, maxY-minY)
+	if extent == 0 {
+		extent = 1
+	}
+	objs := make([]irtree.Object, len(places))
+	for i, p := range places {
+		objs[i] = irtree.Object{ID: int32(i), Loc: p.Loc, Terms: p.Context}
+	}
+	idx, err := irtree.BulkLoad(objs)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{
+		Config: Config{Name: name, Places: len(places), Extent: extent,
+			AttrEntities: dict.Len(), TriplesPerPlace: 1, ZipfS: 1.1,
+			Clusters: 1, ClusterAffinity: 0},
+		Dict:   dict,
+		Places: places,
+		Index:  idx,
+	}, nil
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

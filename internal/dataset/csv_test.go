@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+const sampleCSV = `label,x,y,tags
+Swedish History Museum,2.0,1.0,history;museum;viking
+The Nordic Museum,2.2,0.8,history;museum;nordic
+ABBA The Museum,2.4,0.6,music;museum
+Nobel Museum,-1.0,-0.5,science;museum
+City Park,0.0,3.0,park;garden
+`
+
+func TestLoadCSV(t *testing.T) {
+	d, err := LoadCSV(strings.NewReader(sampleCSV), "stockholm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Places) != 5 {
+		t.Fatalf("places = %d", len(d.Places))
+	}
+	if d.Config.Name != "stockholm" {
+		t.Errorf("name = %q", d.Config.Name)
+	}
+	if d.Index.Len() != 5 {
+		t.Errorf("index size = %d", d.Index.Len())
+	}
+	if d.Places[0].Label != "Swedish History Museum" || d.Places[0].Loc != geo.Pt(2, 1) {
+		t.Errorf("first place = %+v", d.Places[0])
+	}
+	if got := d.Places[0].Context.Len(); got != 3 {
+		t.Errorf("first place |C| = %d", got)
+	}
+	// The loaded dataset must be queryable end to end.
+	kw1, _ := d.Dict.Lookup("museum")
+	kw2, _ := d.Dict.Lookup("history")
+	places, err := d.Retrieve(Query{Loc: geo.Pt(2, 1), Keywords: textctx.NewSet(kw1, kw2)}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(places) != 4 {
+		t.Fatalf("retrieved %d", len(places))
+	}
+	if places[0].ID != "Swedish History Museum" {
+		t.Errorf("top result = %q", places[0].ID)
+	}
+}
+
+func TestLoadCSVColumnOrderAndExtras(t *testing.T) {
+	csvData := "x,extra,tags,y,label\n1.5,ignored,a;b,2.5,P\n"
+	d, err := LoadCSV(strings.NewReader(csvData), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Places[0].Loc != geo.Pt(1.5, 2.5) || d.Places[0].Label != "P" {
+		t.Errorf("place = %+v", d.Places[0])
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing column": "label,x,y\nA,1,2\n",
+		"bad coords":     "label,x,y,tags\nA,abc,2,t\n",
+		"no rows":        "label,x,y,tags\n",
+		"empty":          "",
+		"inf coords":     "label,x,y,tags\nA,1e999,2,t\n",
+	}
+	for name, data := range cases {
+		if _, err := LoadCSV(strings.NewReader(data), "t"); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// smallConfig keeps generation fast in tests.
+func smallConfig(seed int64) Config {
+	c := DBpediaLike(seed)
+	c.Places = 400
+	c.AttrEntities = 300
+	return c
+}
+
+func mustGenerate(t testing.TB, cfg Config) *Dataset {
+	t.Helper()
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},
+		{Places: 10},
+		{Places: 10, AttrEntities: 5},
+		{Places: 10, AttrEntities: 5, TriplesPerPlace: 3, ZipfS: 0.5, Clusters: 2, Extent: 10},
+		{Places: 10, AttrEntities: 5, TriplesPerPlace: 3, ZipfS: 1.2, Clusters: 0, Extent: 10},
+		{Places: 10, AttrEntities: 5, TriplesPerPlace: 3, ZipfS: 1.2, Clusters: 2, Extent: -1},
+		{Places: 10, AttrEntities: 5, TriplesPerPlace: 3, ZipfS: 1.2, Clusters: 2, Extent: 10, ClusterAffinity: 2},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	cfg := smallConfig(1)
+	d := mustGenerate(t, cfg)
+	if len(d.Places) != cfg.Places {
+		t.Fatalf("places = %d, want %d", len(d.Places), cfg.Places)
+	}
+	if d.Index.Len() != cfg.Places {
+		t.Fatalf("index size = %d", d.Index.Len())
+	}
+	st := d.Graph.Stats()
+	if st.SpatialEntities != cfg.Places {
+		t.Errorf("spatial entities = %d", st.SpatialEntities)
+	}
+	if st.Triples != cfg.Places*cfg.TriplesPerPlace {
+		t.Errorf("triples = %d, want %d", st.Triples, cfg.Places*cfg.TriplesPerPlace)
+	}
+	// Contexts are non-empty and bounded by TriplesPerPlace distinct items.
+	for i, p := range d.Places {
+		if p.Context.Len() == 0 {
+			t.Fatalf("place %d has empty context", i)
+		}
+		if p.Context.Len() > cfg.TriplesPerPlace {
+			t.Fatalf("place %d context size %d > %d", i, p.Context.Len(), cfg.TriplesPerPlace)
+		}
+		if p.Loc.X < 0 || p.Loc.X > cfg.Extent || p.Loc.Y < 0 || p.Loc.Y > cfg.Extent {
+			t.Fatalf("place %d outside the world: %v", i, p.Loc)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := mustGenerate(t, smallConfig(7))
+	b := mustGenerate(t, smallConfig(7))
+	for i := range a.Places {
+		if a.Places[i].Loc != b.Places[i].Loc || !a.Places[i].Context.Equal(b.Places[i].Context) {
+			t.Fatalf("place %d differs across same-seed generations", i)
+		}
+	}
+	c := mustGenerate(t, smallConfig(8))
+	same := true
+	for i := range a.Places {
+		if a.Places[i].Loc != c.Places[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical locations")
+	}
+}
+
+// TestContextsOverlapWithinClusters checks the generator produces the
+// spatial-contextual correlation the proportionality problem needs:
+// places near each other share more context than distant ones.
+func TestContextsOverlapWithinClusters(t *testing.T) {
+	d := mustGenerate(t, smallConfig(3))
+	rng := rand.New(rand.NewSource(4))
+	var nearSum, farSum float64
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		p := d.Places[rng.Intn(len(d.Places))]
+		nbrs := d.Index.NearestK(p.Loc, 4)
+		near := d.Places[nbrs[len(nbrs)-1].Obj.ID]
+		far := d.Places[rng.Intn(len(d.Places))]
+		nearSum += p.Context.Jaccard(near.Context)
+		farSum += p.Context.Jaccard(far.Context)
+	}
+	if nearSum <= farSum {
+		t.Errorf("no spatial-contextual correlation: near %g vs far %g",
+			nearSum/trials, farSum/trials)
+	}
+}
+
+func TestGenQueries(t *testing.T) {
+	d := mustGenerate(t, smallConfig(5))
+	qs, err := d.GenQueries(10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 10 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for i, q := range qs {
+		if !q.Loc.Valid() {
+			t.Errorf("query %d invalid location", i)
+		}
+		if q.Keywords.Len() == 0 {
+			t.Errorf("query %d has no keywords", i)
+		}
+	}
+	if _, err := d.GenQueries(5, 10_000, 1); err == nil {
+		t.Error("impossible minResults accepted")
+	}
+}
+
+func TestRetrieve(t *testing.T) {
+	d := mustGenerate(t, smallConfig(9))
+	qs, err := d.GenQueries(5, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		places, err := d.Retrieve(q, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(places) != 100 {
+			t.Fatalf("retrieved %d places", len(places))
+		}
+		for i, p := range places {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("place %d: %v", i, err)
+			}
+			if i > 0 && p.Rel > places[i-1].Rel+1e-12 {
+				t.Fatal("results not sorted by relevance")
+			}
+		}
+		// The most relevant place should actually match some keyword or
+		// be close: rel must be clearly positive.
+		if places[0].Rel <= 0.3 {
+			t.Errorf("top result suspiciously irrelevant: rF = %g", places[0].Rel)
+		}
+	}
+	if _, err := d.Retrieve(Query{Loc: geo.Pt(0, 0)}, 0); err == nil {
+		t.Error("K = 0 accepted")
+	}
+}
+
+func TestAdjustContextSizes(t *testing.T) {
+	d := mustGenerate(t, smallConfig(11))
+	qs, err := d.GenQueries(1, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	places, err := d.Retrieve(qs[0], 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{3, 12, 40, 100} {
+		adj := d.AdjustContextSizes(places, size, 1)
+		if len(adj) != len(places) {
+			t.Fatalf("size %d: wrong length", size)
+		}
+		for i, p := range adj {
+			if p.Context.Len() != size {
+				t.Fatalf("size %d: place %d has |C| = %d", size, i, p.Context.Len())
+			}
+			if p.Loc != places[i].Loc || p.Rel != places[i].Rel {
+				t.Fatal("AdjustContextSizes mutated location or relevance")
+			}
+		}
+		// Originals untouched.
+		for i := range places {
+			if places[i].Context.Len() == size && size > 40 {
+				t.Fatalf("original context %d mutated", i)
+			}
+		}
+	}
+}
+
+// TestAdjustedContextsKeepOverlap: enrichment must preserve a realistic
+// overlap structure, not produce disjoint padded sets.
+func TestAdjustedContextsKeepOverlap(t *testing.T) {
+	d := mustGenerate(t, smallConfig(13))
+	qs, _ := d.GenQueries(1, 100, 5)
+	places, _ := d.Retrieve(qs[0], 60)
+	adj := d.AdjustContextSizes(places, 30, 2)
+	var overlaps int
+	for i := 0; i < len(adj); i++ {
+		for j := i + 1; j < len(adj); j++ {
+			if adj[i].Context.IntersectionSize(adj[j].Context) > 0 {
+				overlaps++
+			}
+		}
+	}
+	if overlaps == 0 {
+		t.Error("enriched contexts are pairwise disjoint")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := mustGenerate(t, smallConfig(17))
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Places) != len(d.Places) {
+		t.Fatalf("loaded %d places, want %d", len(d2.Places), len(d.Places))
+	}
+	for i := range d.Places {
+		if d.Places[i].Loc != d2.Places[i].Loc ||
+			d.Places[i].Label != d2.Places[i].Label ||
+			!d.Places[i].Context.Equal(d2.Places[i].Context) {
+			t.Fatalf("place %d differs after round trip", i)
+		}
+	}
+	// The loaded dataset must be queryable.
+	qs, err := d2.GenQueries(2, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Retrieve(qs[0], 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a dataset"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestUniformAndGaussianPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := geo.Pt(5, 5)
+	u := UniformPoints(rng, q, 200, 3)
+	if len(u) != 200 {
+		t.Fatal("wrong count")
+	}
+	for _, p := range u {
+		if p.X < 2 || p.X > 8 || p.Y < 2 || p.Y > 8 {
+			t.Fatalf("uniform point %v outside radius", p)
+		}
+	}
+	g := GaussianPoints(rng, q, 200, 0.25)
+	var within float64
+	for _, p := range g {
+		if p.Dist(q) < 0.75 { // 3σ
+			within++
+		}
+	}
+	if within/200 < 0.9 {
+		t.Errorf("only %g%% of Gaussian points within 3σ", within/2)
+	}
+}
+
+func TestYago2LikePreset(t *testing.T) {
+	cfg := Yago2Like(1)
+	cfg.Places = 300
+	cfg.AttrEntities = 300
+	d := mustGenerate(t, cfg)
+	if d.Config.Name != "yago2-like" {
+		t.Error("wrong preset name")
+	}
+	if len(d.Places) != 300 {
+		t.Error("wrong place count")
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cfg := smallConfig(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRetrieveK100(b *testing.B) {
+	d := mustGenerate(b, smallConfig(1))
+	qs, err := d.GenQueries(1, 100, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.Retrieve(qs[0], 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/irtree"
+	"repro/internal/textctx"
+)
+
+// fileVersion guards the on-disk format.
+const fileVersion = 1
+
+// filePlace is the serialisable form of one place.
+type filePlace struct {
+	Label   string
+	X, Y    float64
+	Context []int32
+}
+
+// fileFormat is the gob payload. The RDF graph is not persisted — it is
+// fully determined by Config.Seed and regenerable via Generate — but the
+// derived places, contexts and dictionary are, so a loaded dataset can be
+// queried without regeneration.
+type fileFormat struct {
+	Version int
+	Config  Config
+	Words   []string
+	Places  []filePlace
+}
+
+// Save writes the dataset to w in a self-contained binary format.
+func (d *Dataset) Save(w io.Writer) error {
+	ff := fileFormat{Version: fileVersion, Config: d.Config}
+	ff.Words = make([]string, d.Dict.Len())
+	for i := range ff.Words {
+		ff.Words[i] = d.Dict.Word(textctx.ItemID(i))
+	}
+	ff.Places = make([]filePlace, len(d.Places))
+	for i, p := range d.Places {
+		fp := filePlace{Label: p.Label, X: p.Loc.X, Y: p.Loc.Y}
+		for _, it := range p.Context.Items() {
+			fp.Context = append(fp.Context, int32(it))
+		}
+		ff.Places[i] = fp
+	}
+	return gob.NewEncoder(w).Encode(ff)
+}
+
+// Load reads a dataset written by Save. The returned dataset has a
+// rebuilt IR-tree but no RDF graph (Graph is nil); regenerate with
+// Generate(d.Config) when graph access is needed.
+func Load(r io.Reader) (*Dataset, error) {
+	var ff fileFormat
+	if err := gob.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if ff.Version != fileVersion {
+		return nil, fmt.Errorf("dataset: unsupported file version %d", ff.Version)
+	}
+	dict := textctx.NewDict()
+	for _, w := range ff.Words {
+		dict.Intern(w)
+	}
+	d := &Dataset{Config: ff.Config, Dict: dict}
+	objs := make([]irtree.Object, len(ff.Places))
+	for i, fp := range ff.Places {
+		ids := make([]textctx.ItemID, len(fp.Context))
+		for j, c := range fp.Context {
+			ids[j] = textctx.ItemID(c)
+		}
+		rec := PlaceRecord{
+			Label:   fp.Label,
+			Context: textctx.NewSet(ids...),
+		}
+		rec.Loc.X, rec.Loc.Y = fp.X, fp.Y
+		d.Places = append(d.Places, rec)
+		objs[i] = irtree.Object{ID: int32(i), Loc: rec.Loc, Terms: rec.Context}
+	}
+	idx, err := irtree.BulkLoad(objs)
+	if err != nil {
+		return nil, err
+	}
+	d.Index = idx
+	return d, nil
+}

@@ -1,0 +1,244 @@
+// Package geosocial implements a geo-social retrieval substrate in the
+// style of Geo-Social Keyword Search (Ahuja, Armenatzoglou, Papadias &
+// Fakas, SSTD 2015), which the paper cites as one source of its relevance
+// model, and matching the paper's motivating data sources (Gowalla-style
+// check-in networks). Users form a friendship graph and check in at
+// places; the relevance of a place to a (user, location, keywords) query
+// combines textual match, spatial proximity, and social affinity — how
+// much the querying user's friends (and friends of friends) favour the
+// place. The retrieved set feeds the proportionality framework unchanged.
+package geosocial
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// UserID identifies a user in the social network.
+type UserID int32
+
+// PlaceID identifies a place.
+type PlaceID int32
+
+// Place is a checked-in venue with a tag context.
+type Place struct {
+	ID   PlaceID
+	Name string
+	Loc  geo.Point
+	Tags textctx.Set
+}
+
+// Network is a geo-social network: users, friendships, places, and
+// check-ins. It is safe for concurrent reads after loading.
+type Network struct {
+	users   int
+	friends [][]UserID
+	places  []Place
+	// checkins[p] lists the users who checked in at place p (with
+	// multiplicity).
+	checkins [][]UserID
+	// userCheckins[u] lists the places u checked in at.
+	userCheckins [][]PlaceID
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{} }
+
+// AddUser adds a user and returns its id.
+func (n *Network) AddUser() UserID {
+	id := UserID(n.users)
+	n.users++
+	n.friends = append(n.friends, nil)
+	n.userCheckins = append(n.userCheckins, nil)
+	return id
+}
+
+// AddFriendship records an undirected friendship between a and b.
+func (n *Network) AddFriendship(a, b UserID) error {
+	if !n.validUser(a) || !n.validUser(b) {
+		return fmt.Errorf("geosocial: friendship (%d, %d) references unknown user", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("geosocial: self-friendship at user %d", a)
+	}
+	n.friends[a] = append(n.friends[a], b)
+	n.friends[b] = append(n.friends[b], a)
+	return nil
+}
+
+// AddPlace registers a venue and returns its id.
+func (n *Network) AddPlace(name string, loc geo.Point, tags textctx.Set) (PlaceID, error) {
+	if !loc.Valid() {
+		return 0, fmt.Errorf("geosocial: invalid location %v for %q", loc, name)
+	}
+	id := PlaceID(len(n.places))
+	n.places = append(n.places, Place{ID: id, Name: name, Loc: loc, Tags: tags})
+	n.checkins = append(n.checkins, nil)
+	return id, nil
+}
+
+// AddCheckin records that u visited p.
+func (n *Network) AddCheckin(u UserID, p PlaceID) error {
+	if !n.validUser(u) {
+		return fmt.Errorf("geosocial: unknown user %d", u)
+	}
+	if !n.validPlace(p) {
+		return fmt.Errorf("geosocial: unknown place %d", p)
+	}
+	n.checkins[p] = append(n.checkins[p], u)
+	n.userCheckins[u] = append(n.userCheckins[u], p)
+	return nil
+}
+
+func (n *Network) validUser(u UserID) bool   { return u >= 0 && int(u) < n.users }
+func (n *Network) validPlace(p PlaceID) bool { return p >= 0 && int(p) < len(n.places) }
+
+// NumUsers returns the number of users.
+func (n *Network) NumUsers() int { return n.users }
+
+// NumPlaces returns the number of places.
+func (n *Network) NumPlaces() int { return len(n.places) }
+
+// Place returns the place with the given id.
+func (n *Network) Place(p PlaceID) (Place, bool) {
+	if !n.validPlace(p) {
+		return Place{}, false
+	}
+	return n.places[p], true
+}
+
+// Friends returns u's friends; the slice must not be modified.
+func (n *Network) Friends(u UserID) []UserID {
+	if !n.validUser(u) {
+		return nil
+	}
+	return n.friends[u]
+}
+
+// Query is a geo-social keyword query.
+type Query struct {
+	// User is the querying user (social affinity is computed from their
+	// neighbourhood).
+	User UserID
+	// Loc is the query location.
+	Loc geo.Point
+	// Keywords is the textual side of the query.
+	Keywords textctx.Set
+}
+
+// Weights are the relevance mixture: rF = Text·J(kw, tags) +
+// Spatial·(1 − dist/maxDist) + Social·affinity. They must be
+// non-negative and sum to 1.
+type Weights struct {
+	Text, Spatial, Social float64
+}
+
+// DefaultWeights weighs the three components equally.
+func DefaultWeights() Weights { return Weights{Text: 1.0 / 3, Spatial: 1.0 / 3, Social: 1.0 / 3} }
+
+func (w Weights) validate() error {
+	if w.Text < 0 || w.Spatial < 0 || w.Social < 0 {
+		return fmt.Errorf("geosocial: negative weight in %+v", w)
+	}
+	if s := w.Text + w.Spatial + w.Social; math.Abs(s-1) > 1e-9 {
+		return fmt.Errorf("geosocial: weights sum to %g, want 1", s)
+	}
+	return nil
+}
+
+// socialAffinity returns, for every place, the normalised check-in mass
+// of u's 1- and 2-hop neighbourhood (friends count double the weight of
+// friends-of-friends).
+func (n *Network) socialAffinity(u UserID) []float64 {
+	aff := make([]float64, len(n.places))
+	if !n.validUser(u) {
+		return aff
+	}
+	weight := make(map[UserID]float64)
+	for _, f := range n.friends[u] {
+		weight[f] += 2
+		for _, ff := range n.friends[f] {
+			if ff != u {
+				weight[ff] += 1
+			}
+		}
+	}
+	var max float64
+	for friend, w := range weight {
+		for _, p := range n.userCheckins[friend] {
+			aff[p] += w
+			if aff[p] > max {
+				max = aff[p]
+			}
+		}
+	}
+	if max > 0 {
+		for i := range aff {
+			aff[i] /= max
+		}
+	}
+	return aff
+}
+
+// Retrieve returns the K most relevant places for q under the weight
+// mixture, as core.Places ready for the proportionality framework.
+// maxDist normalises distances; 0 means the largest distance from q to
+// any place.
+func (n *Network) Retrieve(q Query, K int, w Weights, maxDist float64) ([]core.Place, error) {
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	if !q.Loc.Valid() {
+		return nil, fmt.Errorf("geosocial: invalid query location %v", q.Loc)
+	}
+	if K <= 0 {
+		return nil, fmt.Errorf("geosocial: K = %d must be positive", K)
+	}
+	if len(n.places) == 0 {
+		return nil, fmt.Errorf("geosocial: no places")
+	}
+	if maxDist <= 0 {
+		for _, p := range n.places {
+			if d := p.Loc.Dist(q.Loc); d > maxDist {
+				maxDist = d
+			}
+		}
+		if maxDist == 0 {
+			maxDist = 1
+		}
+	}
+	aff := n.socialAffinity(q.User)
+	type scored struct {
+		idx int
+		rel float64
+	}
+	all := make([]scored, len(n.places))
+	for i, p := range n.places {
+		prox := 1 - p.Loc.Dist(q.Loc)/maxDist
+		if prox < 0 {
+			prox = 0
+		}
+		rel := w.Text*q.Keywords.Jaccard(p.Tags) + w.Spatial*prox + w.Social*aff[i]
+		all[i] = scored{idx: i, rel: rel}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].rel != all[b].rel {
+			return all[a].rel > all[b].rel
+		}
+		return all[a].idx < all[b].idx
+	})
+	if K > len(all) {
+		K = len(all)
+	}
+	out := make([]core.Place, K)
+	for i := 0; i < K; i++ {
+		p := n.places[all[i].idx]
+		out[i] = core.Place{ID: p.Name, Loc: p.Loc, Rel: all[i].rel, Context: p.Tags}
+	}
+	return out, nil
+}

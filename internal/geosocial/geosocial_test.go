@@ -1,0 +1,260 @@
+package geosocial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// gowallaLike builds a miniature check-in network: three friend circles,
+// each favouring a different venue cluster.
+func gowallaLike(t testing.TB) (*Network, *textctx.Dict, []UserID) {
+	t.Helper()
+	n := NewNetwork()
+	d := textctx.NewDict()
+	users := make([]UserID, 12)
+	for i := range users {
+		users[i] = n.AddUser()
+	}
+	// Circles: {0..3}, {4..7}, {8..11}.
+	for c := 0; c < 3; c++ {
+		base := c * 4
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if err := n.AddFriendship(users[base+i], users[base+j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	kinds := []struct {
+		tag string
+		x   float64
+	}{{"coffee", 1}, {"ramen", 5}, {"books", 9}}
+	var places []PlaceID
+	for c, k := range kinds {
+		for i := 0; i < 4; i++ {
+			id, err := n.AddPlace(
+				k.tag+"-"+string(rune('a'+i)),
+				geo.Pt(k.x+float64(i)*0.1, 1),
+				textctx.NewSetFromStrings(d, []string{k.tag, "venue"}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			places = append(places, id)
+			// Circle c checks in heavily at its own cluster.
+			for u := 0; u < 4; u++ {
+				if err := n.AddCheckin(users[c*4+u], id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	_ = places
+	return n, d, users
+}
+
+func TestNetworkValidation(t *testing.T) {
+	n := NewNetwork()
+	u := n.AddUser()
+	if err := n.AddFriendship(u, u); err == nil {
+		t.Error("self-friendship accepted")
+	}
+	if err := n.AddFriendship(u, 99); err == nil {
+		t.Error("unknown friend accepted")
+	}
+	if _, err := n.AddPlace("bad", geo.Pt(math.NaN(), 0), textctx.Set{}); err == nil {
+		t.Error("NaN place accepted")
+	}
+	if err := n.AddCheckin(99, 0); err == nil {
+		t.Error("unknown user check-in accepted")
+	}
+	p, err := n.AddPlace("ok", geo.Pt(0, 0), textctx.Set{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddCheckin(u, p+5); err == nil {
+		t.Error("unknown place check-in accepted")
+	}
+	if _, ok := n.Place(42); ok {
+		t.Error("unknown place found")
+	}
+	if n.Friends(77) != nil {
+		t.Error("unknown user has friends")
+	}
+}
+
+func TestWeightsValidation(t *testing.T) {
+	n, d, users := gowallaLike(t)
+	q := Query{User: users[0], Loc: geo.Pt(5, 1), Keywords: textctx.NewSetFromStrings(d, []string{"venue"})}
+	bad := []Weights{
+		{Text: 0.5, Spatial: 0.5, Social: 0.5},
+		{Text: -0.2, Spatial: 0.6, Social: 0.6},
+	}
+	for _, w := range bad {
+		if _, err := n.Retrieve(q, 5, w, 0); err == nil {
+			t.Errorf("weights %+v accepted", w)
+		}
+	}
+	if _, err := n.Retrieve(q, 0, DefaultWeights(), 0); err == nil {
+		t.Error("K = 0 accepted")
+	}
+	if _, err := n.Retrieve(Query{Loc: geo.Pt(math.Inf(1), 0)}, 5, DefaultWeights(), 0); err == nil {
+		t.Error("invalid location accepted")
+	}
+	if _, err := NewNetwork().Retrieve(q, 5, DefaultWeights(), 0); err == nil {
+		t.Error("empty network accepted")
+	}
+}
+
+// TestSocialAffinityShapesRanking: with an equidistant, equally-matching
+// choice, the querying user's circle pulls the ranking towards the venues
+// their friends frequent.
+func TestSocialAffinityShapesRanking(t *testing.T) {
+	n, d, users := gowallaLike(t)
+	kw := textctx.NewSetFromStrings(d, []string{"venue"})
+	// Query from the middle so every cluster is spatially comparable;
+	// social weight dominates.
+	w := Weights{Text: 0.1, Spatial: 0.1, Social: 0.8}
+	for circle := 0; circle < 3; circle++ {
+		q := Query{User: users[circle*4], Loc: geo.Pt(5, 1), Keywords: kw}
+		got, err := n.Retrieve(q, 4, w, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantTag := []string{"coffee", "ramen", "books"}[circle]
+		for _, p := range got {
+			words := p.Context.Words(d)
+			found := false
+			for _, wd := range words {
+				if wd == wantTag {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("circle %d: top-4 contains %q (%v), want only %s venues",
+					circle, p.ID, words, wantTag)
+			}
+		}
+	}
+}
+
+// TestNoSocialSignalFallsBackToGeoText: a user with no friends ranks by
+// text and proximity only.
+func TestNoSocialSignalFallsBackToGeoText(t *testing.T) {
+	n, d, _ := gowallaLike(t)
+	loner := n.AddUser()
+	kw := textctx.NewSetFromStrings(d, []string{"ramen"})
+	q := Query{User: loner, Loc: geo.Pt(5, 1), Keywords: kw}
+	got, err := n.Retrieve(q, 3, DefaultWeights(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got {
+		if p.Context.Words(d)[0] != "ramen" && !contains(p.Context.Words(d), "ramen") {
+			t.Fatalf("loner's top results should be ramen venues, got %q", p.ID)
+		}
+	}
+}
+
+func contains(words []string, w string) bool {
+	for _, x := range words {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFeedsProportionalSelection: the retrieved geo-social set flows into
+// the proportionality framework end to end.
+func TestFeedsProportionalSelection(t *testing.T) {
+	n, d, users := gowallaLike(t)
+	kw := textctx.NewSetFromStrings(d, []string{"venue"})
+	q := Query{User: users[0], Loc: geo.Pt(5, 1), Keywords: kw}
+	places, err := n.Retrieve(q, 12, DefaultWeights(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.ComputeScores(q.Loc, places, core.ScoreOptions{Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := core.ABP(ss, core.Params{K: 4, Lambda: 0.5, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != 4 {
+		t.Fatalf("|R| = %d", len(sel.Indices))
+	}
+	// A proportional pick over three equal-size clusters must not take
+	// all four from one cluster.
+	tags := map[string]int{}
+	for _, i := range sel.Indices {
+		tags[ss.Places[i].Context.Words(d)[0]]++
+	}
+	for tag, c := range tags {
+		if c == 4 {
+			t.Errorf("selection collapsed onto %s only", tag)
+		}
+	}
+}
+
+// TestRetrieveDeterministic: equal scores break ties by place order.
+func TestRetrieveDeterministic(t *testing.T) {
+	n, d, users := gowallaLike(t)
+	kw := textctx.NewSetFromStrings(d, []string{"venue"})
+	q := Query{User: users[0], Loc: geo.Pt(5, 1), Keywords: kw}
+	a, err := n.Retrieve(q, 6, DefaultWeights(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Retrieve(q, 6, DefaultWeights(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("retrieval not deterministic")
+		}
+	}
+}
+
+func BenchmarkRetrieve(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := NewNetwork()
+	d := textctx.NewDict()
+	users := make([]UserID, 2000)
+	for i := range users {
+		users[i] = n.AddUser()
+	}
+	for i := 0; i < 6000; i++ {
+		a, c := users[rng.Intn(len(users))], users[rng.Intn(len(users))]
+		if a != c {
+			_ = n.AddFriendship(a, c)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		tags := textctx.NewSetFromStrings(d, []string{
+			"tag" + string(rune('a'+i%20)), "venue"})
+		p, err := n.AddPlace("p", geo.Pt(rng.Float64()*100, rng.Float64()*100), tags)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for c := 0; c < 3; c++ {
+			_ = n.AddCheckin(users[rng.Intn(len(users))], p)
+		}
+	}
+	q := Query{User: users[0], Loc: geo.Pt(50, 50), Keywords: textctx.NewSetFromStrings(d, []string{"venue"})}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.Retrieve(q, 100, DefaultWeights(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

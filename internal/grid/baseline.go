@@ -1,0 +1,69 @@
+// Package grid implements the spatial-proportionality computation of
+// Section 7 of the paper: the exact (baseline) all-pairs Ptolemy similarity,
+// and the squared- and radial-grid approximations of Algorithm 2 with their
+// precomputed similarity tables (valid for every query location and grid
+// size by the scale-free property of Theorem 7.1).
+package grid
+
+import (
+	"repro/internal/geo"
+	"repro/internal/pairs"
+)
+
+// AllPairsSpatial computes the exact Ptolemy spatial similarity
+// sS(p_i, p_j) w.r.t. q for every pair of points — the baseline algorithm,
+// costing ~20 arithmetic operations per pair.
+func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
+	n := len(pts)
+	m := pairs.New(n)
+	// Hoist the per-point distances to q: the baseline recomputes them per
+	// pair, but sharing them is the natural implementation in Go and only
+	// strengthens the baseline we compare the grids against.
+	dq := make([]float64, n)
+	for i, p := range pts {
+		dq[i] = p.Dist(q)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			den := dq[i] + dq[j]
+			if den == 0 {
+				m.Set(i, j, 1) // both points coincide with q
+				continue
+			}
+			d := pts[i].Dist(pts[j]) / den
+			if d > 1 {
+				d = 1
+			}
+			m.Set(i, j, 1-d)
+		}
+	}
+	return m
+}
+
+// PSSBaseline returns the exact pSS(p_i) vector (Eq. 6) and the pairwise
+// cache it was derived from.
+func PSSBaseline(q geo.Point, pts []geo.Point) ([]float64, *pairs.Matrix) {
+	m := AllPairsSpatial(q, pts)
+	return m.RowSums(), m
+}
+
+// RelativeError returns |Σ approx − Σ exact| / Σ exact, the relative
+// approximation error of Σ_{p∈S} pSS(p) reported in Figure 9. It returns 0
+// when the exact sum is 0.
+func RelativeError(approx, exact []float64) float64 {
+	var sa, se float64
+	for _, v := range approx {
+		sa += v
+	}
+	for _, v := range exact {
+		se += v
+	}
+	if se == 0 {
+		return 0
+	}
+	d := sa - se
+	if d < 0 {
+		d = -d
+	}
+	return d / se
+}

@@ -1,0 +1,34 @@
+package grid_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+)
+
+// Example shows the grid-based pSS computation of Algorithm 2: a squared
+// grid sized by the |G| ≈ K rule, with cell-centre similarities coming
+// from a table precomputed once for all queries (Theorem 7.1).
+func Example() {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	pts := dataset.UniformPoints(rng, q, 100, 1)
+
+	table := grid.NewSquaredTable(grid.SideForCells(100)) // reusable across queries
+	g, err := grid.NewSquared(q, pts, len(pts))           // |G| ≈ K
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	approx := g.PSS(table)
+	exact, _ := grid.PSSBaseline(q, pts)
+
+	fmt.Printf("cells: %d (side %d)\n", g.Cells(), g.Side())
+	fmt.Printf("relative error below 5%%: %v\n", grid.RelativeError(approx, exact) < 0.05)
+	// Output:
+	// cells: 100 (side 10)
+	// relative error below 5%: true
+}

@@ -1,0 +1,461 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func uniformPoints(rng *rand.Rand, q geo.Point, n int, radius float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(q.X+(rng.Float64()*2-1)*radius, q.Y+(rng.Float64()*2-1)*radius)
+	}
+	return pts
+}
+
+func gaussianPoints(rng *rand.Rand, q geo.Point, n int, sigma float64) []geo.Point {
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(q.X+rng.NormFloat64()*sigma, q.Y+rng.NormFloat64()*sigma)
+	}
+	return pts
+}
+
+func TestAllPairsSpatialMatchesGeo(t *testing.T) {
+	q := geo.Pt(0.3, -0.7)
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, q, 20, 5)
+	m := AllPairsSpatial(q, pts)
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			want := geo.PtolemySimilarity(q, pts[i], pts[j])
+			if got := m.At(i, j); !almostEqual(got, want, 1e-12) {
+				t.Fatalf("sS(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestAllPairsSpatialDegenerate(t *testing.T) {
+	q := geo.Pt(1, 1)
+	pts := []geo.Point{q, q, geo.Pt(2, 1)}
+	m := AllPairsSpatial(q, pts)
+	if got := m.At(0, 1); got != 1 {
+		t.Errorf("sS of two points at q = %g, want 1", got)
+	}
+	if got := m.At(0, 2); got != 0 {
+		t.Errorf("sS(q, other) = %g, want 0 (dS = 1 when one point is at q)", got)
+	}
+}
+
+func TestPSSBaseline(t *testing.T) {
+	q := geo.Pt(0, 0)
+	pts := []geo.Point{geo.Pt(1, 0), geo.Pt(-1, 0), geo.Pt(0, 1)}
+	pss, m := PSSBaseline(q, pts)
+	if m.N() != 3 {
+		t.Fatal("pair cache wrong size")
+	}
+	// sS(p0,p1) = 0 (opposite), sS(p0,p2) = sS(p1,p2) = 1 − √2/2.
+	want0 := 0 + (1 - math.Sqrt2/2)
+	if !almostEqual(pss[0], want0, 1e-12) {
+		t.Errorf("pSS(p0) = %g, want %g", pss[0], want0)
+	}
+	if !almostEqual(pss[2], 2*(1-math.Sqrt2/2), 1e-12) {
+		t.Errorf("pSS(p2) = %g", pss[2])
+	}
+}
+
+func TestSideForCells(t *testing.T) {
+	tests := []struct{ cells, want int }{
+		{36, 6}, {64, 8}, {100, 10}, {144, 12}, {196, 14},
+		{1, 2}, {0, 2}, {-5, 2}, {37, 8}, {101, 12},
+	}
+	for _, tc := range tests {
+		if got := SideForCells(tc.cells); got != tc.want {
+			t.Errorf("SideForCells(%d) = %d, want %d", tc.cells, got, tc.want)
+		}
+	}
+}
+
+func TestRingsForCells(t *testing.T) {
+	tests := []struct{ cells, want int }{
+		{100, 5}, {36, 3}, {64, 4}, {144, 6}, {196, 7}, {4, 1}, {1, 1}, {0, 1},
+	}
+	for _, tc := range tests {
+		if got := RingsForCells(tc.cells); got != tc.want {
+			t.Errorf("RingsForCells(%d) = %d, want %d", tc.cells, got, tc.want)
+		}
+	}
+}
+
+// TestFigure6GoldenValue checks the paper's worked example: in Figure 6,
+// sS(cc_{−1,1}, cc_{−1,−1}) = 1 − 1/√2, independent of the cell size.
+func TestFigure6GoldenValue(t *testing.T) {
+	// In a 2×2 unit grid centred at the origin, cell (0, 1) has centre
+	// (−0.5, +0.5) (the paper's cc_{−1,1}) and cell (0, 0) has centre
+	// (−0.5, −0.5) (the paper's cc_{−1,−1}).
+	want := 1 - 1/math.Sqrt2
+	if got := unitSS(1*2+0, 0, 2); !almostEqual(got, want, 1e-12) {
+		t.Errorf("sS(cc_{-1,1}, cc_{-1,-1}) = %g, want %g", got, want)
+	}
+	// And via the precomputed table, for several grid sizes: the same two
+	// cells adjacent to the centre give the same value (Theorem 7.1).
+	tbl := NewSquaredTable(14)
+	for _, side := range []int{2, 6, 10, 14} {
+		h := side / 2
+		ci := h*side + (h - 1)     // one left, one up of centre
+		cj := (h-1)*side + (h - 1) // one left, one down
+		if got := tbl.At(side, ci, cj); !almostEqual(got, want, 1e-12) {
+			t.Errorf("side %d: table sS = %g, want %g", side, got, want)
+		}
+	}
+}
+
+func TestSquaredAssignment(t *testing.T) {
+	q := geo.Pt(0, 0)
+	pts := []geo.Point{
+		geo.Pt(1, 1), geo.Pt(-1, -1), geo.Pt(1, -1), geo.Pt(-1, 1),
+		geo.Pt(2, 0), // farthest: fp = 2, so G_z = 4
+	}
+	g, err := NewSquared(q, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Side() != 2 || g.Cells() != 4 {
+		t.Fatalf("side = %d", g.Side())
+	}
+	// Quadrant checks: cell 0 = SW, 1 = SE, 2 = NW, 3 = NE.
+	if c := g.CellOf(geo.Pt(1, 1)); c != 3 {
+		t.Errorf("NE point in cell %d", c)
+	}
+	if c := g.CellOf(geo.Pt(-1, -1)); c != 0 {
+		t.Errorf("SW point in cell %d", c)
+	}
+	// The farthest point sits exactly on the grid boundary and on the
+	// horizontal centre line; it must be clamped into an eastern cell.
+	if c := g.CellOf(geo.Pt(2, 0)); c != 1 && c != 3 {
+		t.Errorf("boundary point in cell %d, want 1 or 3", c)
+	}
+	if g.OccupiedCells() != 4 {
+		t.Errorf("occupied = %d, want 4", g.OccupiedCells())
+	}
+}
+
+func TestSquaredCellCenterRoundTrip(t *testing.T) {
+	q := geo.Pt(10, -3)
+	rng := rand.New(rand.NewSource(5))
+	pts := uniformPoints(rng, q, 50, 7)
+	g, err := NewSquared(q, pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each cell centre must map back to its own cell.
+	for idx := 0; idx < g.Cells(); idx++ {
+		if got := g.CellOf(g.CellCenter(idx)); got != idx {
+			t.Fatalf("CellOf(CellCenter(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestSquaredInvalidInputs(t *testing.T) {
+	if _, err := NewSquared(geo.Pt(math.NaN(), 0), nil, 4); err == nil {
+		t.Error("NaN query accepted")
+	}
+	if _, err := NewSquared(geo.Pt(0, 0), []geo.Point{geo.Pt(math.Inf(1), 0)}, 4); err == nil {
+		t.Error("Inf point accepted")
+	}
+}
+
+func TestSquaredDegenerateAllAtQuery(t *testing.T) {
+	q := geo.Pt(2, 2)
+	pts := []geo.Point{q, q, q, q}
+	g, err := NewSquared(q, pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pss := g.PSS(nil)
+	for i, v := range pss {
+		if !almostEqual(v, 3, 1e-12) { // K−1 collocated places
+			t.Errorf("pSS[%d] = %g, want 3", i, v)
+		}
+	}
+}
+
+func TestSquaredPSSAccuracy(t *testing.T) {
+	q := geo.Pt(0.5, 0.5)
+	rng := rand.New(rand.NewSource(9))
+	pts := uniformPoints(rng, q, 200, 1)
+	exact, _ := PSSBaseline(q, pts)
+	tbl := NewSquaredTable(20)
+	for _, cells := range []int{36, 100, 196, 400} {
+		g, err := NewSquared(q, pts, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx := g.PSS(tbl)
+		if e := RelativeError(approx, exact); e > 0.12 {
+			t.Errorf("|G|=%d: relative error %g too large", cells, e)
+		}
+	}
+	// The paper: |G| ≈ K gives ≤ ~5% error in practice.
+	g, _ := NewSquared(q, pts, 196)
+	if e := RelativeError(g.PSS(tbl), exact); e > 0.05 {
+		t.Errorf("|G|≈K relative error = %g, want ≤ 0.05", e)
+	}
+}
+
+func TestSquaredPSSTableMatchesOnTheFly(t *testing.T) {
+	q := geo.Pt(-4, 4)
+	rng := rand.New(rand.NewSource(13))
+	pts := gaussianPoints(rng, q, 120, 2)
+	g, err := NewSquared(q, pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTbl := g.PSS(NewSquaredTable(10))
+	without := g.PSS(nil)
+	for i := range withTbl {
+		if !almostEqual(withTbl[i], without[i], 1e-9) {
+			t.Fatalf("pSS[%d]: table %g vs direct %g", i, withTbl[i], without[i])
+		}
+	}
+}
+
+func TestSquaredTableSubGrid(t *testing.T) {
+	tbl := NewSquaredTable(12)
+	if tbl.MaxSide() != 12 {
+		t.Fatalf("MaxSide = %d", tbl.MaxSide())
+	}
+	for _, side := range []int{2, 4, 6, 8, 10, 12} {
+		cells := side * side
+		for trial := 0; trial < 50; trial++ {
+			ci, cj := trial%cells, (trial*7+3)%cells
+			want := unitSS(ci, cj, side)
+			if ci == cj {
+				want = 1
+			}
+			if got := tbl.At(side, ci, cj); !almostEqual(got, want, 1e-12) {
+				t.Fatalf("side %d At(%d,%d) = %g, want %g", side, ci, cj, got, want)
+			}
+		}
+	}
+	// Sides beyond MaxSide fall back to direct computation.
+	if got, want := tbl.At(20, 5, 7), unitSS(5, 7, 20); !almostEqual(got, want, 1e-12) {
+		t.Errorf("fallback = %g, want %g", got, want)
+	}
+}
+
+func TestSquaredTableOddSizeRoundsUp(t *testing.T) {
+	tbl := NewSquaredTable(7)
+	if tbl.MaxSide() != 8 {
+		t.Errorf("MaxSide = %d, want 8", tbl.MaxSide())
+	}
+	tbl = NewSquaredTable(0)
+	if tbl.MaxSide() != 2 {
+		t.Errorf("MaxSide = %d, want 2", tbl.MaxSide())
+	}
+}
+
+func TestApproxAllPairsConsistentWithPSS(t *testing.T) {
+	// The row sums of the approximate pair matrix must equal the grid PSS:
+	// both replace points by cell centres.
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(21))
+	pts := uniformPoints(rng, q, 80, 3)
+	g, err := NewSquared(q, pts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewSquaredTable(8)
+	sums := g.ApproxAllPairs(tbl).RowSums()
+	pss := g.PSS(tbl)
+	for i := range sums {
+		if !almostEqual(sums[i], pss[i], 1e-9) {
+			t.Fatalf("point %d: pair-matrix row sum %g vs PSS %g", i, sums[i], pss[i])
+		}
+	}
+}
+
+func TestRadialAssignment(t *testing.T) {
+	q := geo.Pt(0, 0)
+	pts := []geo.Point{
+		geo.Pt(0.5, 0.01),  // ring 0, slice 0 (just above +x axis)
+		geo.Pt(-1.5, 0.01), // outer ring, opposite side
+		geo.Pt(0, 2),       // farthest: fp = 2
+	}
+	r, err := NewRadial(q, pts, 4) // r_c = 1? RingsForCells(4) = 1 → 4 sectors
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rings() != 1 || r.Sectors() != 4 {
+		t.Fatalf("rings = %d sectors = %d", r.Rings(), r.Sectors())
+	}
+	if got := r.SectorOf(geo.Pt(0.5, 0.01)); got != 0 {
+		t.Errorf("sector of +x point = %d", got)
+	}
+	// Farthest point lies on the outermost circle; clamped into last ring.
+	if got := r.SectorOf(geo.Pt(0, 2)); got >= r.Sectors() {
+		t.Errorf("boundary point out of range: %d", got)
+	}
+}
+
+func TestRadialRepresentativeRoundTrip(t *testing.T) {
+	q := geo.Pt(3, 3)
+	rng := rand.New(rand.NewSource(17))
+	pts := uniformPoints(rng, q, 60, 4)
+	r, err := NewRadial(q, pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < r.Sectors(); idx++ {
+		if got := r.SectorOf(r.Representative(idx)); got != idx {
+			t.Fatalf("SectorOf(Representative(%d)) = %d", idx, got)
+		}
+	}
+}
+
+func TestRadialDegenerateAllAtQuery(t *testing.T) {
+	q := geo.Pt(1, 1)
+	pts := []geo.Point{q, q, q}
+	r, err := NewRadial(q, pts, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range r.PSS(nil) {
+		if !almostEqual(v, 2, 1e-12) {
+			t.Errorf("pSS[%d] = %g, want 2", i, v)
+		}
+	}
+}
+
+func TestRadialPSSAccuracy(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(29))
+	pts := gaussianPoints(rng, q, 200, 0.5)
+	exact, _ := PSSBaseline(q, pts)
+	tbl := NewRadialTable()
+	for _, cells := range []int{36, 100, 196} {
+		r, err := NewRadial(q, pts, cells)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e := RelativeError(r.PSS(tbl), exact); e > 0.15 {
+			t.Errorf("|R|=%d: relative error %g too large", cells, e)
+		}
+	}
+}
+
+func TestRadialPSSTableMatchesOnTheFly(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(31))
+	pts := uniformPoints(rng, q, 90, 2)
+	r, err := NewRadial(q, pts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTbl := r.PSS(NewRadialTable())
+	without := r.PSS(nil)
+	for i := range withTbl {
+		if !almostEqual(withTbl[i], without[i], 1e-9) {
+			t.Fatalf("pSS[%d]: table %g vs direct %g", i, withTbl[i], without[i])
+		}
+	}
+}
+
+func TestRadialApproxAllPairsConsistent(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(37))
+	pts := uniformPoints(rng, q, 70, 2)
+	r, err := NewRadial(q, pts, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := NewRadialTable()
+	sums := r.ApproxAllPairs(tbl).RowSums()
+	pss := r.PSS(tbl)
+	for i := range sums {
+		if !almostEqual(sums[i], pss[i], 1e-9) {
+			t.Fatalf("point %d: %g vs %g", i, sums[i], pss[i])
+		}
+	}
+}
+
+func TestRadialInvalidInputs(t *testing.T) {
+	if _, err := NewRadial(geo.Pt(0, math.NaN()), nil, 4); err == nil {
+		t.Error("NaN query accepted")
+	}
+	if _, err := NewRadial(geo.Pt(0, 0), []geo.Point{geo.Pt(0, math.NaN())}, 4); err == nil {
+		t.Error("NaN point accepted")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError([]float64{1, 1}, []float64{1, 1}); got != 0 {
+		t.Errorf("identical vectors: %g", got)
+	}
+	if got := RelativeError([]float64{3}, []float64{2}); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("RelativeError = %g, want 0.5", got)
+	}
+	if got := RelativeError([]float64{1}, []float64{2}); !almostEqual(got, 0.5, 1e-12) {
+		t.Errorf("RelativeError = %g, want 0.5 (symmetric under sign)", got)
+	}
+	if got := RelativeError([]float64{5}, []float64{0}); got != 0 {
+		t.Errorf("zero exact sum: %g", got)
+	}
+}
+
+// TestErrorShrinksWithFinerGrid verifies the Figure 9(b) trend: increasing
+// |G| reduces the relative approximation error (monotone on average; we
+// check coarse vs fine).
+func TestErrorShrinksWithFinerGrid(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(43))
+	var coarse, fine float64
+	for trial := 0; trial < 10; trial++ {
+		pts := uniformPoints(rng, q, 150, 1)
+		exact, _ := PSSBaseline(q, pts)
+		g1, _ := NewSquared(q, pts, 16)
+		g2, _ := NewSquared(q, pts, 400)
+		coarse += RelativeError(g1.PSS(nil), exact)
+		fine += RelativeError(g2.PSS(nil), exact)
+	}
+	if fine >= coarse {
+		t.Errorf("finer grid not more accurate: coarse %g vs fine %g", coarse/10, fine/10)
+	}
+}
+
+func BenchmarkPSSBaselineK100(b *testing.B)  { benchPSSBaseline(b, 100) }
+func BenchmarkPSSBaselineK1000(b *testing.B) { benchPSSBaseline(b, 1000) }
+
+func benchPSSBaseline(b *testing.B, k int) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, q, k, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PSSBaseline(q, pts)
+	}
+}
+
+func BenchmarkPSSSquaredK100(b *testing.B)  { benchPSSSquared(b, 100) }
+func BenchmarkPSSSquaredK1000(b *testing.B) { benchPSSSquared(b, 1000) }
+
+func benchPSSSquared(b *testing.B, k int) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, q, k, 1)
+	tbl := NewSquaredTable(SideForCells(k))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, err := NewSquared(q, pts, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g.PSS(tbl)
+	}
+}

@@ -1,0 +1,62 @@
+package grid
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/pairs"
+)
+
+// AllPairsSpatialParallel is AllPairsSpatial with the pair loop fanned out
+// over worker goroutines. Rows are distributed in strides so the shrinking
+// per-row work balances; each (i, j) slot is written exactly once, so the
+// shared matrix needs no locking. Results are identical to the sequential
+// baseline.
+func AllPairsSpatialParallel(q geo.Point, pts []geo.Point, workers int) *pairs.Matrix {
+	n := len(pts)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		return AllPairsSpatial(q, pts)
+	}
+	m := pairs.New(n)
+	dq := make([]float64, n)
+	for i, p := range pts {
+		dq[i] = p.Dist(q)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				for j := i + 1; j < n; j++ {
+					den := dq[i] + dq[j]
+					if den == 0 {
+						m.Set(i, j, 1)
+						continue
+					}
+					d := pts[i].Dist(pts[j]) / den
+					if d > 1 {
+						d = 1
+					}
+					m.Set(i, j, 1-d)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return m
+}
+
+// PSSBaselineParallel returns the exact pSS vector and pair cache using
+// the parallel all-pairs computation.
+func PSSBaselineParallel(q geo.Point, pts []geo.Point, workers int) ([]float64, *pairs.Matrix) {
+	m := AllPairsSpatialParallel(q, pts, workers)
+	return m.RowSums(), m
+}

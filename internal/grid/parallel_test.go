@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestParallelSpatialIdentical: the parallel all-pairs computation must
+// match the sequential baseline exactly, for assorted worker counts.
+func TestParallelSpatialIdentical(t *testing.T) {
+	q := geo.Pt(0.3, 0.7)
+	rng := rand.New(rand.NewSource(23))
+	for _, n := range []int{0, 1, 10, 63, 64, 200} {
+		pts := uniformPoints(rng, q, n, 3)
+		want := AllPairsSpatial(q, pts)
+		for _, workers := range []int{0, 1, 2, 7, 500} {
+			got := AllPairsSpatialParallel(q, pts, workers)
+			if want.N() != got.N() {
+				t.Fatalf("n=%d workers=%d: size mismatch", n, workers)
+			}
+			if n > 1 {
+				if d := want.MaxAbsDiff(got); d != 0 {
+					t.Fatalf("n=%d workers=%d: differs by %g", n, workers, d)
+				}
+			}
+		}
+	}
+}
+
+func TestPSSBaselineParallel(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(29))
+	pts := gaussianPoints(rng, q, 150, 1)
+	want, _ := PSSBaseline(q, pts)
+	got, cache := PSSBaselineParallel(q, pts, 4)
+	if cache.N() != len(pts) {
+		t.Fatal("cache size wrong")
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Fatalf("pSS[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func BenchmarkPSSBaselineSequentialK2000(b *testing.B) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, q, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PSSBaseline(q, pts)
+	}
+}
+
+func BenchmarkPSSBaselineParallelK2000(b *testing.B) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(1))
+	pts := uniformPoints(rng, q, 2000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PSSBaselineParallel(q, pts, 0)
+	}
+}

@@ -1,0 +1,252 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geo"
+	"repro/internal/pairs"
+)
+
+// Squared is the squared grid of Section 7.1: a regular |g| × |g| grid of
+// square cells centred on the query location q, with side length
+// G_z = 2·fp̄ (twice the distance from q to the farthest place). Every
+// place is represented by the centre of its cell.
+type Squared struct {
+	center geo.Point // G_c, the query location
+	size   float64   // G_z, the grid's side length
+	side   int       // |g| = √|G| cells per row/column (even)
+	cellsz float64   // side length of one cell
+	counts []int32   // |c_i| for every cell, row-major
+	cellOf []int32   // cell index of every assigned point
+	occ    []int32   // indices of non-empty cells, ascending
+}
+
+// SideForCells returns the per-axis cell count |g| for a requested total
+// number of cells |G|: the smallest even integer with side² ≥ cells.
+func SideForCells(cells int) int {
+	if cells < 1 {
+		cells = 1
+	}
+	side := int(math.Ceil(math.Sqrt(float64(cells))))
+	if side%2 == 1 {
+		side++
+	}
+	return side
+}
+
+// NewSquared builds the grid for query location q covering pts, with
+// approximately cells cells (|G| ≈ K is the paper's recommended setting),
+// and assigns every point to its cell (Steps 1–2 of Algorithm 2).
+func NewSquared(q geo.Point, pts []geo.Point, cells int) (*Squared, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("grid: invalid query location %v", q)
+	}
+	for i, p := range pts {
+		if !p.Valid() {
+			return nil, fmt.Errorf("grid: invalid point %d: %v", i, p)
+		}
+	}
+	side := SideForCells(cells)
+	fp := geo.FarthestDist(q, pts)
+	g := &Squared{
+		center: q,
+		size:   2 * fp,
+		side:   side,
+		counts: make([]int32, side*side),
+		cellOf: make([]int32, len(pts)),
+	}
+	if fp > 0 {
+		g.cellsz = g.size / float64(side)
+	}
+	for i, p := range pts {
+		c := g.CellOf(p)
+		g.cellOf[i] = int32(c)
+		if g.counts[c] == 0 {
+			g.occ = append(g.occ, int32(c))
+		}
+		g.counts[c]++
+	}
+	sortInt32(g.occ)
+	return g, nil
+}
+
+// Side returns |g|, the number of cells per row.
+func (g *Squared) Side() int { return g.side }
+
+// Cells returns |G| = side², the total number of cells.
+func (g *Squared) Cells() int { return g.side * g.side }
+
+// OccupiedCells returns the number of non-empty cells.
+func (g *Squared) OccupiedCells() int { return len(g.occ) }
+
+// CellOf returns the row-major index of the cell containing p. Points on
+// (or marginally beyond, from floating-point drift) the boundary are
+// clamped into the grid.
+func (g *Squared) CellOf(p geo.Point) int {
+	if g.cellsz == 0 {
+		// Degenerate grid: every point coincides with q; use the cell just
+		// above-right of the centre.
+		return (g.side/2)*g.side + g.side/2
+	}
+	half := g.size / 2
+	cx := clampCell(int(math.Floor((p.X-(g.center.X-half))/g.cellsz)), g.side)
+	cy := clampCell(int(math.Floor((p.Y-(g.center.Y-half))/g.cellsz)), g.side)
+	return cy*g.side + cx
+}
+
+// CellCenter returns the world coordinates of the centre of cell idx.
+func (g *Squared) CellCenter(idx int) geo.Point {
+	cx, cy := idx%g.side, idx/g.side
+	half := g.size / 2
+	cs := g.cellsz
+	if cs == 0 {
+		cs = 1 // degenerate grid; centres are only meaningful relatively
+	}
+	return geo.Pt(
+		g.center.X-half+(float64(cx)+0.5)*cs,
+		g.center.Y-half+(float64(cy)+0.5)*cs,
+	)
+}
+
+// unitCenter returns the centre of cell idx in grid-relative units (cell
+// size 1, grid centre at the origin) — the representation under which
+// Theorem 7.1 makes sS independent of the actual cell size.
+func unitCenter(idx, side int) geo.Point {
+	cx, cy := idx%side, idx/side
+	h := float64(side) / 2
+	return geo.Pt(float64(cx)+0.5-h, float64(cy)+0.5-h)
+}
+
+// PSS computes the approximate pSS(p) score for every assigned point
+// (Step 3 of Algorithm 2, Eq. 18), using tbl for precomputed cell-centre
+// similarities; a nil tbl computes them on the fly.
+func (g *Squared) PSS(tbl *SquaredTable) []float64 {
+	cellScore := make(map[int32]float64, len(g.occ))
+	for a, ci := range g.occ {
+		for b := a; b < len(g.occ); b++ {
+			cj := g.occ[b]
+			var s float64
+			if ci == cj {
+				s = 1
+			} else if tbl != nil {
+				s = tbl.At(g.side, int(ci), int(cj))
+			} else {
+				s = unitSS(int(ci), int(cj), g.side)
+			}
+			cellScore[ci] += float64(g.counts[cj]) * s
+			if ci != cj {
+				cellScore[cj] += float64(g.counts[ci]) * s
+			}
+		}
+	}
+	out := make([]float64, len(g.cellOf))
+	for i, c := range g.cellOf {
+		out[i] = cellScore[c] - 1 // disregard the place's comparison to itself
+	}
+	return out
+}
+
+// ApproxAllPairs returns the approximate pairwise sS matrix in which each
+// point is replaced by its cell centre. This is what the optimised greedy
+// pipeline uses for the pairwise sF scores, at one table lookup per pair.
+func (g *Squared) ApproxAllPairs(tbl *SquaredTable) *pairs.Matrix {
+	n := len(g.cellOf)
+	m := pairs.New(n)
+	for i := 0; i < n; i++ {
+		ci := int(g.cellOf[i])
+		for j := i + 1; j < n; j++ {
+			cj := int(g.cellOf[j])
+			switch {
+			case ci == cj:
+				m.Set(i, j, 1)
+			case tbl != nil:
+				m.Set(i, j, tbl.At(g.side, ci, cj))
+			default:
+				m.Set(i, j, unitSS(ci, cj, g.side))
+			}
+		}
+	}
+	return m
+}
+
+// unitSS computes sS between the unit-scale centres of two cells of a grid
+// with the given side, w.r.t. the grid centre (Theorem 7.1 guarantees this
+// equals the true-scale value).
+func unitSS(ci, cj, side int) float64 {
+	return geo.PtolemySimilarity(geo.Pt(0, 0), unitCenter(ci, side), unitCenter(cj, side))
+}
+
+// SquaredTable precomputes sS between the cell centres of a maximal
+// squared grid G_MAX. Because cell-centre similarity depends only on the
+// cells' positions relative to the grid centre measured in whole cells
+// (Theorem 7.1), one table serves every query location, grid size G_z, and
+// any grid with side ≤ MaxSide (an even-sided grid is a centred sub-grid
+// of G_MAX).
+type SquaredTable struct {
+	maxSide int
+	v       []float64 // v[ci*cells + cj] for the maximal grid
+}
+
+// NewSquaredTable precomputes the table for grids up to maxSide cells per
+// row. maxSide is rounded up to an even number.
+func NewSquaredTable(maxSide int) *SquaredTable {
+	if maxSide < 2 {
+		maxSide = 2
+	}
+	if maxSide%2 == 1 {
+		maxSide++
+	}
+	cells := maxSide * maxSide
+	t := &SquaredTable{maxSide: maxSide, v: make([]float64, cells*cells)}
+	centers := make([]geo.Point, cells)
+	for i := range centers {
+		centers[i] = unitCenter(i, maxSide)
+	}
+	origin := geo.Pt(0, 0)
+	for i := 0; i < cells; i++ {
+		t.v[i*cells+i] = 1
+		for j := i + 1; j < cells; j++ {
+			s := geo.PtolemySimilarity(origin, centers[i], centers[j])
+			t.v[i*cells+j] = s
+			t.v[j*cells+i] = s
+		}
+	}
+	return t
+}
+
+// MaxSide returns the largest grid side the table covers.
+func (t *SquaredTable) MaxSide() int { return t.maxSide }
+
+// At returns the precomputed sS between the centres of cells ci and cj of
+// a grid with the given (even) side ≤ MaxSide; larger grids fall back to
+// direct computation.
+func (t *SquaredTable) At(side, ci, cj int) float64 {
+	if side > t.maxSide {
+		return unitSS(ci, cj, side)
+	}
+	off := (t.maxSide - side) / 2
+	mi := (ci/side+off)*t.maxSide + ci%side + off
+	mj := (cj/side+off)*t.maxSide + cj%side + off
+	return t.v[mi*t.maxSide*t.maxSide+mj]
+}
+
+func clampCell(c, side int) int {
+	if c < 0 {
+		return 0
+	}
+	if c >= side {
+		return side - 1
+	}
+	return c
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort: occupied-cell lists are short and nearly sorted
+	// (points are appended in first-touch order).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package invindex provides an in-memory inverted index over the
+// contextual sets of documents (places). It serves two roles in the
+// system: the leaf-level keyword index of the IR-tree's inverted files,
+// and a standalone keyword retrieval engine used to compute the textual
+// component of the relevance score rF.
+package invindex
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/textctx"
+)
+
+// DocID identifies a document (place) in the index.
+type DocID int32
+
+// Index maps contextual items to the documents containing them. The zero
+// value is ready to use. Index is safe for concurrent reads after all
+// writes complete; it is not safe for concurrent mutation.
+type Index struct {
+	lists map[textctx.ItemID][]DocID
+	docs  map[DocID]textctx.Set
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{
+		lists: make(map[textctx.ItemID][]DocID),
+		docs:  make(map[DocID]textctx.Set),
+	}
+}
+
+// Add indexes doc under every item of its contextual set. Adding the same
+// document twice replaces its terms.
+func (ix *Index) Add(doc DocID, terms textctx.Set) {
+	if old, ok := ix.docs[doc]; ok {
+		ix.remove(doc, old)
+	}
+	ix.docs[doc] = terms
+	for _, t := range terms.Items() {
+		ix.lists[t] = append(ix.lists[t], doc)
+	}
+}
+
+func (ix *Index) remove(doc DocID, terms textctx.Set) {
+	for _, t := range terms.Items() {
+		list := ix.lists[t]
+		for i, d := range list {
+			if d == doc {
+				ix.lists[t] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		if len(ix.lists[t]) == 0 {
+			delete(ix.lists, t)
+		}
+	}
+}
+
+// Delete removes doc from the index; it is a no-op for unknown documents.
+func (ix *Index) Delete(doc DocID) {
+	if terms, ok := ix.docs[doc]; ok {
+		ix.remove(doc, terms)
+		delete(ix.docs, doc)
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Terms returns the document's contextual set and whether it is indexed.
+func (ix *Index) Terms(doc DocID) (textctx.Set, bool) {
+	s, ok := ix.docs[doc]
+	return s, ok
+}
+
+// Postings returns the documents containing term, in insertion order. The
+// returned slice must not be modified.
+func (ix *Index) Postings(term textctx.ItemID) []DocID { return ix.lists[term] }
+
+// DocFreq returns the number of documents containing term.
+func (ix *Index) DocFreq(term textctx.ItemID) int { return len(ix.lists[term]) }
+
+// Vocabulary returns the number of distinct indexed terms.
+func (ix *Index) Vocabulary() int { return len(ix.lists) }
+
+// Hit is one search result.
+type Hit struct {
+	Doc DocID
+	// Score is the Jaccard similarity between the query set and the
+	// document's contextual set.
+	Score float64
+}
+
+// Search returns all documents sharing at least one term with query,
+// scored by Jaccard similarity, best first (ties broken by DocID for
+// determinism).
+func (ix *Index) Search(query textctx.Set) []Hit {
+	if query.Len() == 0 {
+		return nil
+	}
+	overlap := make(map[DocID]int)
+	for _, t := range query.Items() {
+		for _, d := range ix.lists[t] {
+			overlap[d]++
+		}
+	}
+	hits := make([]Hit, 0, len(overlap))
+	for d, inter := range overlap {
+		union := query.Len() + ix.docs[d].Len() - inter
+		hits = append(hits, Hit{Doc: d, Score: float64(inter) / float64(union)})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Doc < hits[b].Doc
+	})
+	return hits
+}
+
+// TopK returns the k best hits for query (fewer if the index has fewer
+// matching documents).
+func (ix *Index) TopK(query textctx.Set, k int) []Hit {
+	hits := ix.Search(query)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// Stats summarises the index for diagnostics.
+type Stats struct {
+	Docs, Terms, Postings int
+	MaxListLen            int
+}
+
+// Stats returns summary statistics.
+func (ix *Index) Stats() Stats {
+	s := Stats{Docs: len(ix.docs), Terms: len(ix.lists)}
+	for _, l := range ix.lists {
+		s.Postings += len(l)
+		if len(l) > s.MaxListLen {
+			s.MaxListLen = len(l)
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("docs=%d terms=%d postings=%d maxlist=%d",
+		s.Docs, s.Terms, s.Postings, s.MaxListLen)
+}

@@ -1,0 +1,187 @@
+package invindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/textctx"
+)
+
+func buildIndex(t testing.TB) (*Index, *textctx.Dict) {
+	t.Helper()
+	d := textctx.NewDict()
+	ix := New()
+	docs := map[DocID][]string{
+		1: {"history", "museum", "viking"},
+		2: {"nordic", "museum", "viking"},
+		3: {"abba", "music", "museum"},
+		4: {"nobel", "science", "museum", "literature"},
+		5: {"park", "garden"},
+	}
+	for id, words := range docs {
+		ix.Add(id, textctx.NewSetFromStrings(d, words))
+	}
+	return ix, d
+}
+
+func TestAddAndLookup(t *testing.T) {
+	ix, d := buildIndex(t)
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", ix.Len())
+	}
+	museum, _ := d.Lookup("museum")
+	if got := ix.DocFreq(museum); got != 4 {
+		t.Errorf("DocFreq(museum) = %d, want 4", got)
+	}
+	if got := len(ix.Postings(museum)); got != 4 {
+		t.Errorf("Postings(museum) = %d entries, want 4", got)
+	}
+	if terms, ok := ix.Terms(5); !ok || terms.Len() != 2 {
+		t.Errorf("Terms(5) = %v, %v", terms, ok)
+	}
+	if _, ok := ix.Terms(42); ok {
+		t.Error("Terms(42) found a missing doc")
+	}
+	if ix.Vocabulary() == 0 {
+		t.Error("Vocabulary = 0")
+	}
+}
+
+func TestReAddReplaces(t *testing.T) {
+	ix, d := buildIndex(t)
+	ix.Add(1, textctx.NewSetFromStrings(d, []string{"castle"}))
+	if ix.Len() != 5 {
+		t.Fatalf("Len = %d after re-add, want 5", ix.Len())
+	}
+	museum, _ := d.Lookup("museum")
+	if got := ix.DocFreq(museum); got != 3 {
+		t.Errorf("DocFreq(museum) after re-add = %d, want 3", got)
+	}
+	castle, _ := d.Lookup("castle")
+	if got := ix.Postings(castle); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Postings(castle) = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix, d := buildIndex(t)
+	ix.Delete(2)
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d after delete, want 4", ix.Len())
+	}
+	nordic, _ := d.Lookup("nordic")
+	if got := ix.DocFreq(nordic); got != 0 {
+		t.Errorf("DocFreq(nordic) = %d, want 0", got)
+	}
+	ix.Delete(999) // must be a no-op
+	if ix.Len() != 4 {
+		t.Error("deleting a missing doc changed Len")
+	}
+}
+
+func TestSearchScoring(t *testing.T) {
+	ix, d := buildIndex(t)
+	q := textctx.NewSetFromStrings(d, []string{"museum", "viking"})
+	hits := ix.Search(q)
+	if len(hits) != 4 {
+		t.Fatalf("got %d hits, want 4", len(hits))
+	}
+	// Docs 1 and 2 share both terms: J = 2/3; doc 3: 1/4; doc 4: 1/5.
+	if hits[0].Score != 2.0/3 || hits[1].Score != 2.0/3 {
+		t.Errorf("top scores = %g, %g, want 2/3", hits[0].Score, hits[1].Score)
+	}
+	if hits[0].Doc != 1 || hits[1].Doc != 2 {
+		t.Errorf("tie not broken by DocID: %v, %v", hits[0].Doc, hits[1].Doc)
+	}
+	if hits[2].Score != 0.25 || hits[3].Score != 0.2 {
+		t.Errorf("tail scores = %g, %g", hits[2].Score, hits[3].Score)
+	}
+}
+
+func TestSearchEmptyQuery(t *testing.T) {
+	ix, _ := buildIndex(t)
+	if hits := ix.Search(textctx.Set{}); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix, d := buildIndex(t)
+	q := textctx.NewSetFromStrings(d, []string{"zzz-unknown"})
+	if hits := ix.Search(q); len(hits) != 0 {
+		t.Errorf("unknown term returned %v", hits)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	ix, d := buildIndex(t)
+	q := textctx.NewSetFromStrings(d, []string{"museum"})
+	hits := ix.TopK(q, 2)
+	if len(hits) != 2 {
+		t.Fatalf("TopK returned %d hits", len(hits))
+	}
+	all := ix.TopK(q, 100)
+	if len(all) != 4 {
+		t.Errorf("TopK(100) returned %d, want all 4", len(all))
+	}
+}
+
+func TestStats(t *testing.T) {
+	ix, _ := buildIndex(t)
+	s := ix.Stats()
+	if s.Docs != 5 || s.Terms != ix.Vocabulary() {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.MaxListLen != 4 { // "museum"
+		t.Errorf("MaxListLen = %d, want 4", s.MaxListLen)
+	}
+	if s.String() == "" {
+		t.Error("empty Stats string")
+	}
+}
+
+// Property-style test: Search scores always equal the direct Jaccard of
+// query and document term sets.
+func TestSearchMatchesDirectJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ix := New()
+	sets := make(map[DocID]textctx.Set)
+	for d := DocID(0); d < 50; d++ {
+		n := 1 + rng.Intn(10)
+		ids := make([]textctx.ItemID, n)
+		for i := range ids {
+			ids[i] = textctx.ItemID(rng.Intn(40))
+		}
+		sets[d] = textctx.NewSet(ids...)
+		ix.Add(d, sets[d])
+	}
+	for trial := 0; trial < 20; trial++ {
+		qids := make([]textctx.ItemID, 1+rng.Intn(5))
+		for i := range qids {
+			qids[i] = textctx.ItemID(rng.Intn(40))
+		}
+		q := textctx.NewSet(qids...)
+		for _, h := range ix.Search(q) {
+			if want := q.Jaccard(sets[h.Doc]); h.Score != want {
+				t.Fatalf("doc %d: score %g, want %g", h.Doc, h.Score, want)
+			}
+		}
+	}
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ix := New()
+	for d := DocID(0); d < 10000; d++ {
+		ids := make([]textctx.ItemID, 10)
+		for i := range ids {
+			ids[i] = textctx.ItemID(rng.Intn(1000))
+		}
+		ix.Add(d, textctx.NewSet(ids...))
+	}
+	q := textctx.NewSet(1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q)
+	}
+}

@@ -1,0 +1,79 @@
+package invindex
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/textctx"
+)
+
+// SearchCosine scores documents against query by tf-idf cosine similarity
+// — the alternative IR relevance model the paper cites for explicit
+// contexts (Section 1). Contexts are sets, so term frequency is binary
+// and a term's weight is its inverse document frequency
+// idf(t) = ln(1 + N/df(t)); the score of document d is
+//
+//	Σ_{t ∈ q∩d} idf(t)² / (‖q‖·‖d‖)
+//
+// under those weights. Results are best first, ties broken by DocID.
+func (ix *Index) SearchCosine(query textctx.Set) []Hit {
+	if query.Len() == 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	n := float64(len(ix.docs))
+	idf := func(t textctx.ItemID) float64 {
+		df := len(ix.lists[t])
+		if df == 0 {
+			return 0
+		}
+		return math.Log(1 + n/float64(df))
+	}
+
+	var qNorm float64
+	for _, t := range query.Items() {
+		w := idf(t)
+		qNorm += w * w
+	}
+	if qNorm == 0 {
+		return nil
+	}
+	qNorm = math.Sqrt(qNorm)
+
+	// Accumulate dot products via the postings of the query terms.
+	dots := make(map[DocID]float64)
+	for _, t := range query.Items() {
+		w := idf(t)
+		if w == 0 {
+			continue
+		}
+		for _, d := range ix.lists[t] {
+			dots[d] += w * w
+		}
+	}
+
+	hits := make([]Hit, 0, len(dots))
+	for d, dot := range dots {
+		var dNorm float64
+		for _, t := range ix.docs[d].Items() {
+			w := idf(t)
+			dNorm += w * w
+		}
+		hits = append(hits, Hit{Doc: d, Score: dot / (qNorm * math.Sqrt(dNorm))})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Doc < hits[b].Doc
+	})
+	return hits
+}
+
+// TopKCosine returns the k best cosine hits.
+func (ix *Index) TopKCosine(query textctx.Set, k int) []Hit {
+	hits := ix.SearchCosine(query)
+	if len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

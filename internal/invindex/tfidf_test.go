@@ -1,0 +1,86 @@
+package invindex
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/textctx"
+)
+
+func TestSearchCosineBasics(t *testing.T) {
+	ix, d := buildIndex(t)
+	q := textctx.NewSetFromStrings(d, []string{"museum", "viking"})
+	hits := ix.SearchCosine(q)
+	if len(hits) != 4 {
+		t.Fatalf("got %d hits, want 4", len(hits))
+	}
+	// Docs 1 and 2 match both terms and must rank above the rest; scores
+	// in (0, 1], non-increasing.
+	top := map[DocID]bool{hits[0].Doc: true, hits[1].Doc: true}
+	if !top[1] || !top[2] {
+		t.Errorf("top-2 = %v, %v; want docs 1, 2", hits[0].Doc, hits[1].Doc)
+	}
+	for i, h := range hits {
+		if h.Score <= 0 || h.Score > 1+1e-12 {
+			t.Errorf("hit %d score %g outside (0, 1]", i, h.Score)
+		}
+		if i > 0 && h.Score > hits[i-1].Score+1e-12 {
+			t.Error("scores not sorted")
+		}
+	}
+}
+
+// TestCosineIDFWeighting: matching a rare term must outrank matching an
+// equally-sized common term — the property Jaccard lacks.
+func TestCosineIDFWeighting(t *testing.T) {
+	d := textctx.NewDict()
+	ix := New()
+	// "common" appears in 9 documents, "rare" in 1.
+	for i := DocID(0); i < 9; i++ {
+		ix.Add(i, textctx.NewSetFromStrings(d, []string{"common", "fillerA", "fillerB"}))
+	}
+	ix.Add(100, textctx.NewSetFromStrings(d, []string{"rare", "fillerC", "fillerD"}))
+
+	q := textctx.NewSetFromStrings(d, []string{"common", "rare"})
+	hits := ix.SearchCosine(q)
+	if len(hits) != 10 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	if hits[0].Doc != 100 {
+		t.Errorf("top hit = %v, want the rare-term document", hits[0].Doc)
+	}
+	// Jaccard, by contrast, cannot distinguish them.
+	j := ix.Search(q)
+	if j[0].Score != j[1].Score {
+		t.Error("setup broken: Jaccard should tie the rare and common matches")
+	}
+}
+
+func TestCosineIdentical(t *testing.T) {
+	d := textctx.NewDict()
+	ix := New()
+	set := textctx.NewSetFromStrings(d, []string{"a", "b", "c"})
+	ix.Add(1, set)
+	ix.Add(2, textctx.NewSetFromStrings(d, []string{"a", "x", "y"}))
+	hits := ix.SearchCosine(set)
+	if hits[0].Doc != 1 || math.Abs(hits[0].Score-1) > 1e-12 {
+		t.Errorf("self-similarity = %+v, want doc 1 at 1.0", hits[0])
+	}
+}
+
+func TestCosineEdgeCases(t *testing.T) {
+	ix, d := buildIndex(t)
+	if got := ix.SearchCosine(textctx.Set{}); got != nil {
+		t.Error("empty query returned hits")
+	}
+	unknown := textctx.NewSetFromStrings(d, []string{"zzz-unknown"})
+	if got := ix.SearchCosine(unknown); got != nil {
+		t.Errorf("unknown-term query returned %v", got)
+	}
+	if got := New().SearchCosine(textctx.NewSet(1)); got != nil {
+		t.Error("empty index returned hits")
+	}
+	if got := ix.TopKCosine(textctx.NewSetFromStrings(d, []string{"museum"}), 2); len(got) != 2 {
+		t.Errorf("TopKCosine returned %d", len(got))
+	}
+}

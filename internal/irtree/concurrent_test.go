@@ -1,0 +1,64 @@
+package irtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// TestConcurrentQueries: the tree is read-only after loading, so parallel
+// TopK / NearestK / RangeSearch must be race-free and deterministic.
+func TestConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	objs := randomObjects(rng, 2000, 200, 6)
+	tr, err := BulkLoad(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Pt(50, 50)
+	kw := textctx.NewSet(1, 2, 3)
+	want := tr.TopK(q, kw, QueryOptions{K: 20})
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 24)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := tr.TopK(q, kw, QueryOptions{K: 20})
+			if len(got) != len(want) {
+				fail <- "TopK length mismatch"
+				return
+			}
+			for i := range got {
+				if got[i].Score != want[i].Score {
+					fail <- "TopK score mismatch"
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := tr.NearestK(q, 15); len(got) != 15 {
+				fail <- "NearestK length mismatch"
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := geo.NewRect(geo.Pt(25, 25), geo.Pt(75, 75))
+			if got := tr.RangeSearch(r); len(got) == 0 {
+				fail <- "RangeSearch empty"
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

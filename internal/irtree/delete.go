@@ -1,0 +1,107 @@
+package irtree
+
+import (
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// Delete removes the object with the given id located at loc (the
+// location narrows the search to one subtree path). It returns whether an
+// object was removed. Nodes that underflow below the minimum fill are
+// dissolved and their remaining entries reinserted — the classic R-tree
+// condense step — and rectangles and inverted files are recomputed along
+// the affected paths.
+func (t *Tree) Delete(id int32, loc geo.Point) bool {
+	if t.size == 0 || !loc.Valid() {
+		return false
+	}
+	leaf, path := t.findLeaf(t.root, nil, id, loc)
+	if leaf == nil {
+		return false
+	}
+	for i, o := range leaf.objects {
+		if o.ID == id && o.Loc == loc {
+			leaf.objects = append(leaf.objects[:i], leaf.objects[i+1:]...)
+			break
+		}
+	}
+	t.size--
+
+	// Condense: collect entries of underflowing non-root nodes, then
+	// recompute rect/terms bottom-up along the path.
+	var orphanObjects []Object
+	var orphanNodes []*node
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if n.entryCount() < t.minEntries {
+			removeChild(parent, n)
+			if n.leaf {
+				orphanObjects = append(orphanObjects, n.objects...)
+			} else {
+				orphanNodes = append(orphanNodes, n.children...)
+			}
+		}
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		path[i].recompute()
+	}
+	// Shrink the root if it lost all but one child.
+	for !t.root.leaf && len(t.root.children) == 1 {
+		t.root = t.root.children[0]
+	}
+	if !t.root.leaf && len(t.root.children) == 0 {
+		t.root = &node{leaf: true, terms: map[textctx.ItemID]struct{}{}}
+	}
+
+	// Reinsert orphaned entries. Subtree orphans are flattened to their
+	// objects: correct (if not optimal) and keeps the logic simple.
+	for len(orphanNodes) > 0 {
+		n := orphanNodes[len(orphanNodes)-1]
+		orphanNodes = orphanNodes[:len(orphanNodes)-1]
+		if n.leaf {
+			orphanObjects = append(orphanObjects, n.objects...)
+		} else {
+			orphanNodes = append(orphanNodes, n.children...)
+		}
+	}
+	for _, o := range orphanObjects {
+		t.size-- // insert re-increments
+		t.insert(o)
+	}
+	return true
+}
+
+// findLeaf locates the leaf containing the object, descending only into
+// subtrees whose rectangle contains loc.
+func (t *Tree) findLeaf(n *node, path []*node, id int32, loc geo.Point) (*node, []*node) {
+	if !n.rect.Contains(loc) && t.size > 0 && n != t.root {
+		return nil, nil
+	}
+	path = append(path, n)
+	if n.leaf {
+		for _, o := range n.objects {
+			if o.ID == id && o.Loc == loc {
+				return n, path
+			}
+		}
+		return nil, nil
+	}
+	for _, c := range n.children {
+		if c.rect.Contains(loc) {
+			if leaf, p := t.findLeaf(c, path, id, loc); leaf != nil {
+				return leaf, p
+			}
+		}
+	}
+	return nil, nil
+}
+
+func removeChild(parent, child *node) {
+	for i, c := range parent.children {
+		if c == child {
+			parent.children = append(parent.children[:i], parent.children[i+1:]...)
+			return
+		}
+	}
+}

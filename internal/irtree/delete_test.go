@@ -1,0 +1,170 @@
+package irtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New()
+	objs := []Object{
+		{ID: 1, Loc: geo.Pt(1, 1), Terms: textctx.NewSet(1)},
+		{ID: 2, Loc: geo.Pt(2, 2), Terms: textctx.NewSet(2)},
+		{ID: 3, Loc: geo.Pt(3, 3), Terms: textctx.NewSet(3)},
+	}
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tr.Delete(2, geo.Pt(2, 2)) {
+		t.Fatal("Delete returned false for present object")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d after delete", tr.Len())
+	}
+	if tr.Delete(2, geo.Pt(2, 2)) {
+		t.Error("double delete returned true")
+	}
+	if tr.Delete(99, geo.Pt(1, 1)) {
+		t.Error("deleting unknown id returned true")
+	}
+	if tr.Delete(1, geo.Pt(9, 9)) {
+		t.Error("deleting with wrong location returned true")
+	}
+	got := tr.NearestK(geo.Pt(2, 2), 3)
+	if len(got) != 2 {
+		t.Fatalf("NearestK after delete returned %d", len(got))
+	}
+	for _, r := range got {
+		if r.Obj.ID == 2 {
+			t.Error("deleted object still returned")
+		}
+	}
+}
+
+func TestDeleteEmptyAndInvalid(t *testing.T) {
+	tr := New()
+	if tr.Delete(1, geo.Pt(0, 0)) {
+		t.Error("delete on empty tree returned true")
+	}
+	if err := tr.Insert(Object{ID: 1, Loc: geo.Pt(0, 0)}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Delete(1, geo.Point{X: 1, Y: math.Inf(1)}) { // invalid loc
+		t.Error("invalid location accepted")
+	}
+}
+
+// TestDeleteManyMaintainsInvariants deletes half of a large tree in
+// random order, checking structural invariants and query correctness
+// along the way.
+func TestDeleteManyMaintainsInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	objs := randomObjects(rng, 600, 40, 5)
+	tr := New()
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perm := rng.Perm(len(objs))
+	removed := map[int32]bool{}
+	for n, pi := range perm[:300] {
+		o := objs[pi]
+		if !tr.Delete(o.ID, o.Loc) {
+			t.Fatalf("failed to delete object %d", o.ID)
+		}
+		removed[o.ID] = true
+		if n%50 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d deletions: %v", n+1, err)
+			}
+		}
+	}
+	if tr.Len() != 300 {
+		t.Fatalf("Len = %d, want 300", tr.Len())
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Every remaining object is findable; no removed one is.
+	all := tr.RangeSearch(geo.NewRect(geo.Pt(-1, -1), geo.Pt(101, 101)))
+	if len(all) != 300 {
+		t.Fatalf("RangeSearch found %d objects", len(all))
+	}
+	for _, o := range all {
+		if removed[o.ID] {
+			t.Fatalf("removed object %d still present", o.ID)
+		}
+	}
+}
+
+func TestDeleteToEmptyAndReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	objs := randomObjects(rng, 80, 20, 4)
+	tr := New()
+	for _, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, o := range objs {
+		if !tr.Delete(o.ID, o.Loc) {
+			t.Fatalf("failed to delete %d", o.ID)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tr.Len())
+	}
+	// The tree must be reusable after draining.
+	for _, o := range objs[:20] {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.NearestK(geo.Pt(50, 50), 5); len(got) != 5 {
+		t.Fatalf("NearestK after refill returned %d", len(got))
+	}
+}
+
+// TestDeleteKeepsInvertedFilesTight: after deletions, node inverted files
+// must not miss terms of remaining objects (checkInvariants covers the
+// superset direction; here we verify queries still find matches).
+func TestDeleteKeepsInvertedFilesTight(t *testing.T) {
+	d := textctx.NewDict()
+	tr := New()
+	for i := 0; i < 60; i++ {
+		term := "common"
+		if i == 42 {
+			term = "special"
+		}
+		err := tr.Insert(Object{
+			ID:    int32(i),
+			Loc:   geo.Pt(float64(i%10), float64(i/10)),
+			Terms: textctx.NewSetFromStrings(d, []string{term}),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	special, _ := d.Lookup("special")
+	kw := textctx.NewSet(special)
+	// Delete a batch of commons around the special object.
+	for i := 35; i < 42; i++ {
+		if !tr.Delete(int32(i), geo.Pt(float64(i%10), float64(i/10))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	got := tr.TopK(geo.Pt(5, 5), kw, QueryOptions{K: 1, Beta: 0.99})
+	if len(got) != 1 || got[0].Obj.ID != 42 {
+		t.Fatalf("TopK after deletions = %+v, want object 42", got)
+	}
+}

@@ -1,0 +1,35 @@
+package irtree_test
+
+import (
+	"fmt"
+
+	"repro/internal/geo"
+	"repro/internal/irtree"
+	"repro/internal/textctx"
+)
+
+// Example shows top-k spatial keyword retrieval over a bulk-loaded
+// IR-tree: a query location plus keywords rank objects by combined
+// textual and spatial relevance — the nearby partial match (the music
+// museum next door) outranks the perfect match on the far side of town.
+func Example() {
+	d := textctx.NewDict()
+	objs := []irtree.Object{
+		{ID: 1, Loc: geo.Pt(1, 0), Terms: textctx.NewSetFromStrings(d, []string{"history", "museum"})},
+		{ID: 2, Loc: geo.Pt(0, 2), Terms: textctx.NewSetFromStrings(d, []string{"park"})},
+		{ID: 3, Loc: geo.Pt(5, 5), Terms: textctx.NewSetFromStrings(d, []string{"history", "museum"})},
+		{ID: 4, Loc: geo.Pt(-1, 0), Terms: textctx.NewSetFromStrings(d, []string{"music", "museum"})},
+	}
+	tree, err := irtree.BulkLoad(objs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	kw := textctx.NewSetFromStrings(d, []string{"history", "museum"})
+	for _, r := range tree.TopK(geo.Pt(0, 0), kw, irtree.QueryOptions{K: 2}) {
+		fmt.Printf("object %d (text %.2f)\n", r.Obj.ID, r.TextSim)
+	}
+	// Output:
+	// object 1 (text 1.00)
+	// object 4 (text 0.33)
+}

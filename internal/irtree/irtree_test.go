@@ -1,0 +1,334 @@
+package irtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+func randomObjects(rng *rand.Rand, n, vocab, ctxSize int) []Object {
+	objs := make([]Object, n)
+	for i := range objs {
+		sz := 1 + rng.Intn(ctxSize)
+		ids := make([]textctx.ItemID, sz)
+		for j := range ids {
+			ids[j] = textctx.ItemID(rng.Intn(vocab))
+		}
+		objs[i] = Object{
+			ID:    int32(i),
+			Loc:   geo.Pt(rng.Float64()*100, rng.Float64()*100),
+			Terms: textctx.NewSet(ids...),
+		}
+	}
+	return objs
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Error("empty tree Len != 0")
+	}
+	if _, ok := tr.Bounds(); ok {
+		t.Error("empty tree has bounds")
+	}
+	if got := tr.TopK(geo.Pt(0, 0), textctx.NewSet(1), QueryOptions{K: 5}); got != nil {
+		t.Error("TopK on empty tree returned results")
+	}
+	if got := tr.NearestK(geo.Pt(0, 0), 3); got != nil {
+		t.Error("NearestK on empty tree returned results")
+	}
+	if got := tr.RangeSearch(geo.NewRect(geo.Pt(0, 0), geo.Pt(1, 1))); got != nil {
+		t.Error("RangeSearch on empty tree returned results")
+	}
+}
+
+func TestInsertInvalid(t *testing.T) {
+	tr := New()
+	if err := tr.Insert(Object{Loc: geo.Pt(math.NaN(), 0)}); err == nil {
+		t.Error("NaN location accepted")
+	}
+	if _, err := BulkLoad([]Object{{Loc: geo.Pt(0, math.Inf(1))}}); err == nil {
+		t.Error("BulkLoad accepted Inf location")
+	}
+}
+
+func TestInsertInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := New()
+	objs := randomObjects(rng, 500, 50, 6)
+	for i, o := range objs {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+		if i%97 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("after %d inserts: %v", i+1, err)
+			}
+		}
+	}
+	if tr.Len() != len(objs) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(objs))
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() < 2 {
+		t.Errorf("500 objects should produce height ≥ 2, got %d", tr.Height())
+	}
+}
+
+func TestBulkLoadInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 15, 16, 17, 100, 1000} {
+		objs := randomObjects(rng, n, 40, 5)
+		tr, err := BulkLoad(objs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("n=%d: Len = %d", n, tr.Len())
+		}
+		if n > 0 {
+			// STR trees are balanced and within capacity, but interior
+			// fill below minEntries is acceptable for the last groups, so
+			// only check containment/term invariants via queries below.
+			all := tr.RangeSearch(tr.root.rect)
+			if len(all) != n {
+				t.Fatalf("n=%d: RangeSearch(bounds) = %d", n, len(all))
+			}
+		}
+	}
+}
+
+func TestRangeSearchMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	objs := randomObjects(rng, 400, 30, 4)
+	tr, err := BulkLoad(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 25; trial++ {
+		a := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		b := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		r := geo.NewRect(a, b)
+		got := tr.RangeSearch(r)
+		var want []int32
+		for _, o := range objs {
+			if r.Contains(o.Loc) {
+				want = append(want, o.ID)
+			}
+		}
+		gotIDs := make([]int32, len(got))
+		for i, o := range got {
+			gotIDs[i] = o.ID
+		}
+		sortInt32s(gotIDs)
+		sortInt32s(want)
+		if !equalInt32s(gotIDs, want) {
+			t.Fatalf("trial %d: range mismatch: got %d, want %d objects", trial, len(gotIDs), len(want))
+		}
+	}
+}
+
+func TestNearestKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := randomObjects(rng, 300, 30, 4)
+	for _, build := range []string{"insert", "bulk"} {
+		var tr *Tree
+		if build == "bulk" {
+			var err error
+			tr, err = BulkLoad(objs)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			tr = New()
+			for _, o := range objs {
+				if err := tr.Insert(o); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+			k := 1 + rng.Intn(20)
+			got := tr.NearestK(q, k)
+			if len(got) != k {
+				t.Fatalf("%s: NearestK returned %d, want %d", build, len(got), k)
+			}
+			// Distances must be sorted and match the brute-force k-th.
+			dists := make([]float64, len(objs))
+			for i, o := range objs {
+				dists[i] = o.Loc.Dist(q)
+			}
+			sort.Float64s(dists)
+			for i, r := range got {
+				if math.Abs(r.Dist-dists[i]) > 1e-9 {
+					t.Fatalf("%s trial %d: dist[%d] = %g, want %g", build, trial, i, r.Dist, dists[i])
+				}
+			}
+		}
+	}
+}
+
+func TestTopKMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	objs := randomObjects(rng, 400, 25, 5)
+	tr, err := BulkLoad(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := tr.root.rect.Min.Dist(tr.root.rect.Max)
+	for trial := 0; trial < 15; trial++ {
+		q := geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		kw := textctx.NewSet(
+			textctx.ItemID(rng.Intn(25)), textctx.ItemID(rng.Intn(25)), textctx.ItemID(rng.Intn(25)))
+		k := 1 + rng.Intn(30)
+		beta := 0.5
+		got := tr.TopK(q, kw, QueryOptions{K: k, Beta: beta, MaxDist: diag})
+
+		scores := make([]float64, len(objs))
+		for i, o := range objs {
+			prox := 1 - o.Loc.Dist(q)/diag
+			if prox < 0 {
+				prox = 0
+			}
+			scores[i] = beta*kw.Jaccard(o.Terms) + (1-beta)*prox
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(scores)))
+		if len(got) != k {
+			t.Fatalf("trial %d: got %d results, want %d", trial, len(got), k)
+		}
+		for i, r := range got {
+			if math.Abs(r.Score-scores[i]) > 1e-9 {
+				t.Fatalf("trial %d: score[%d] = %g, want %g", trial, i, r.Score, scores[i])
+			}
+		}
+		// Scores are non-increasing.
+		for i := 1; i < len(got); i++ {
+			if got[i].Score > got[i-1].Score+1e-12 {
+				t.Fatalf("trial %d: scores not sorted", trial)
+			}
+		}
+	}
+}
+
+func TestTopKTextOnlySignal(t *testing.T) {
+	// Two objects equidistant from q; the one matching the keyword must
+	// rank first.
+	d := textctx.NewDict()
+	tr := New()
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(tr.Insert(Object{ID: 1, Loc: geo.Pt(1, 0), Terms: textctx.NewSetFromStrings(d, []string{"museum"})}))
+	must(tr.Insert(Object{ID: 2, Loc: geo.Pt(-1, 0), Terms: textctx.NewSetFromStrings(d, []string{"park"})}))
+	kw := textctx.NewSetFromStrings(d, []string{"museum"})
+	got := tr.TopK(geo.Pt(0, 0), kw, QueryOptions{K: 2})
+	if len(got) != 2 || got[0].Obj.ID != 1 {
+		t.Fatalf("TopK = %+v, want museum first", got)
+	}
+	if got[0].TextSim != 1 || got[1].TextSim != 0 {
+		t.Errorf("TextSim = %g, %g", got[0].TextSim, got[1].TextSim)
+	}
+}
+
+func TestTopKEmptyKeywords(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	objs := randomObjects(rng, 100, 20, 4)
+	tr, err := BulkLoad(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geo.Pt(50, 50)
+	got := tr.TopK(q, textctx.Set{}, QueryOptions{K: 5})
+	if len(got) != 5 {
+		t.Fatalf("got %d results", len(got))
+	}
+	// With no keywords the ranking reduces to spatial proximity.
+	nn := tr.NearestK(q, 5)
+	for i := range got {
+		if math.Abs(got[i].Dist-nn[i].Dist) > 1e-9 {
+			t.Errorf("rank %d: TopK dist %g vs NearestK %g", i, got[i].Dist, nn[i].Dist)
+		}
+	}
+}
+
+func TestAllObjectsAtSamePoint(t *testing.T) {
+	tr := New()
+	for i := 0; i < 40; i++ {
+		if err := tr.Insert(Object{ID: int32(i), Loc: geo.Pt(5, 5), Terms: textctx.NewSet(textctx.ItemID(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.TopK(geo.Pt(5, 5), textctx.NewSet(3), QueryOptions{K: 1})
+	if len(got) != 1 || got[0].Obj.ID != 3 {
+		t.Errorf("TopK = %+v, want object 3", got)
+	}
+}
+
+func TestHeightGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := New()
+	if tr.Height() != 1 {
+		t.Errorf("empty height = %d", tr.Height())
+	}
+	for _, o := range randomObjects(rng, 2000, 10, 2) {
+		if err := tr.Insert(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h := tr.Height(); h < 3 {
+		t.Errorf("height = %d for 2000 objects, want ≥ 3", h)
+	}
+}
+
+func sortInt32s(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkBulkLoad10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	objs := randomObjects(rng, 10000, 1000, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BulkLoad(objs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopK10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	objs := randomObjects(rng, 10000, 1000, 8)
+	tr, err := BulkLoad(objs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kw := textctx.NewSet(1, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TopK(geo.Pt(50, 50), kw, QueryOptions{K: 100})
+	}
+}

@@ -1,0 +1,256 @@
+package irtree
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// QueryOptions configures a top-k spatial-keyword query.
+type QueryOptions struct {
+	// K is the number of results to return.
+	K int
+	// Beta weighs textual relevance against spatial proximity in
+	//   score = β·Jaccard(keywords, terms) + (1−β)·max(0, 1 − dist/MaxDist).
+	// The default 0.5 weighs them equally.
+	Beta float64
+	// MaxDist normalises distances; 0 means the diagonal of the tree's
+	// bounding rectangle (the paper normalises by the city's largest
+	// distance).
+	MaxDist float64
+}
+
+// Result is one ranked retrieval result.
+type Result struct {
+	Obj Object
+	// Score is the combined relevance rF ∈ [0, 1].
+	Score float64
+	// Dist is the Euclidean distance to the query location.
+	Dist float64
+	// TextSim is the Jaccard similarity of the query keywords to the
+	// object's terms.
+	TextSim float64
+}
+
+type pqEntry struct {
+	n     *node  // nil for object entries
+	obj   Object // valid when n == nil
+	bound float64
+	// exact results carry their final Dist/TextSim
+	dist, tsim float64
+}
+
+type pq []pqEntry
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].bound > p[j].bound }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqEntry)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	e := old[n-1]
+	*p = old[:n-1]
+	return e
+}
+
+// TopK returns the k objects with the highest combined spatial-keyword
+// relevance to the query location and keywords, best first. It performs a
+// best-first traversal, pruning subtrees by an admissible upper bound
+// combining the node's MINDIST and its inverted file.
+func (t *Tree) TopK(q geo.Point, keywords textctx.Set, opt QueryOptions) []Result {
+	if opt.K <= 0 || t.size == 0 {
+		return nil
+	}
+	beta := opt.Beta
+	if beta == 0 {
+		beta = 0.5
+	}
+	maxDist := opt.MaxDist
+	if maxDist <= 0 {
+		maxDist = t.root.rect.Min.Dist(t.root.rect.Max)
+		if maxDist == 0 {
+			maxDist = 1 // all objects at one point; distances are all 0
+		}
+	}
+
+	score := func(o Object) (s, d, ts float64) {
+		d = o.Loc.Dist(q)
+		ts = keywords.Jaccard(o.Terms)
+		prox := 1 - d/maxDist
+		if prox < 0 {
+			prox = 0
+		}
+		return beta*ts + (1-beta)*prox, d, ts
+	}
+	nodeBound := func(n *node) float64 {
+		// Textual bound: Jaccard(kw, C(p)) ≤ |kw ∩ terms(N)| / |kw| for
+		// every descendant p, since the union is at least |kw|.
+		var tb float64
+		if keywords.Len() > 0 {
+			inter := 0
+			for _, term := range keywords.Items() {
+				if _, ok := n.terms[term]; ok {
+					inter++
+				}
+			}
+			tb = float64(inter) / float64(keywords.Len())
+		}
+		prox := 1 - n.rect.MinDist(q)/maxDist
+		if prox < 0 {
+			prox = 0
+		}
+		return beta*tb + (1-beta)*prox
+	}
+
+	h := &pq{{n: t.root, bound: nodeBound(t.root)}}
+	var out []Result
+	for h.Len() > 0 && len(out) < opt.K {
+		e := heap.Pop(h).(pqEntry)
+		if e.n == nil {
+			out = append(out, Result{Obj: e.obj, Score: e.bound, Dist: e.dist, TextSim: e.tsim})
+			continue
+		}
+		if e.n.leaf {
+			for _, o := range e.n.objects {
+				s, d, ts := score(o)
+				heap.Push(h, pqEntry{obj: o, bound: s, dist: d, tsim: ts})
+			}
+			continue
+		}
+		for _, c := range e.n.children {
+			heap.Push(h, pqEntry{n: c, bound: nodeBound(c)})
+		}
+	}
+	return out
+}
+
+// NearestK returns the k objects nearest to q (pure spatial kNN via
+// best-first search on MINDIST), nearest first.
+func (t *Tree) NearestK(q geo.Point, k int) []Result {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	h := &pq{{n: t.root, bound: -t.root.rect.MinDist(q)}}
+	var out []Result
+	for h.Len() > 0 && len(out) < k {
+		e := heap.Pop(h).(pqEntry)
+		if e.n == nil {
+			out = append(out, Result{Obj: e.obj, Dist: -e.bound})
+			continue
+		}
+		if e.n.leaf {
+			for _, o := range e.n.objects {
+				heap.Push(h, pqEntry{obj: o, bound: -o.Loc.Dist(q)})
+			}
+			continue
+		}
+		for _, c := range e.n.children {
+			heap.Push(h, pqEntry{n: c, bound: -c.rect.MinDist(q)})
+		}
+	}
+	return out
+}
+
+// RangeSearch returns all objects inside r, in no particular order.
+func (t *Tree) RangeSearch(r geo.Rect) []Object {
+	if t.size == 0 {
+		return nil
+	}
+	var out []Object
+	var walk func(n *node)
+	walk = func(n *node) {
+		if !n.rect.Intersects(r) {
+			return
+		}
+		if n.leaf {
+			for _, o := range n.objects {
+				if r.Contains(o.Loc) {
+					out = append(out, o)
+				}
+			}
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// BulkLoad builds an IR-tree over objs using Sort-Tile-Recursive packing,
+// which produces a well-filled balanced tree much faster than repeated
+// insertion. The input slice is not modified.
+func BulkLoad(objs []Object) (*Tree, error) {
+	t := New()
+	for _, o := range objs {
+		if !o.Loc.Valid() {
+			return nil, &InvalidObjectError{ID: o.ID, Loc: o.Loc}
+		}
+	}
+	if len(objs) == 0 {
+		return t, nil
+	}
+	t.size = len(objs)
+
+	// Pack leaves with STR.
+	sorted := append([]Object(nil), objs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Loc.X < sorted[j].Loc.X })
+	cap_ := t.maxEntries
+	nLeaves := (len(sorted) + cap_ - 1) / cap_
+	nSlices := int(math.Ceil(math.Sqrt(float64(nLeaves))))
+	sliceSz := nSlices * cap_
+
+	var leaves []*node
+	for s := 0; s < len(sorted); s += sliceSz {
+		end := s + sliceSz
+		if end > len(sorted) {
+			end = len(sorted)
+		}
+		strip := sorted[s:end]
+		sort.Slice(strip, func(i, j int) bool { return strip[i].Loc.Y < strip[j].Loc.Y })
+		for o := 0; o < len(strip); o += cap_ {
+			oe := o + cap_
+			if oe > len(strip) {
+				oe = len(strip)
+			}
+			leaf := &node{leaf: true, objects: append([]Object(nil), strip[o:oe]...)}
+			leaf.recompute()
+			leaves = append(leaves, leaf)
+		}
+	}
+
+	// Build internal levels by packing children in groups.
+	level := leaves
+	for len(level) > 1 {
+		var next []*node
+		for s := 0; s < len(level); s += cap_ {
+			e := s + cap_
+			if e > len(level) {
+				e = len(level)
+			}
+			n := &node{children: append([]*node(nil), level[s:e]...)}
+			n.recompute()
+			next = append(next, n)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t, nil
+}
+
+// InvalidObjectError reports an object with a non-finite location.
+type InvalidObjectError struct {
+	ID  int32
+	Loc geo.Point
+}
+
+// Error implements error.
+func (e *InvalidObjectError) Error() string {
+	return fmt.Sprintf("irtree: invalid location %v for object %d", e.Loc, e.ID)
+}

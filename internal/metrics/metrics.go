@@ -1,0 +1,313 @@
+// Package metrics provides selection-quality diagnostics for a result
+// set R chosen from a scored set S: how proportionally R represents S's
+// frequent contextual items and directions, how diverse and relevant it
+// is, and whether a user could read S's dominant types off R. The
+// simulated user study (internal/usereval) builds its evaluator utilities
+// from these signals, and downstream applications can report them next to
+// any selection.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/textctx"
+)
+
+// DefaultMinSupportFrac is the support threshold separating "frequent"
+// items (types) from rare ones: items carried by at least this fraction
+// of the places in S.
+const DefaultMinSupportFrac = 0.05
+
+// Report bundles every diagnostic for one selection.
+type Report struct {
+	// FrequentKL is KL(S‖R) over the frequent-item distributions
+	// (0 = R's emphasis matches S exactly; larger = more misleading).
+	FrequentKL float64
+	// InferenceMatch is 1 / (1 + FrequentKL) ∈ (0, 1].
+	InferenceMatch float64
+	// RareShare is the fraction of R's item occurrences that are rare in
+	// S (one-off oddities read as noise).
+	RareShare float64
+	// Dominance ∈ [0, 1] scores whether R's most repeated informative
+	// items are S's most frequent ones, in order.
+	Dominance float64
+	// TypeCoverage ∈ [0, 1] saturates as R covers several frequent items.
+	TypeCoverage float64
+	// DirectionalCoverage is 1 − TV distance between the angular
+	// histograms of R and S around the query.
+	DirectionalCoverage float64
+	// Diversity is 1 − mean pairwise combined similarity within R.
+	Diversity float64
+	// MeanRelevance is the average rF of R.
+	MeanRelevance float64
+}
+
+// Evaluate computes the full report for r against ss.
+func Evaluate(ss *core.ScoreSet, r []int) Report {
+	rep := Report{
+		FrequentKL:          FrequentItemKL(ss, r),
+		RareShare:           RareShare(ss, r),
+		Dominance:           DominanceAgreement(ss, r),
+		TypeCoverage:        TypeCoverage(ss, r),
+		DirectionalCoverage: DirectionalCoverage(ss, r, 8),
+		Diversity:           Diversity(ss, r),
+		MeanRelevance:       MeanRelevance(ss, r),
+	}
+	rep.InferenceMatch = 1 / (1 + rep.FrequentKL)
+	return rep
+}
+
+// supportOf counts, for every contextual item, the number of places in S
+// carrying it.
+func supportOf(ss *core.ScoreSet) map[textctx.ItemID]int {
+	sup := make(map[textctx.ItemID]int)
+	for i := range ss.Places {
+		for _, it := range ss.Places[i].Context.Items() {
+			sup[it]++
+		}
+	}
+	return sup
+}
+
+// minSupport converts the default fraction into an absolute count.
+func minSupport(n int) int {
+	m := int(float64(n) * DefaultMinSupportFrac)
+	if m < 3 {
+		m = 3
+	}
+	return m
+}
+
+// FrequentItemKL returns KL(S‖R) between the distributions of frequent
+// items in S and in R (additively smoothed). Under-representing a
+// dominant item costs much more than over-representing it — the right
+// asymmetry for "how wrong is a user's inference about the area".
+func FrequentItemKL(ss *core.ScoreSet, r []int) float64 {
+	if len(r) == 0 {
+		return math.Inf(1)
+	}
+	sup := supportOf(ss)
+	minSup := minSupport(len(ss.Places))
+	freqS := make(map[textctx.ItemID]float64)
+	var totS float64
+	for it, c := range sup {
+		if c >= minSup {
+			freqS[it] = float64(c)
+			totS += float64(c)
+		}
+	}
+	if totS == 0 {
+		return 0 // no frequent structure to misrepresent
+	}
+	freqR := make(map[textctx.ItemID]float64)
+	var totR float64
+	for _, i := range r {
+		for _, it := range ss.Places[i].Context.Items() {
+			if _, ok := freqS[it]; ok {
+				freqR[it]++
+				totR++
+			}
+		}
+	}
+	const alpha = 0.5
+	denom := totR + alpha*float64(len(freqS))
+	var kl float64
+	for it, fs := range freqS {
+		ps := fs / totS
+		pr := (freqR[it] + alpha) / denom
+		kl += ps * math.Log(ps/pr)
+	}
+	if kl < 0 {
+		kl = 0
+	}
+	return kl
+}
+
+// RareShare returns the fraction of R's contextual item occurrences that
+// are rare in S. An empty R returns 1 (all noise, vacuously).
+func RareShare(ss *core.ScoreSet, r []int) float64 {
+	sup := supportOf(ss)
+	minSup := minSupport(len(ss.Places))
+	var rare, occ float64
+	for _, i := range r {
+		for _, it := range ss.Places[i].Context.Items() {
+			occ++
+			if sup[it] < minSup {
+				rare++
+			}
+		}
+	}
+	if occ == 0 {
+		return 1
+	}
+	return rare / occ
+}
+
+// DominanceAgreement scores whether R's most repeated informative items
+// (frequent in S but not universal — an item carried by over half the
+// places identifies nothing) match S's top-3, weighting the top type
+// heaviest: 0.5·[top-1 agrees] + 0.3·overlap(top-2)/2 + 0.2·overlap(top-3)/3.
+func DominanceAgreement(ss *core.ScoreSet, r []int) float64 {
+	sup := supportOf(ss)
+	minSup := minSupport(len(ss.Places))
+	maxSup := len(ss.Places) / 2
+	informative := func(it textctx.ItemID) bool {
+		return sup[it] >= minSup && sup[it] <= maxSup
+	}
+	topS := topItems(toFloat(sup), informative, 3, nil)
+	countR := make(map[textctx.ItemID]float64)
+	for _, i := range r {
+		for _, it := range ss.Places[i].Context.Items() {
+			if informative(it) {
+				countR[it]++
+			}
+		}
+	}
+	topR := topItems(countR, informative, 3, toFloat(sup))
+	var score float64
+	if len(topS) > 0 && len(topR) > 0 && topS[0] == topR[0] {
+		score += 0.5
+	}
+	score += 0.3 * overlap(topS, topR, 2)
+	score += 0.2 * overlap(topS, topR, 3)
+	return score
+}
+
+// TypeCoverage returns the fraction (saturating at six items ≈ three
+// two-word types) of distinct frequent items of S appearing in R.
+func TypeCoverage(ss *core.ScoreSet, r []int) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	sup := supportOf(ss)
+	minSup := minSupport(len(ss.Places))
+	covered := make(map[textctx.ItemID]bool)
+	for _, i := range r {
+		for _, it := range ss.Places[i].Context.Items() {
+			if sup[it] >= minSup {
+				covered[it] = true
+			}
+		}
+	}
+	c := float64(len(covered)) / 6
+	if c > 1 {
+		c = 1
+	}
+	return c
+}
+
+// DirectionalCoverage returns 1 − total-variation distance between the
+// angular histograms (the given number of sectors around the query) of R
+// and S.
+func DirectionalCoverage(ss *core.ScoreSet, r []int, sectors int) float64 {
+	if len(r) == 0 || sectors <= 0 {
+		return 0
+	}
+	bin := func(i int) int {
+		a := ss.Places[i].Loc.Angle(ss.Q)
+		s := int(a / (2 * math.Pi / float64(sectors)))
+		if s >= sectors {
+			s = sectors - 1
+		}
+		return s
+	}
+	hs := make([]float64, sectors)
+	hr := make([]float64, sectors)
+	for i := range ss.Places {
+		hs[bin(i)]++
+	}
+	for _, i := range r {
+		hr[bin(i)]++
+	}
+	var tv float64
+	for b := range hs {
+		tv += math.Abs(hs[b]/float64(len(ss.Places)) - hr[b]/float64(len(r)))
+	}
+	return 1 - tv/2
+}
+
+// Diversity returns 1 − mean pairwise combined similarity sF within R
+// (0 for fewer than two places).
+func Diversity(ss *core.ScoreSet, r []int) float64 {
+	if len(r) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for a := 0; a < len(r); a++ {
+		for b := a + 1; b < len(r); b++ {
+			sum += ss.SF.At(r[a], r[b])
+			n++
+		}
+	}
+	return 1 - sum/float64(n)
+}
+
+// MeanRelevance returns the average rF over R (0 for empty R).
+func MeanRelevance(ss *core.ScoreSet, r []int) float64 {
+	if len(r) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, i := range r {
+		sum += ss.Places[i].Rel
+	}
+	return sum / float64(len(r))
+}
+
+func toFloat(m map[textctx.ItemID]int) map[textctx.ItemID]float64 {
+	out := make(map[textctx.ItemID]float64, len(m))
+	for k, v := range m {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// topItems returns up to n keys with the largest counts, ties broken by
+// higher secondary count (if given) then smaller id, for determinism.
+func topItems(counts map[textctx.ItemID]float64, ok func(textctx.ItemID) bool, n int, secondary map[textctx.ItemID]float64) []textctx.ItemID {
+	items := make([]textctx.ItemID, 0, len(counts))
+	for it, c := range counts {
+		if c > 0 && ok(it) {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		ca, cb := counts[items[a]], counts[items[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		if secondary != nil && secondary[items[a]] != secondary[items[b]] {
+			return secondary[items[a]] > secondary[items[b]]
+		}
+		return items[a] < items[b]
+	})
+	if len(items) > n {
+		items = items[:n]
+	}
+	return items
+}
+
+// overlap is |prefix_n(a) ∩ prefix_n(b)| / n.
+func overlap(a, b []textctx.ItemID, n int) float64 {
+	na, nb := a, b
+	if len(na) > n {
+		na = na[:n]
+	}
+	if len(nb) > n {
+		nb = nb[:n]
+	}
+	set := make(map[textctx.ItemID]bool, len(na))
+	for _, it := range na {
+		set[it] = true
+	}
+	var inter int
+	for _, it := range nb {
+		if set[it] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(n)
+}

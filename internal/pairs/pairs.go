@@ -1,0 +1,103 @@
+// Package pairs provides a compact symmetric pairwise-score matrix used as
+// the Step-1 cache of the proportionality framework: contextual (sC) and
+// spatial (sS) similarities are computed once for all pairs of retrieved
+// places and then reused as many times as necessary by the greedy selection
+// algorithms of Step 2.
+package pairs
+
+import "fmt"
+
+// Matrix stores a symmetric pairwise score matrix over n objects with an
+// implicit zero diagonal, packed as the strict upper triangle in row-major
+// order.
+type Matrix struct {
+	n   int
+	val []float64
+}
+
+// New returns an all-zero n×n symmetric score matrix.
+func New(n int) *Matrix {
+	if n < 0 {
+		panic("pairs: negative Matrix size")
+	}
+	return &Matrix{n: n, val: make([]float64, n*(n-1)/2)}
+}
+
+// N returns the number of objects.
+func (m *Matrix) N() int { return m.n }
+
+func (m *Matrix) idx(i, j int) int {
+	if i == j || i < 0 || j < 0 || i >= m.n || j >= m.n {
+		panic(fmt.Sprintf("pairs: index (%d, %d) out of range for n=%d", i, j, m.n))
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return i*m.n - i*(i+1)/2 + (j - i - 1)
+}
+
+// At returns the score of the pair (i, j), i ≠ j.
+func (m *Matrix) At(i, j int) float64 { return m.val[m.idx(i, j)] }
+
+// Set stores the score of the pair (i, j), i ≠ j.
+func (m *Matrix) Set(i, j int, v float64) { m.val[m.idx(i, j)] = v }
+
+// Add accumulates v into the score of the pair (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.val[m.idx(i, j)] += v }
+
+// RowSums returns, for every object i, the sum of its scores against all
+// other objects — the pCS(p_i) / pSS(p_i) vectors of Eq. 3 and Eq. 6.
+func (m *Matrix) RowSums() []float64 {
+	sums := make([]float64, m.n)
+	k := 0
+	for i := 0; i < m.n; i++ {
+		for j := i + 1; j < m.n; j++ {
+			v := m.val[k]
+			k++
+			sums[i] += v
+			sums[j] += v
+		}
+	}
+	return sums
+}
+
+// Sum returns the sum of all pairwise scores (each unordered pair once).
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.val {
+		s += v
+	}
+	return s
+}
+
+// MaxAbsDiff returns the largest absolute difference between corresponding
+// entries of m and o. It panics if the sizes differ.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	if m.n != o.n {
+		panic("pairs: Matrix size mismatch")
+	}
+	var max float64
+	for k, v := range m.val {
+		d := v - o.val[k]
+		if d < 0 {
+			d = -d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Combine returns a new matrix whose entries are wa·a + wb·b, the weighted
+// similarity sF of Eq. 13 when a holds sC and b holds sS.
+func Combine(a, b *Matrix, wa, wb float64) *Matrix {
+	if a.n != b.n {
+		panic("pairs: Matrix size mismatch")
+	}
+	out := New(a.n)
+	for k := range out.val {
+		out.val[k] = wa*a.val[k] + wb*b.val[k]
+	}
+	return out
+}

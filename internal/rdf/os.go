@@ -1,0 +1,100 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/textctx"
+)
+
+// FilteredOSOptions extends OSOptions with predicate and class filters —
+// the "important entities" selection of the OS paradigm: a spatial OS
+// keeps only the neighbour kinds that describe the root (e.g. types and
+// collections), dropping housekeeping links.
+type FilteredOSOptions struct {
+	OSOptions
+	// Predicates restricts traversal to edges whose predicate name is in
+	// the set; empty means all predicates.
+	Predicates []string
+	// Classes restricts collected neighbours to entities of the given
+	// classes; empty means all classes.
+	Classes []string
+}
+
+// SpatialOSFiltered builds a spatial object summary like SpatialOS, but
+// honouring predicate and class filters.
+func (g *Graph) SpatialOSFiltered(root EntityID, dict *textctx.Dict, opt FilteredOSOptions) (ObjectSummary, error) {
+	e, ok := g.Entity(root)
+	if !ok {
+		return ObjectSummary{}, fmt.Errorf("rdf: unknown entity %d", root)
+	}
+	if !e.Spatial {
+		return ObjectSummary{}, fmt.Errorf("rdf: entity %d (%q) is not spatial", root, e.Label)
+	}
+	if dict == nil {
+		dict = textctx.NewDict()
+	}
+	depth := opt.MaxDepth
+	if depth <= 0 {
+		depth = 2
+	}
+
+	var predOK func(PredID) bool
+	if len(opt.Predicates) == 0 {
+		predOK = func(PredID) bool { return true }
+	} else {
+		allowed := make(map[PredID]bool, len(opt.Predicates))
+		for _, name := range opt.Predicates {
+			if id, ok := g.preds[name]; ok {
+				allowed[id] = true
+			}
+		}
+		predOK = func(p PredID) bool { return allowed[p] }
+	}
+	var classOK func(string) bool
+	if len(opt.Classes) == 0 {
+		classOK = func(string) bool { return true }
+	} else {
+		allowed := make(map[string]bool, len(opt.Classes))
+		for _, c := range opt.Classes {
+			allowed[c] = true
+		}
+		classOK = func(c string) bool { return allowed[c] }
+	}
+
+	visited := map[EntityID]bool{root: true}
+	frontier := []EntityID{root}
+	var nodes []EntityID
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []EntityID
+		expand := func(u EntityID, edges []Edge) {
+			for _, ed := range edges {
+				if !predOK(ed.Pred) || visited[ed.To] {
+					continue
+				}
+				visited[ed.To] = true
+				next = append(next, ed.To)
+			}
+		}
+		for _, u := range frontier {
+			expand(u, g.out[u])
+			expand(u, g.in[u])
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		for _, n := range next {
+			if classOK(g.entities[n].Class) {
+				nodes = append(nodes, n)
+			}
+		}
+		if opt.MaxNodes > 0 && len(nodes) >= opt.MaxNodes {
+			nodes = nodes[:opt.MaxNodes]
+			break
+		}
+		frontier = next
+	}
+	ids := make([]textctx.ItemID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = dict.Intern(g.entities[n].Label)
+	}
+	return ObjectSummary{Root: root, Nodes: nodes, Context: textctx.NewSet(ids...)}, nil
+}

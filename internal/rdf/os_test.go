@@ -1,0 +1,137 @@
+package rdf
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/textctx"
+)
+
+func TestSpatialOSFilteredByPredicate(t *testing.T) {
+	g, ids := museumGraph(t)
+	dict := textctx.NewDict()
+	// Only "type" edges: the Swedish History Museum's OS keeps its two
+	// type entities and drops the collections.
+	os, err := g.SpatialOSFiltered(ids["Swedish History Museum"], dict, FilteredOSOptions{
+		OSOptions:  OSOptions{MaxDepth: 1},
+		Predicates: []string{"type"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := os.Context.Words(dict)
+	if len(words) != 2 {
+		t.Fatalf("filtered context = %v, want 2 type entities", words)
+	}
+	for _, w := range words {
+		if w != "History museum" && w != "Nordic museum" {
+			t.Errorf("unexpected item %q", w)
+		}
+	}
+	// An unknown predicate filters everything out.
+	os, err = g.SpatialOSFiltered(ids["Swedish History Museum"], dict, FilteredOSOptions{
+		OSOptions:  OSOptions{MaxDepth: 2},
+		Predicates: []string{"no-such-predicate"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Context.Len() != 0 {
+		t.Errorf("unknown predicate produced %d items", os.Context.Len())
+	}
+}
+
+func TestSpatialOSFilteredByClass(t *testing.T) {
+	g, ids := museumGraph(t)
+	dict := textctx.NewDict()
+	os, err := g.SpatialOSFiltered(ids["Nobel Museum"], dict, FilteredOSOptions{
+		OSOptions: OSOptions{MaxDepth: 1},
+		Classes:   []string{"Collection"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := os.Context.Words(dict)
+	if len(words) != 1 || words[0] != "Laureates works" {
+		t.Errorf("class-filtered context = %v", words)
+	}
+}
+
+func TestSpatialOSFilteredMatchesUnfiltered(t *testing.T) {
+	g, ids := museumGraph(t)
+	d1, d2 := textctx.NewDict(), textctx.NewDict()
+	a, err := g.SpatialOS(ids["The Nordic Museum"], d1, OSOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.SpatialOSFiltered(ids["The Nordic Museum"], d2, FilteredOSOptions{
+		OSOptions: OSOptions{MaxDepth: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatalf("node counts differ: %d vs %d", len(a.Nodes), len(b.Nodes))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("node order differs between filtered (no filters) and unfiltered")
+		}
+	}
+}
+
+func TestSpatialOSFilteredErrors(t *testing.T) {
+	g, ids := museumGraph(t)
+	if _, err := g.SpatialOSFiltered(999, nil, FilteredOSOptions{}); err == nil {
+		t.Error("unknown root accepted")
+	}
+	if _, err := g.SpatialOSFiltered(ids["History museum"], nil, FilteredOSOptions{}); err == nil {
+		t.Error("non-spatial root accepted")
+	}
+}
+
+func TestGraphSaveLoadRoundTrip(t *testing.T) {
+	g, ids := museumGraph(t)
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats() != g2.Stats() {
+		t.Fatalf("stats differ: %v vs %v", g.Stats(), g2.Stats())
+	}
+	// Entity identity and structure preserved.
+	for label, id := range ids {
+		e1, _ := g.Entity(id)
+		e2, ok := g2.Entity(id)
+		if !ok || e1 != e2 {
+			t.Fatalf("entity %q differs after round trip: %+v vs %+v", label, e1, e2)
+		}
+		if len(g.OutEdges(id)) != len(g2.OutEdges(id)) {
+			t.Fatalf("out-degree of %q differs", label)
+		}
+	}
+	// Object summaries agree on the loaded graph.
+	d1, d2 := textctx.NewDict(), textctx.NewDict()
+	a, err := g.SpatialOS(ids["Nobel Museum"], d1, OSOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g2.SpatialOS(ids["Nobel Museum"], d2, OSOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw, bw := a.Context.Words(d1), b.Context.Words(d2)
+	if len(aw) != len(bw) {
+		t.Fatal("OS contexts differ after round trip")
+	}
+}
+
+func TestLoadGraphGarbage(t *testing.T) {
+	if _, err := LoadGraph(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package rdf
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/geo"
+)
+
+const graphFileVersion = 1
+
+type graphFile struct {
+	Version  int
+	Entities []fileEntity
+	Preds    []string
+	Triples  []fileTriple
+}
+
+type fileEntity struct {
+	Label, Class string
+	X, Y         float64
+	Spatial      bool
+}
+
+type fileTriple struct {
+	Subj int32
+	Pred int32
+	Obj  int32
+}
+
+// Save writes the graph to w in a self-contained binary format.
+func (g *Graph) Save(w io.Writer) error {
+	gf := graphFile{Version: graphFileVersion, Preds: append([]string(nil), g.predName...)}
+	gf.Entities = make([]fileEntity, len(g.entities))
+	for i, e := range g.entities {
+		gf.Entities[i] = fileEntity{Label: e.Label, Class: e.Class, X: e.Loc.X, Y: e.Loc.Y, Spatial: e.Spatial}
+	}
+	for subj, edges := range g.out {
+		for _, e := range edges {
+			gf.Triples = append(gf.Triples, fileTriple{Subj: int32(subj), Pred: int32(e.Pred), Obj: int32(e.To)})
+		}
+	}
+	return gob.NewEncoder(w).Encode(gf)
+}
+
+// LoadGraph reads a graph written by Save.
+func LoadGraph(r io.Reader) (*Graph, error) {
+	var gf graphFile
+	if err := gob.NewDecoder(r).Decode(&gf); err != nil {
+		return nil, fmt.Errorf("rdf: decode: %w", err)
+	}
+	if gf.Version != graphFileVersion {
+		return nil, fmt.Errorf("rdf: unsupported graph file version %d", gf.Version)
+	}
+	g := NewGraph()
+	for _, fe := range gf.Entities {
+		if fe.Spatial {
+			if _, err := g.AddSpatialEntity(fe.Label, fe.Class, geo.Pt(fe.X, fe.Y)); err != nil {
+				return nil, err
+			}
+		} else {
+			g.AddEntity(fe.Label, fe.Class)
+		}
+	}
+	for _, tr := range gf.Triples {
+		if int(tr.Pred) < 0 || int(tr.Pred) >= len(gf.Preds) {
+			return nil, fmt.Errorf("rdf: triple references unknown predicate %d", tr.Pred)
+		}
+		if err := g.AddTriple(EntityID(tr.Subj), gf.Preds[tr.Pred], EntityID(tr.Obj)); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,243 @@
+// Package rdf provides an in-memory RDF-style knowledge graph: entities
+// (some of which are spatial, i.e. carry a location) connected by
+// predicate-labelled triples. It implements the implicit-context side of
+// the paper: the contextual set of a spatial entity is derived from its
+// spatial Object Summary (OS) — the neighbouring entities linked to it
+// directly or indirectly (Fakas et al.) — as in the paper's DBpedia /
+// Yago2 experiments and the Figure 1 museum example.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// EntityID identifies an entity in a Graph.
+type EntityID int32
+
+// PredID identifies a predicate (edge label).
+type PredID int32
+
+// Entity is a node of the knowledge graph.
+type Entity struct {
+	ID    EntityID
+	Label string
+	// Class is the entity's type (e.g. "Museum", "Person").
+	Class string
+	// Loc is the entity's location; meaningful only when Spatial is true.
+	Loc geo.Point
+	// Spatial marks entities that are places.
+	Spatial bool
+}
+
+// Edge is one directed, predicate-labelled connection.
+type Edge struct {
+	Pred PredID
+	To   EntityID
+}
+
+// Graph is an in-memory triple store. It is safe for concurrent reads
+// after all writes complete.
+type Graph struct {
+	entities []Entity
+	preds    map[string]PredID
+	predName []string
+	out      [][]Edge
+	in       [][]Edge
+	triples  int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{preds: make(map[string]PredID)}
+}
+
+// AddEntity adds a non-spatial entity and returns its identifier.
+func (g *Graph) AddEntity(label, class string) EntityID {
+	id := EntityID(len(g.entities))
+	g.entities = append(g.entities, Entity{ID: id, Label: label, Class: class})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddSpatialEntity adds a place entity with a location.
+func (g *Graph) AddSpatialEntity(label, class string, loc geo.Point) (EntityID, error) {
+	if !loc.Valid() {
+		return 0, fmt.Errorf("rdf: invalid location %v for %q", loc, label)
+	}
+	id := g.AddEntity(label, class)
+	g.entities[id].Loc = loc
+	g.entities[id].Spatial = true
+	return id, nil
+}
+
+// AddTriple records the triple (subj, pred, obj).
+func (g *Graph) AddTriple(subj EntityID, pred string, obj EntityID) error {
+	if !g.valid(subj) || !g.valid(obj) {
+		return fmt.Errorf("rdf: triple (%d, %q, %d) references unknown entity", subj, pred, obj)
+	}
+	p, ok := g.preds[pred]
+	if !ok {
+		p = PredID(len(g.predName))
+		g.preds[pred] = p
+		g.predName = append(g.predName, pred)
+	}
+	g.out[subj] = append(g.out[subj], Edge{Pred: p, To: obj})
+	g.in[obj] = append(g.in[obj], Edge{Pred: p, To: subj})
+	g.triples++
+	return nil
+}
+
+func (g *Graph) valid(id EntityID) bool { return id >= 0 && int(id) < len(g.entities) }
+
+// Entity returns the entity with the given id.
+func (g *Graph) Entity(id EntityID) (Entity, bool) {
+	if !g.valid(id) {
+		return Entity{}, false
+	}
+	return g.entities[id], true
+}
+
+// Predicate returns the name of p.
+func (g *Graph) Predicate(p PredID) string {
+	if int(p) < 0 || int(p) >= len(g.predName) {
+		return ""
+	}
+	return g.predName[p]
+}
+
+// OutEdges returns the outgoing edges of id; the slice must not be
+// modified.
+func (g *Graph) OutEdges(id EntityID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.out[id]
+}
+
+// InEdges returns the incoming edges of id (Edge.To is the source).
+func (g *Graph) InEdges(id EntityID) []Edge {
+	if !g.valid(id) {
+		return nil
+	}
+	return g.in[id]
+}
+
+// NumEntities returns the number of entities.
+func (g *Graph) NumEntities() int { return len(g.entities) }
+
+// NumTriples returns the number of triples.
+func (g *Graph) NumTriples() int { return g.triples }
+
+// SpatialEntities returns the identifiers of all place entities.
+func (g *Graph) SpatialEntities() []EntityID {
+	var out []EntityID
+	for _, e := range g.entities {
+		if e.Spatial {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+// OSOptions bounds a spatial object summary.
+type OSOptions struct {
+	// MaxDepth limits how many links away from the root neighbours are
+	// collected; 0 means 2, a typical OS depth.
+	MaxDepth int
+	// MaxNodes caps the number of collected neighbour entities (the
+	// "important" size-l restriction of the OS paradigm); 0 means
+	// unlimited.
+	MaxNodes int
+}
+
+// ObjectSummary is a spatial OS: the tree of neighbouring entities rooted
+// at a spatial entity, flattened to its node set, plus the contextual set
+// of interned node labels used by the proportionality framework.
+type ObjectSummary struct {
+	Root EntityID
+	// Nodes are the collected neighbour entities in BFS order (root
+	// excluded).
+	Nodes []EntityID
+	// Context holds the interned labels of the collected nodes.
+	Context textctx.Set
+}
+
+// SpatialOS builds the spatial object summary of root: a breadth-first
+// expansion over both edge directions up to MaxDepth links, collecting at
+// most MaxNodes neighbour entities (nearest levels first, ties by entity
+// id for determinism), whose labels form the contextual set.
+func (g *Graph) SpatialOS(root EntityID, dict *textctx.Dict, opt OSOptions) (ObjectSummary, error) {
+	e, ok := g.Entity(root)
+	if !ok {
+		return ObjectSummary{}, fmt.Errorf("rdf: unknown entity %d", root)
+	}
+	if !e.Spatial {
+		return ObjectSummary{}, fmt.Errorf("rdf: entity %d (%q) is not spatial", root, e.Label)
+	}
+	if dict == nil {
+		dict = textctx.NewDict()
+	}
+	depth := opt.MaxDepth
+	if depth <= 0 {
+		depth = 2
+	}
+	visited := map[EntityID]bool{root: true}
+	frontier := []EntityID{root}
+	var nodes []EntityID
+	for d := 0; d < depth && len(frontier) > 0; d++ {
+		var next []EntityID
+		for _, u := range frontier {
+			for _, ed := range g.out[u] {
+				if !visited[ed.To] {
+					visited[ed.To] = true
+					next = append(next, ed.To)
+				}
+			}
+			for _, ed := range g.in[u] {
+				if !visited[ed.To] {
+					visited[ed.To] = true
+					next = append(next, ed.To)
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i] < next[j] })
+		nodes = append(nodes, next...)
+		if opt.MaxNodes > 0 && len(nodes) >= opt.MaxNodes {
+			nodes = nodes[:opt.MaxNodes]
+			break
+		}
+		frontier = next
+	}
+	ids := make([]textctx.ItemID, len(nodes))
+	for i, n := range nodes {
+		ids[i] = dict.Intern(g.entities[n].Label)
+	}
+	return ObjectSummary{Root: root, Nodes: nodes, Context: textctx.NewSet(ids...)}, nil
+}
+
+// Stats summarises the graph.
+type Stats struct {
+	Entities, SpatialEntities, Triples, Predicates int
+}
+
+// Stats returns summary statistics.
+func (g *Graph) Stats() Stats {
+	s := Stats{Entities: len(g.entities), Triples: g.triples, Predicates: len(g.predName)}
+	for _, e := range g.entities {
+		if e.Spatial {
+			s.SpatialEntities++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("entities=%d (spatial=%d) triples=%d predicates=%d",
+		s.Entities, s.SpatialEntities, s.Triples, s.Predicates)
+}

@@ -1,0 +1,235 @@
+package rdf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// museumGraph builds a miniature version of the paper's Figure 1 DBpedia
+// example: museums in Stockholm with attribute entities as neighbours.
+func museumGraph(t testing.TB) (*Graph, map[string]EntityID) {
+	t.Helper()
+	g := NewGraph()
+	ids := map[string]EntityID{}
+	addPlace := func(label string, x, y float64) {
+		id, err := g.AddSpatialEntity(label, "Museum", geo.Pt(x, y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[label] = id
+	}
+	addPlace("Swedish History Museum", 2, 1)
+	addPlace("The Nordic Museum", 2.2, 0.8)
+	addPlace("ABBA The Museum", 2.4, 0.6)
+	addPlace("Nobel Museum", -1, -0.5)
+
+	add := func(label, class string) {
+		ids[label] = g.AddEntity(label, class)
+	}
+	add("History museum", "Type")
+	add("Nordic museum", "Type")
+	add("Viking collection", "Collection")
+	add("Jewellery works", "Collection")
+	add("Music museum", "Type")
+	add("Natural science", "Type")
+	add("Literature museum", "Type")
+	add("Laureates works", "Collection")
+
+	triple := func(s, p, o string) {
+		if err := g.AddTriple(ids[s], p, ids[o]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	triple("Swedish History Museum", "type", "History museum")
+	triple("Swedish History Museum", "type", "Nordic museum")
+	triple("Swedish History Museum", "collection", "Viking collection")
+	triple("Swedish History Museum", "collection", "Jewellery works")
+	triple("The Nordic Museum", "type", "History museum")
+	triple("The Nordic Museum", "type", "Nordic museum")
+	triple("The Nordic Museum", "collection", "Viking collection")
+	triple("The Nordic Museum", "collection", "Jewellery works")
+	triple("ABBA The Museum", "type", "Music museum")
+	triple("Nobel Museum", "type", "Natural science")
+	triple("Nobel Museum", "type", "Literature museum")
+	triple("Nobel Museum", "collection", "Laureates works")
+	return g, ids
+}
+
+func TestGraphBasics(t *testing.T) {
+	g, ids := museumGraph(t)
+	st := g.Stats()
+	if st.Entities != 12 || st.SpatialEntities != 4 || st.Triples != 12 {
+		t.Fatalf("Stats = %+v", st)
+	}
+	if st.Predicates != 2 {
+		t.Errorf("Predicates = %d, want 2 (type, collection)", st.Predicates)
+	}
+	if st.String() == "" {
+		t.Error("empty Stats string")
+	}
+	e, ok := g.Entity(ids["Nobel Museum"])
+	if !ok || !e.Spatial || e.Class != "Museum" {
+		t.Errorf("Entity = %+v, %v", e, ok)
+	}
+	if _, ok := g.Entity(999); ok {
+		t.Error("unknown entity found")
+	}
+	if got := len(g.OutEdges(ids["Swedish History Museum"])); got != 4 {
+		t.Errorf("out-degree = %d, want 4", got)
+	}
+	if got := len(g.InEdges(ids["Viking collection"])); got != 2 {
+		t.Errorf("in-degree of Viking collection = %d, want 2", got)
+	}
+	if g.OutEdges(999) != nil || g.InEdges(-1) != nil {
+		t.Error("edges of unknown entity not nil")
+	}
+	pred := g.OutEdges(ids["Swedish History Museum"])[0].Pred
+	if g.Predicate(pred) != "type" {
+		t.Errorf("Predicate = %q", g.Predicate(pred))
+	}
+	if g.Predicate(99) != "" {
+		t.Error("unknown predicate not empty")
+	}
+}
+
+func TestAddTripleValidation(t *testing.T) {
+	g := NewGraph()
+	a := g.AddEntity("a", "X")
+	if err := g.AddTriple(a, "p", 42); err == nil {
+		t.Error("dangling object accepted")
+	}
+	if err := g.AddTriple(77, "p", a); err == nil {
+		t.Error("dangling subject accepted")
+	}
+}
+
+func TestAddSpatialEntityValidation(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.AddSpatialEntity("bad", "X", geo.Pt(math.NaN(), 0)); err == nil {
+		t.Error("NaN location accepted")
+	}
+}
+
+func TestSpatialEntities(t *testing.T) {
+	g, _ := museumGraph(t)
+	sp := g.SpatialEntities()
+	if len(sp) != 4 {
+		t.Fatalf("SpatialEntities = %d, want 4", len(sp))
+	}
+	for _, id := range sp {
+		e, _ := g.Entity(id)
+		if !e.Spatial {
+			t.Errorf("entity %d not spatial", id)
+		}
+	}
+}
+
+func TestSpatialOSFigure1(t *testing.T) {
+	g, ids := museumGraph(t)
+	dict := textctx.NewDict()
+	os1, err := g.SpatialOS(ids["Swedish History Museum"], dict, OSOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := map[string]bool{}
+	for _, w := range os1.Context.Words(dict) {
+		words[w] = true
+	}
+	for _, want := range []string{"History museum", "Nordic museum", "Viking collection", "Jewellery works"} {
+		if !words[want] {
+			t.Errorf("OS1 missing %q", want)
+		}
+	}
+	if os1.Context.Len() != 4 {
+		t.Errorf("|OS1 context| = %d, want 4", os1.Context.Len())
+	}
+
+	// The two history museums share their full context: Jaccard = 1.
+	os2, err := g.SpatialOS(ids["The Nordic Museum"], dict, OSOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := os1.Context.Jaccard(os2.Context); got != 1 {
+		t.Errorf("J(OS1, OS2) = %g, want 1", got)
+	}
+	// The Nobel museum shares nothing with them.
+	os4, err := g.SpatialOS(ids["Nobel Museum"], dict, OSOptions{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := os1.Context.Jaccard(os4.Context); got != 0 {
+		t.Errorf("J(OS1, OS4) = %g, want 0", got)
+	}
+}
+
+func TestSpatialOSDepth2ReachesSiblings(t *testing.T) {
+	g, ids := museumGraph(t)
+	dict := textctx.NewDict()
+	// At depth 2, the Swedish History Museum's OS also reaches The Nordic
+	// Museum through their shared attribute entities.
+	os, err := g.SpatialOS(ids["Swedish History Museum"], dict, OSOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range os.Nodes {
+		if e, _ := g.Entity(n); e.Label == "The Nordic Museum" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("depth-2 OS does not reach the sibling museum")
+	}
+}
+
+func TestSpatialOSMaxNodes(t *testing.T) {
+	g, ids := museumGraph(t)
+	dict := textctx.NewDict()
+	os, err := g.SpatialOS(ids["Swedish History Museum"], dict, OSOptions{MaxDepth: 3, MaxNodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(os.Nodes) != 2 {
+		t.Errorf("MaxNodes=2 collected %d nodes", len(os.Nodes))
+	}
+}
+
+func TestSpatialOSErrors(t *testing.T) {
+	g, ids := museumGraph(t)
+	if _, err := g.SpatialOS(999, nil, OSOptions{}); err == nil {
+		t.Error("unknown root accepted")
+	}
+	// A non-spatial entity cannot be the root of a *spatial* OS.
+	if _, err := g.SpatialOS(ids["History museum"], nil, OSOptions{}); err == nil {
+		t.Error("non-spatial root accepted")
+	}
+}
+
+func TestSpatialOSDefaultDict(t *testing.T) {
+	g, ids := museumGraph(t)
+	os, err := g.SpatialOS(ids["Nobel Museum"], nil, OSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Context.Len() == 0 {
+		t.Error("nil dict produced empty context")
+	}
+}
+
+func TestSpatialOSDeterministic(t *testing.T) {
+	g, ids := museumGraph(t)
+	d1, d2 := textctx.NewDict(), textctx.NewDict()
+	a, _ := g.SpatialOS(ids["Swedish History Museum"], d1, OSOptions{MaxDepth: 2})
+	b, _ := g.SpatialOS(ids["Swedish History Museum"], d2, OSOptions{MaxDepth: 2})
+	if len(a.Nodes) != len(b.Nodes) {
+		t.Fatal("node counts differ across runs")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatal("node order differs across runs")
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package roadnet implements the paper's stated future-work extension:
+// proportionality with road-network distance in place of Euclidean
+// distance. It provides an in-memory weighted road graph, Dijkstra
+// shortest paths, point snapping, a synthetic Manhattan-style network
+// generator, and a network variant of Ptolemy's spatial similarity that
+// plugs into core.ComputeScores through the custom-spatial hook.
+//
+// Because network distance is a metric, the network Ptolemy diversity
+// d(p_i, p_j) / (d(p_i, q) + d(p_j, q)) keeps the [0, 1] range and
+// triangle-inequality properties the Section 8 analysis relies on.
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/pairs"
+)
+
+// NodeID identifies a road-network node (junction).
+type NodeID int32
+
+// edge is one directed half of an undirected road segment.
+type edge struct {
+	to NodeID
+	w  float64
+}
+
+// Network is an undirected weighted road graph with node coordinates.
+type Network struct {
+	coords []geo.Point
+	adj    [][]edge
+	edges  int
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddNode adds a junction at p and returns its id.
+func (n *Network) AddNode(p geo.Point) (NodeID, error) {
+	if !p.Valid() {
+		return 0, fmt.Errorf("roadnet: invalid node location %v", p)
+	}
+	n.coords = append(n.coords, p)
+	n.adj = append(n.adj, nil)
+	return NodeID(len(n.coords) - 1), nil
+}
+
+// AddEdge adds an undirected road segment between a and b. A
+// non-positive weight means the Euclidean length of the segment.
+func (n *Network) AddEdge(a, b NodeID, weight float64) error {
+	if !n.valid(a) || !n.valid(b) {
+		return fmt.Errorf("roadnet: edge (%d, %d) references unknown node", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("roadnet: self-loop at node %d", a)
+	}
+	if weight <= 0 {
+		weight = n.coords[a].Dist(n.coords[b])
+	}
+	if math.IsNaN(weight) || math.IsInf(weight, 0) {
+		return fmt.Errorf("roadnet: invalid edge weight %v", weight)
+	}
+	n.adj[a] = append(n.adj[a], edge{to: b, w: weight})
+	n.adj[b] = append(n.adj[b], edge{to: a, w: weight})
+	n.edges++
+	return nil
+}
+
+func (n *Network) valid(id NodeID) bool { return id >= 0 && int(id) < len(n.coords) }
+
+// NumNodes returns the number of junctions.
+func (n *Network) NumNodes() int { return len(n.coords) }
+
+// NumEdges returns the number of undirected segments.
+func (n *Network) NumEdges() int { return n.edges }
+
+// Coord returns the location of id.
+func (n *Network) Coord(id NodeID) geo.Point { return n.coords[id] }
+
+// Snap returns the network node nearest to p. It returns an error on an
+// empty network.
+func (n *Network) Snap(p geo.Point) (NodeID, error) {
+	if len(n.coords) == 0 {
+		return 0, fmt.Errorf("roadnet: snap on empty network")
+	}
+	best := NodeID(0)
+	bestD := math.Inf(1)
+	for i, c := range n.coords {
+		if d := c.SqDist(p); d < bestD {
+			bestD = d
+			best = NodeID(i)
+		}
+	}
+	return best, nil
+}
+
+// pqItem is a Dijkstra frontier entry.
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type dijkstraPQ []pqItem
+
+func (p dijkstraPQ) Len() int            { return len(p) }
+func (p dijkstraPQ) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p dijkstraPQ) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *dijkstraPQ) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *dijkstraPQ) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// ShortestDistances returns the network distance from src to every node
+// (math.Inf(1) for unreachable nodes) via Dijkstra's algorithm.
+func (n *Network) ShortestDistances(src NodeID) ([]float64, error) {
+	if !n.valid(src) {
+		return nil, fmt.Errorf("roadnet: unknown source node %d", src)
+	}
+	dist := make([]float64, len(n.coords))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	pq := &dijkstraPQ{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range n.adj[it.node] {
+			if nd := it.dist + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(pq, pqItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, nil
+}
+
+// GridNetwork generates a rows×cols Manhattan-style road grid over the
+// square [0, extent]², dropping each interior segment with probability
+// dropProb (seeded) while keeping the network connected by construction
+// of a spanning backbone (the first row and first column are never
+// dropped).
+func GridNetwork(rows, cols int, extent, dropProb float64, seed int64) (*Network, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("roadnet: grid %dx%d too small", rows, cols)
+	}
+	if dropProb < 0 || dropProb >= 1 {
+		return nil, fmt.Errorf("roadnet: dropProb %v outside [0, 1)", dropProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := New()
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(c) / float64(cols-1) * extent
+			y := float64(r) / float64(rows-1) * extent
+			if _, err := n.AddNode(geo.Pt(x, y)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				// Horizontal segment; the first row is the backbone.
+				if r == 0 || rng.Float64() >= dropProb {
+					if err := n.AddEdge(id(r, c), id(r, c+1), 0); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if r+1 < rows {
+				// Vertical segment; the first column is the backbone.
+				if c == 0 || rng.Float64() >= dropProb {
+					if err := n.AddEdge(id(r, c), id(r+1, c), 0); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Scorer computes network-distance spatial similarities for a fixed query
+// location, caching the Dijkstra trees it needs (one per distinct snapped
+// node, so scoring K places costs at most K+1 Dijkstra runs and usually
+// far fewer).
+type Scorer struct {
+	net *Network
+	// dists caches single-source distance vectors by source node.
+	dists map[NodeID][]float64
+}
+
+// NewScorer returns a scorer over net.
+func NewScorer(net *Network) *Scorer {
+	return &Scorer{net: net, dists: make(map[NodeID][]float64)}
+}
+
+func (s *Scorer) distsFrom(src NodeID) ([]float64, error) {
+	if d, ok := s.dists[src]; ok {
+		return d, nil
+	}
+	d, err := s.net.ShortestDistances(src)
+	if err != nil {
+		return nil, err
+	}
+	s.dists[src] = d
+	return d, nil
+}
+
+// AllPairs computes the network Ptolemy similarity matrix of pts w.r.t. q:
+// every point (and q) snaps to its nearest junction, and
+//
+//	sS_net(p_i, p_j) = 1 − d_net(p_i, p_j) / (d_net(p_i, q) + d_net(p_j, q)),
+//
+// with coincident snapped nodes given similarity 1 and unreachable pairs
+// similarity 0 (maximally diverse). The matrix plugs into
+// core.ScoreOptions.CustomSpatial.
+func (s *Scorer) AllPairs(q geo.Point, pts []geo.Point) (*pairs.Matrix, error) {
+	n := len(pts)
+	m := pairs.New(n)
+	qNode, err := s.net.Snap(q)
+	if err != nil {
+		return nil, err
+	}
+	fromQ, err := s.distsFrom(qNode)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]NodeID, n)
+	for i, p := range pts {
+		if nodes[i], err = s.net.Snap(p); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		di, err := s.distsFrom(nodes[i])
+		if err != nil {
+			return nil, err
+		}
+		for j := i + 1; j < n; j++ {
+			m.Set(i, j, networkSS(di[nodes[j]], fromQ[nodes[i]], fromQ[nodes[j]]))
+		}
+	}
+	return m, nil
+}
+
+func networkSS(dij, diq, djq float64) float64 {
+	if dij == 0 {
+		return 1 // same snapped junction (or identical points)
+	}
+	if math.IsInf(dij, 1) || math.IsInf(diq, 1) || math.IsInf(djq, 1) {
+		return 0 // disconnected: treat as maximally diverse
+	}
+	den := diq + djq
+	if den == 0 {
+		return 1 // both at the query junction
+	}
+	d := dij / den
+	if d > 1 {
+		d = 1 // network distance is a metric, but guard rounding
+	}
+	return 1 - d
+}

@@ -1,0 +1,295 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/pairs"
+	"repro/internal/textctx"
+)
+
+func mustNode(t *testing.T, n *Network, x, y float64) NodeID {
+	t.Helper()
+	id, err := n.AddNode(geo.Pt(x, y))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func mustEdge(t *testing.T, n *Network, a, b NodeID, w float64) {
+	t.Helper()
+	if err := n.AddEdge(a, b, w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkBasics(t *testing.T) {
+	n := New()
+	a := mustNode(t, n, 0, 0)
+	b := mustNode(t, n, 3, 4)
+	mustEdge(t, n, a, b, 0) // Euclidean weight: 5
+	if n.NumNodes() != 2 || n.NumEdges() != 1 {
+		t.Fatalf("nodes=%d edges=%d", n.NumNodes(), n.NumEdges())
+	}
+	d, err := n.ShortestDistances(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d[b]-5) > 1e-12 {
+		t.Errorf("d(a,b) = %g, want 5", d[b])
+	}
+}
+
+func TestNetworkValidation(t *testing.T) {
+	n := New()
+	if _, err := n.AddNode(geo.Pt(math.NaN(), 0)); err == nil {
+		t.Error("NaN node accepted")
+	}
+	a := mustNode(t, n, 0, 0)
+	if err := n.AddEdge(a, 99, 1); err == nil {
+		t.Error("dangling edge accepted")
+	}
+	if err := n.AddEdge(a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	b := mustNode(t, n, 1, 0)
+	if err := n.AddEdge(a, b, math.Inf(1)); err == nil {
+		t.Error("infinite weight accepted")
+	}
+	if _, err := n.ShortestDistances(42); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := New().Snap(geo.Pt(0, 0)); err == nil {
+		t.Error("snap on empty network accepted")
+	}
+}
+
+func TestSnap(t *testing.T) {
+	n := New()
+	a := mustNode(t, n, 0, 0)
+	b := mustNode(t, n, 10, 0)
+	got, err := n.Snap(geo.Pt(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Errorf("snapped to %d, want %d", got, a)
+	}
+	if got, _ := n.Snap(geo.Pt(8, -1)); got != b {
+		t.Errorf("snapped to %d, want %d", got, b)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New()
+	a := mustNode(t, n, 0, 0)
+	mustNode(t, n, 5, 5) // isolated
+	d, err := n.ShortestDistances(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d[1], 1) {
+		t.Errorf("d to isolated node = %g, want +Inf", d[1])
+	}
+}
+
+// floydWarshall computes all-pairs distances directly for verification.
+func floydWarshall(n *Network) [][]float64 {
+	size := n.NumNodes()
+	d := make([][]float64, size)
+	for i := range d {
+		d[i] = make([]float64, size)
+		for j := range d[i] {
+			if i != j {
+				d[i][j] = math.Inf(1)
+			}
+		}
+	}
+	for i := 0; i < size; i++ {
+		for _, e := range n.adj[i] {
+			if e.w < d[i][e.to] {
+				d[i][e.to] = e.w
+			}
+		}
+	}
+	for k := 0; k < size; k++ {
+		for i := 0; i < size; i++ {
+			for j := 0; j < size; j++ {
+				if nd := d[i][k] + d[k][j]; nd < d[i][j] {
+					d[i][j] = nd
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestDijkstraMatchesFloydWarshall cross-validates the shortest-path
+// implementation on random graphs.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := New()
+		size := 5 + rng.Intn(20)
+		for i := 0; i < size; i++ {
+			mustNode(t, n, rng.Float64()*10, rng.Float64()*10)
+		}
+		edges := size + rng.Intn(size*2)
+		for e := 0; e < edges; e++ {
+			a, b := NodeID(rng.Intn(size)), NodeID(rng.Intn(size))
+			if a != b {
+				mustEdge(t, n, a, b, 0.1+rng.Float64()*5)
+			}
+		}
+		want := floydWarshall(n)
+		for src := 0; src < size; src++ {
+			got, err := n.ShortestDistances(NodeID(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < size; j++ {
+				w, g := want[src][j], got[j]
+				if math.IsInf(w, 1) != math.IsInf(g, 1) || (!math.IsInf(w, 1) && math.Abs(w-g) > 1e-9) {
+					t.Fatalf("trial %d: d(%d,%d) = %g, want %g", trial, src, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+func TestGridNetwork(t *testing.T) {
+	n, err := GridNetwork(5, 7, 10, 0.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 35 {
+		t.Fatalf("nodes = %d", n.NumNodes())
+	}
+	// The backbone guarantees connectivity.
+	d, err := n.ShortestDistances(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d {
+		if math.IsInf(v, 1) {
+			t.Fatalf("node %d unreachable despite backbone", i)
+		}
+	}
+	// Corner coordinates span the extent.
+	if n.Coord(0) != geo.Pt(0, 0) || n.Coord(34) != geo.Pt(10, 10) {
+		t.Errorf("corners %v, %v", n.Coord(0), n.Coord(34))
+	}
+	if _, err := GridNetwork(1, 5, 10, 0, 1); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+	if _, err := GridNetwork(3, 3, 10, 1.5, 1); err == nil {
+		t.Error("bad dropProb accepted")
+	}
+}
+
+// TestNetworkSSProperties: the network Ptolemy similarity stays in [0, 1]
+// and its complement satisfies the triangle-ish sanity (pairwise values
+// consistent with a metric).
+func TestNetworkSSProperties(t *testing.T) {
+	n, err := GridNetwork(6, 6, 10, 0.3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScorer(n)
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]geo.Point, 25)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*10, rng.Float64()*10)
+	}
+	m, err := s.AllPairs(geo.Pt(5, 5), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			v := m.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("sS_net(%d,%d) = %g outside [0,1]", i, j, v)
+			}
+		}
+	}
+}
+
+// TestNetworkVsEuclideanOnDenseGrid: on a complete grid with no dropped
+// segments, network distance approximates Manhattan distance, so the
+// similarity ordering correlates with the Euclidean one for on-axis
+// configurations.
+func TestNetworkVsEuclideanOnDenseGrid(t *testing.T) {
+	n, err := GridNetwork(11, 11, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewScorer(n)
+	q := geo.Pt(5, 5)
+	// Opposite along one axis vs same direction: network diversity must
+	// agree with Ptolemy's intuition.
+	pts := []geo.Point{geo.Pt(2, 5), geo.Pt(8, 5), geo.Pt(8, 5.1)}
+	m, err := s.AllPairs(q, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opp, same := m.At(0, 1), m.At(1, 2); opp >= same {
+		t.Errorf("opposite pair similarity %g not below same-direction %g", opp, same)
+	}
+}
+
+// TestCoreIntegration runs the proportional selection pipeline with the
+// road-network scorer plugged in via SpatialCustom.
+func TestCoreIntegration(t *testing.T) {
+	net, err := GridNetwork(8, 8, 10, 0.2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scorer := NewScorer(net)
+	rng := rand.New(rand.NewSource(11))
+	dict := textctx.NewDict()
+	places := make([]core.Place, 40)
+	words := []string{"cafe", "museum", "park", "shop", "bar"}
+	for i := range places {
+		places[i] = core.Place{
+			ID:  words[i%5],
+			Loc: geo.Pt(rng.Float64()*10, rng.Float64()*10),
+			Rel: 0.4 + rng.Float64()*0.5,
+			Context: textctx.NewSetFromStrings(dict,
+				[]string{words[i%5], words[(i+1)%5], "poi"}),
+		}
+	}
+	q := geo.Pt(5, 5)
+	ss, err := core.ComputeScores(q, places, core.ScoreOptions{
+		Gamma:   0.5,
+		Spatial: core.SpatialCustom,
+		CustomSpatial: func(q geo.Point, pl []core.Place) (*pairs.Matrix, error) {
+			pts := make([]geo.Point, len(pl))
+			for i := range pl {
+				pts[i] = pl[i].Loc
+			}
+			return scorer.AllPairs(q, pts)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := core.ABP(ss, core.Params{K: 6, Lambda: 0.5, Gamma: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Indices) != 6 {
+		t.Fatalf("|R| = %d", len(sel.Indices))
+	}
+	if b := ss.Evaluate(sel.Indices, 0.5); b.Total <= 0 {
+		t.Errorf("HPF = %g", b.Total)
+	}
+	// Error paths of the custom hook.
+	if _, err := core.ComputeScores(q, places, core.ScoreOptions{Spatial: core.SpatialCustom}); err == nil {
+		t.Error("missing CustomSpatial accepted")
+	}
+}

@@ -1,0 +1,45 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/stream"
+	"repro/internal/textctx"
+)
+
+// Example shows a sliding window over arriving posts with a proportional
+// digest selected from a snapshot.
+func Example() {
+	d := textctx.NewDict()
+	w, err := stream.NewWindow(geo.Pt(0, 0), 4, 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	posts := []core.Place{
+		{ID: "a", Loc: geo.Pt(1, 0), Rel: 0.9, Context: textctx.NewSetFromStrings(d, []string{"cafe"})},
+		{ID: "b", Loc: geo.Pt(1, 1), Rel: 0.8, Context: textctx.NewSetFromStrings(d, []string{"cafe"})},
+		{ID: "c", Loc: geo.Pt(-1, 0), Rel: 0.7, Context: textctx.NewSetFromStrings(d, []string{"park"})},
+		{ID: "d", Loc: geo.Pt(0, -1), Rel: 0.6, Context: textctx.NewSetFromStrings(d, []string{"bar"})},
+		{ID: "e", Loc: geo.Pt(0, 1), Rel: 0.9, Context: textctx.NewSetFromStrings(d, []string{"cafe"})},
+	}
+	for _, p := range posts {
+		if evicted, did, err := w.Push(p); err != nil {
+			fmt.Println(err)
+			return
+		} else if did {
+			fmt.Printf("evicted %s\n", evicted.ID)
+		}
+	}
+	sel, snap, err := w.Select(core.AlgABP, core.Params{K: 2, Lambda: 0.5, Gamma: 0.5})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("window %d, selected %d places\n", snap.K(), len(sel.Indices))
+	// Output:
+	// evicted a
+	// window 4, selected 2 places
+}

@@ -1,0 +1,204 @@
+// Package stream extends the proportionality framework to a sliding
+// window of arriving spatial posts (cf. the related work on representative
+// spatio-textual posts over sliding windows the paper cites). It maintains
+// the Step-1 state — the pairwise contextual and spatial similarity
+// caches and the pCS/pSS sums — incrementally: admitting or evicting one
+// post costs O(W) similarity computations for a window of W posts,
+// instead of the O(W²) full recomputation, after which any Step-2 greedy
+// algorithm can run on a consistent core.ScoreSet snapshot.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/pairs"
+)
+
+// Window is a fixed-capacity sliding window over posts (places) with
+// incrementally maintained proportionality scores. It is not safe for
+// concurrent mutation.
+type Window struct {
+	q        geo.Point
+	capacity int
+	gamma    float64
+
+	places []core.Place
+	// age[i] is the arrival sequence number of the post in slot i; the
+	// slot with the smallest age is the oldest and is evicted first.
+	age []int
+	// sc and ss are dense similarity matrices over the slot indices
+	// (capacity × capacity, row-major); only slots < len(places) are
+	// meaningful. Dense storage keeps eviction O(W).
+	sc, ss []float64
+	// pcs and pss are the running row sums over live slots.
+	pcs, pss []float64
+	// arrivals counts total admissions (for stable post identity).
+	arrivals int
+}
+
+// NewWindow creates a sliding window with the given capacity around query
+// location q. gamma is the contextual/spatial weight γ used when taking
+// score-set snapshots.
+func NewWindow(q geo.Point, capacity int, gamma float64) (*Window, error) {
+	if !q.Valid() {
+		return nil, fmt.Errorf("stream: invalid query location %v", q)
+	}
+	if capacity < 2 {
+		return nil, fmt.Errorf("stream: capacity %d too small", capacity)
+	}
+	if gamma < 0 || gamma > 1 || gamma != gamma {
+		return nil, fmt.Errorf("stream: γ = %v outside [0, 1]", gamma)
+	}
+	return &Window{
+		q:        q,
+		capacity: capacity,
+		gamma:    gamma,
+		sc:       make([]float64, capacity*capacity),
+		ss:       make([]float64, capacity*capacity),
+		pcs:      make([]float64, 0, capacity),
+		pss:      make([]float64, 0, capacity),
+	}, nil
+}
+
+// Len returns the number of posts currently in the window.
+func (w *Window) Len() int { return len(w.places) }
+
+// Capacity returns the window capacity W.
+func (w *Window) Capacity() int { return w.capacity }
+
+// Arrivals returns the total number of admitted posts.
+func (w *Window) Arrivals() int { return w.arrivals }
+
+func (w *Window) at(m []float64, i, j int) float64 { return m[i*w.capacity+j] }
+func (w *Window) set(m []float64, i, j int, v float64) {
+	m[i*w.capacity+j] = v
+	m[j*w.capacity+i] = v
+}
+
+// Push admits p, evicting the oldest post when the window is full
+// (FIFO — a count-based sliding window). It returns the evicted post and
+// whether an eviction happened.
+func (w *Window) Push(p core.Place) (core.Place, bool, error) {
+	if err := p.Validate(); err != nil {
+		return core.Place{}, false, err
+	}
+	var evicted core.Place
+	var did bool
+	if len(w.places) == w.capacity {
+		evicted = w.evictOldest()
+		did = true
+	}
+	w.admit(p)
+	return evicted, did, nil
+}
+
+// admit appends p and extends the similarity caches and sums in O(W).
+func (w *Window) admit(p core.Place) {
+	i := len(w.places)
+	w.places = append(w.places, p)
+	w.pcs = append(w.pcs, 0)
+	w.pss = append(w.pss, 0)
+	w.age = append(w.age, w.arrivals)
+	w.arrivals++
+	for j := 0; j < i; j++ {
+		sc := p.Context.Jaccard(w.places[j].Context)
+		ss := geo.PtolemySimilarity(w.q, p.Loc, w.places[j].Loc)
+		w.set(w.sc, i, j, sc)
+		w.set(w.ss, i, j, ss)
+		w.pcs[i] += sc
+		w.pcs[j] += sc
+		w.pss[i] += ss
+		w.pss[j] += ss
+	}
+}
+
+// evictOldest removes the slot with the smallest arrival age by swapping
+// the last slot into it, updating sums and matrices in O(W).
+func (w *Window) evictOldest() core.Place {
+	oldest := 0
+	for i := 1; i < len(w.places); i++ {
+		if w.age[i] < w.age[oldest] {
+			oldest = i
+		}
+	}
+	old := w.places[oldest]
+	last := len(w.places) - 1
+	// Subtract the evicted post's similarities from the remaining sums.
+	for j := 0; j <= last; j++ {
+		if j != oldest {
+			w.pcs[j] -= w.at(w.sc, oldest, j)
+			w.pss[j] -= w.at(w.ss, oldest, j)
+		}
+	}
+	// Move the last slot into the vacated one.
+	if last != oldest {
+		w.places[oldest] = w.places[last]
+		w.pcs[oldest] = w.pcs[last]
+		w.pss[oldest] = w.pss[last]
+		w.age[oldest] = w.age[last]
+		for j := 0; j <= last; j++ {
+			if j != oldest && j != last {
+				w.set(w.sc, oldest, j, w.at(w.sc, last, j))
+				w.set(w.ss, oldest, j, w.at(w.ss, last, j))
+			}
+		}
+		w.set(w.sc, oldest, oldest, 0)
+		w.set(w.ss, oldest, oldest, 0)
+	}
+	w.places = w.places[:last]
+	w.pcs = w.pcs[:last]
+	w.pss = w.pss[:last]
+	w.age = w.age[:last]
+	return old
+}
+
+// Snapshot materialises the current window as a core.ScoreSet, copying
+// the incremental caches so later window mutations do not affect the
+// returned set. Selection algorithms can run on it directly.
+func (w *Window) Snapshot() (*core.ScoreSet, error) {
+	n := len(w.places)
+	if n == 0 {
+		return nil, fmt.Errorf("stream: empty window")
+	}
+	sc := pairs.New(n)
+	ssm := pairs.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			sc.Set(i, j, w.at(w.sc, i, j))
+			ssm.Set(i, j, w.at(w.ss, i, j))
+		}
+	}
+	places := append([]core.Place(nil), w.places...)
+	pcs := append([]float64(nil), w.pcs...)
+	pss := append([]float64(nil), w.pss...)
+	pfs := make([]float64, n)
+	for i := range pfs {
+		pfs[i] = (1-w.gamma)*pcs[i] + w.gamma*pss[i]
+	}
+	return &core.ScoreSet{
+		Places: places,
+		Q:      w.q,
+		Gamma:  w.gamma,
+		PCS:    pcs,
+		PSS:    pss,
+		PFS:    pfs,
+		SC:     sc,
+		SS:     ssm,
+		SF:     pairs.Combine(sc, ssm, 1-w.gamma, w.gamma),
+	}, nil
+}
+
+// Select runs the named Step-2 algorithm on a snapshot of the window.
+func (w *Window) Select(alg core.Algorithm, p core.Params) (core.Selection, *core.ScoreSet, error) {
+	ss, err := w.Snapshot()
+	if err != nil {
+		return core.Selection{}, nil, err
+	}
+	sel, err := core.Select(alg, ss, p)
+	if err != nil {
+		return core.Selection{}, nil, err
+	}
+	return sel, ss, nil
+}

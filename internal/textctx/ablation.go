@@ -1,0 +1,48 @@
+package textctx
+
+// NaiveInvertedEngine is the ablation counterpart of MSJHEngine: it builds
+// the same per-element inverted lists but does not exploit their reverse
+// order, so every element occurrence scans its full list and symmetric
+// pairs are filtered with an explicit comparison instead of an early
+// break. It quantifies what the msJh "reverse list + j > i cut-off" trick
+// buys (DESIGN.md, ablations).
+type NaiveInvertedEngine struct{}
+
+// Name implements JaccardEngine.
+func (NaiveInvertedEngine) Name() string { return "naive-inverted" }
+
+// AllPairs implements JaccardEngine.
+func (NaiveInvertedEngine) AllPairs(sets []Set) *PairScores {
+	n := len(sets)
+	ps := NewPairScores(n)
+	msht := make(map[ItemID][]int32)
+	for i, s := range sets {
+		for _, v := range s.Items() {
+			msht[v] = append(msht[v], int32(i))
+		}
+	}
+	counts := make([]int32, n)
+	touched := make([]int32, 0, 64)
+	for i, s := range sets {
+		touched = touched[:0]
+		for _, v := range s.Items() {
+			for _, j := range msht[v] { // full scan: no early termination
+				if int(j) <= i {
+					continue
+				}
+				if counts[j] == 0 {
+					touched = append(touched, j)
+				}
+				counts[j]++
+			}
+		}
+		li := s.Len()
+		for _, j := range touched {
+			inter := counts[j]
+			counts[j] = 0
+			union := li + sets[j].Len() - int(inter)
+			ps.Set(i, int(j), float64(inter)/float64(union))
+		}
+	}
+	return ps
+}

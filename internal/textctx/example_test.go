@@ -1,0 +1,39 @@
+package textctx_test
+
+import (
+	"fmt"
+
+	"repro/internal/textctx"
+)
+
+// ExampleMSJHEngine reproduces the paper's Figure 4 worked example with
+// the msJh algorithm.
+func ExampleMSJHEngine() {
+	d := textctx.NewDict()
+	sets := []textctx.Set{
+		textctx.NewSetFromStrings(d, []string{"a", "b", "c", "d"}),
+		textctx.NewSetFromStrings(d, []string{"a", "d"}),
+		textctx.NewSetFromStrings(d, []string{"e", "f", "g"}),
+		textctx.NewSetFromStrings(d, []string{"a", "b", "h"}),
+		textctx.NewSetFromStrings(d, []string{"b", "c", "i"}),
+	}
+	sim := textctx.MSJHEngine{}.AllPairs(sets)
+	fmt.Printf("sC(p1, p2) = %.2f\n", sim.At(0, 1))
+	fmt.Printf("sC(p1, p3) = %.2f\n", sim.At(0, 2))
+	fmt.Printf("sC(p4, p5) = %.2f\n", sim.At(3, 4))
+	// Output:
+	// sC(p1, p2) = 0.50
+	// sC(p1, p3) = 0.00
+	// sC(p4, p5) = 0.20
+}
+
+// ExampleSet_Jaccard shows direct Jaccard similarity between two
+// contextual sets.
+func ExampleSet_Jaccard() {
+	d := textctx.NewDict()
+	a := textctx.NewSetFromStrings(d, []string{"history", "museum", "viking"})
+	b := textctx.NewSetFromStrings(d, []string{"history", "museum", "nordic"})
+	fmt.Printf("%.1f\n", a.Jaccard(b))
+	// Output:
+	// 0.5
+}

@@ -1,0 +1,88 @@
+package textctx
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MSJHParallelEngine is msJh with the comparison step fanned out over
+// worker goroutines. Each worker owns a private intersection-counter
+// scratch array and claims source sets i dynamically (an atomic cursor,
+// since the per-i work shrinks as i grows under the reverse-order
+// cut-off); all writes to the shared score matrix land in disjoint rows,
+// so no further synchronisation is needed. The result is bit-identical to
+// MSJHEngine.
+type MSJHParallelEngine struct {
+	// Workers is the number of goroutines; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Name implements JaccardEngine.
+func (e MSJHParallelEngine) Name() string { return "msJh-parallel" }
+
+// AllPairs implements JaccardEngine.
+func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
+	n := len(sets)
+	ps := NewPairScores(n)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return MSJHEngine{}.AllPairs(sets)
+	}
+
+	// Step 1 (sequential): the micro set hash table.
+	msht := make(map[ItemID][]int32)
+	for i, s := range sets {
+		for _, v := range s.Items() {
+			msht[v] = append(msht[v], int32(i))
+		}
+	}
+
+	// Step 2 (parallel): dynamic i-claiming.
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			counts := make([]int32, n)
+			touched := make([]int32, 0, 64)
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				s := sets[i]
+				touched = touched[:0]
+				for _, v := range s.Items() {
+					list := msht[v]
+					for t := len(list) - 1; t >= 0; t-- {
+						j := list[t]
+						if int(j) <= i {
+							break
+						}
+						if counts[j] == 0 {
+							touched = append(touched, j)
+						}
+						counts[j]++
+					}
+				}
+				li := s.Len()
+				for _, j := range touched {
+					inter := counts[j]
+					counts[j] = 0
+					union := li + sets[j].Len() - int(inter)
+					ps.Set(i, int(j), float64(inter)/float64(union))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ps
+}

@@ -1,0 +1,37 @@
+package textctx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMSJHParallelIdentical: the parallel engine must be bit-identical to
+// the sequential one on arbitrary inputs and worker counts.
+func TestMSJHParallelIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 20; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(120), 1+rng.Intn(200), 25)
+		want := MSJHEngine{}.AllPairs(sets)
+		for _, workers := range []int{0, 1, 2, 3, 8, 200} {
+			got := MSJHParallelEngine{Workers: workers}.AllPairs(sets)
+			if d := want.MaxAbsDiff(got); d != 0 {
+				t.Fatalf("trial %d workers %d: differs by %g", trial, workers, d)
+			}
+		}
+	}
+}
+
+func TestMSJHParallelEmpty(t *testing.T) {
+	e := MSJHParallelEngine{Workers: 4}
+	if got := e.AllPairs(nil); got.N() != 0 {
+		t.Error("empty input mishandled")
+	}
+	if e.Name() != "msJh-parallel" {
+		t.Errorf("Name = %q", e.Name())
+	}
+}
+
+func BenchmarkMSJHSequentialK2000(b *testing.B) { benchEngine(b, MSJHEngine{}, 2000, 100) }
+func BenchmarkMSJHParallelK2000(b *testing.B) {
+	benchEngine(b, MSJHParallelEngine{}, 2000, 100)
+}

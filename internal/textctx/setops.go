@@ -1,0 +1,68 @@
+package textctx
+
+// Union returns s ∪ o as a new Set.
+func (s Set) Union(o Set) Set {
+	out := make([]ItemID, 0, len(s.items)+len(o.items))
+	i, j := 0, 0
+	for i < len(s.items) && j < len(o.items) {
+		switch {
+		case s.items[i] < o.items[j]:
+			out = append(out, s.items[i])
+			i++
+		case s.items[i] > o.items[j]:
+			out = append(out, o.items[j])
+			j++
+		default:
+			out = append(out, s.items[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s.items[i:]...)
+	out = append(out, o.items[j:]...)
+	return Set{items: out}
+}
+
+// Intersect returns s ∩ o as a new Set.
+func (s Set) Intersect(o Set) Set {
+	var out []ItemID
+	i, j := 0, 0
+	for i < len(s.items) && j < len(o.items) {
+		switch {
+		case s.items[i] < o.items[j]:
+			i++
+		case s.items[i] > o.items[j]:
+			j++
+		default:
+			out = append(out, s.items[i])
+			i++
+			j++
+		}
+	}
+	return Set{items: out}
+}
+
+// Difference returns s \ o as a new Set.
+func (s Set) Difference(o Set) Set {
+	var out []ItemID
+	i, j := 0, 0
+	for i < len(s.items) {
+		switch {
+		case j >= len(o.items) || s.items[i] < o.items[j]:
+			out = append(out, s.items[i])
+			i++
+		case s.items[i] > o.items[j]:
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	return Set{items: out}
+}
+
+// Words returns all interned words in id order. The returned slice is a
+// copy.
+func (d *Dict) Words() []string {
+	return append([]string(nil), d.words...)
+}

@@ -1,0 +1,85 @@
+package textctx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAlgebraBasics(t *testing.T) {
+	a := NewSet(1, 2, 3, 5)
+	b := NewSet(2, 4, 5, 6)
+	if got := a.Union(b); !got.Equal(NewSet(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("Union = %v", got.Items())
+	}
+	if got := a.Intersect(b); !got.Equal(NewSet(2, 5)) {
+		t.Errorf("Intersect = %v", got.Items())
+	}
+	if got := a.Difference(b); !got.Equal(NewSet(1, 3)) {
+		t.Errorf("Difference = %v", got.Items())
+	}
+	if got := b.Difference(a); !got.Equal(NewSet(4, 6)) {
+		t.Errorf("Difference = %v", got.Items())
+	}
+}
+
+func TestSetAlgebraEmpty(t *testing.T) {
+	a := NewSet(1, 2)
+	e := Set{}
+	if !a.Union(e).Equal(a) || !e.Union(a).Equal(a) {
+		t.Error("union with empty broken")
+	}
+	if a.Intersect(e).Len() != 0 || e.Intersect(a).Len() != 0 {
+		t.Error("intersect with empty broken")
+	}
+	if !a.Difference(e).Equal(a) || e.Difference(a).Len() != 0 {
+		t.Error("difference with empty broken")
+	}
+}
+
+// Properties: |A∪B| = |A| + |B| − |A∩B|; A\B, A∩B partition A;
+// operations agree with the counting primitives used by Jaccard.
+func TestSetAlgebraProperties(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		u, x, d := a.Union(b), a.Intersect(b), a.Difference(b)
+		if u.Len() != a.Len()+b.Len()-x.Len() {
+			return false
+		}
+		if x.Len() != a.IntersectionSize(b) || u.Len() != a.UnionSize(b) {
+			return false
+		}
+		if d.Len()+x.Len() != a.Len() {
+			return false
+		}
+		// Every element of the intersection is in both inputs; every
+		// element of the difference only in a.
+		for _, v := range x.Items() {
+			if !a.Contains(v) || !b.Contains(v) {
+				return false
+			}
+		}
+		for _, v := range d.Items() {
+			if !a.Contains(v) || b.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictWords(t *testing.T) {
+	d := NewDict()
+	d.Intern("b")
+	d.Intern("a")
+	words := d.Words()
+	if len(words) != 2 || words[0] != "b" || words[1] != "a" {
+		t.Errorf("Words = %v", words)
+	}
+	words[0] = "mutated"
+	if d.Word(0) != "b" {
+		t.Error("Words did not return a copy")
+	}
+}

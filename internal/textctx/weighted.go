@@ -1,0 +1,104 @@
+package textctx
+
+import "math"
+
+// WeightedJaccardEngine computes all-pairs weighted Jaccard similarity
+//
+//	sC_w(A, B) = Σ_{t ∈ A∩B} w(t) / Σ_{t ∈ A∪B} w(t),
+//
+// the contextual-side counterpart of the paper's future-work item on
+// alternative scoring functions. With item weights such as inverse
+// document frequency, sharing a rare attribute counts for more than
+// sharing a ubiquitous one ("museum" in a museum query identifies
+// nothing; "Viking collection" does). It plugs into
+// core.ScoreOptions.Contextual like any other engine; uniform weights
+// reduce it exactly to plain Jaccard.
+type WeightedJaccardEngine struct {
+	// Weight returns the weight of an item; nil means uniform weights
+	// (plain Jaccard). Weights must be non-negative; items with zero
+	// weight are ignored entirely.
+	Weight func(ItemID) float64
+}
+
+// Name implements JaccardEngine.
+func (WeightedJaccardEngine) Name() string { return "weighted-jaccard" }
+
+// AllPairs implements JaccardEngine with the msJh inverted-list strategy,
+// accumulating weighted intersections instead of counts.
+func (e WeightedJaccardEngine) AllPairs(sets []Set) *PairScores {
+	w := e.Weight
+	if w == nil {
+		w = func(ItemID) float64 { return 1 }
+	}
+	n := len(sets)
+	ps := NewPairScores(n)
+
+	// Total weight per set (the union is computed from totals and the
+	// intersection, as in the unweighted case).
+	totals := make([]float64, n)
+	for i, s := range sets {
+		for _, v := range s.Items() {
+			totals[i] += w(v)
+		}
+	}
+
+	msht := make(map[ItemID][]int32)
+	for i, s := range sets {
+		for _, v := range s.Items() {
+			msht[v] = append(msht[v], int32(i))
+		}
+	}
+
+	inter := make([]float64, n)
+	touched := make([]int32, 0, 64)
+	for i, s := range sets {
+		touched = touched[:0]
+		for _, v := range s.Items() {
+			wv := w(v)
+			if wv == 0 {
+				continue
+			}
+			list := msht[v]
+			for t := len(list) - 1; t >= 0; t-- {
+				j := list[t]
+				if int(j) <= i {
+					break
+				}
+				if inter[j] == 0 {
+					touched = append(touched, j)
+				}
+				inter[j] += wv
+			}
+		}
+		for _, j := range touched {
+			wInter := inter[j]
+			inter[j] = 0
+			union := totals[i] + totals[j] - wInter
+			if union > 0 {
+				ps.Set(i, int(j), wInter/union)
+			}
+		}
+	}
+	return ps
+}
+
+// IDFWeight builds a Weight function from the document frequencies of the
+// given corpus of sets: w(t) = ln(1 + N/df(t)), with unseen items given
+// the maximum weight (df = 1). It is the natural companion of
+// WeightedJaccardEngine for rare-attribute emphasis.
+func IDFWeight(corpus []Set) func(ItemID) float64 {
+	df := make(map[ItemID]int)
+	for _, s := range corpus {
+		for _, v := range s.Items() {
+			df[v]++
+		}
+	}
+	n := float64(len(corpus))
+	return func(t ItemID) float64 {
+		d := df[t]
+		if d == 0 {
+			d = 1
+		}
+		return math.Log(1 + n/float64(d))
+	}
+}

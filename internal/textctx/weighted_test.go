@@ -1,0 +1,125 @@
+package textctx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestWeightedUniformEqualsPlainJaccard: with uniform (or nil) weights
+// the engine reduces exactly to the unweighted engines.
+func TestWeightedUniformEqualsPlainJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		sets := randomSets(rng, 2+rng.Intn(40), 1+rng.Intn(80), 15)
+		plain := MSJHEngine{}.AllPairs(sets)
+		for _, eng := range []WeightedJaccardEngine{
+			{}, // nil Weight
+			{Weight: func(ItemID) float64 { return 1 }},
+			{Weight: func(ItemID) float64 { return 2.5 }}, // any constant cancels
+		} {
+			got := eng.AllPairs(sets)
+			if d := plain.MaxAbsDiff(got); d > 1e-12 {
+				t.Fatalf("trial %d: weighted (uniform) differs by %g", trial, d)
+			}
+		}
+	}
+}
+
+// TestWeightedMatchesDefinition: compare against a direct computation of
+// Σ min / Σ max over random weights.
+func TestWeightedMatchesDefinition(t *testing.T) {
+	weights := map[ItemID]float64{}
+	rng := rand.New(rand.NewSource(5))
+	weight := func(t ItemID) float64 {
+		if w, ok := weights[t]; ok {
+			return w
+		}
+		w := rng.Float64() * 3
+		weights[t] = w
+		return w
+	}
+	f := func(ra, rb []uint8) bool {
+		a, b := randomSet(ra), randomSet(rb)
+		got := WeightedJaccardEngine{Weight: weight}.AllPairs([]Set{a, b}).At(0, 1)
+		var inter, union float64
+		for _, v := range a.Union(b).Items() {
+			w := weight(v)
+			union += w
+			if a.Contains(v) && b.Contains(v) {
+				inter += w
+			}
+		}
+		want := 0.0
+		if union > 0 {
+			want = inter / union
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWeightedEmphasisesRareItems: under IDF weights, sharing a rare item
+// similarity-dominates sharing a ubiquitous one.
+func TestWeightedEmphasisesRareItems(t *testing.T) {
+	d := NewDict()
+	common := d.Intern("museum") // in every set
+	rare := d.Intern("viking")   // in two sets
+	corpus := make([]Set, 20)
+	for i := range corpus {
+		ids := []ItemID{common, ItemID(100 + i)}
+		if i < 2 {
+			ids = append(ids, rare)
+		}
+		corpus[i] = NewSet(ids...)
+	}
+	eng := WeightedJaccardEngine{Weight: IDFWeight(corpus)}
+	sim := eng.AllPairs(corpus)
+	// Sets 0 and 1 share {museum, viking}; sets 2 and 3 share {museum}.
+	if sim.At(0, 1) <= sim.At(2, 3) {
+		t.Errorf("rare-sharing pair %g not above common-only pair %g",
+			sim.At(0, 1), sim.At(2, 3))
+	}
+	// Plain Jaccard sees a much smaller relative gap.
+	plain := MSJHEngine{}.AllPairs(corpus)
+	gapW := sim.At(0, 1) / sim.At(2, 3)
+	gapP := plain.At(0, 1) / plain.At(2, 3)
+	if gapW <= gapP {
+		t.Errorf("IDF weighting did not amplify the gap: %g vs %g", gapW, gapP)
+	}
+}
+
+// TestWeightedZeroWeightItemsIgnored: items with zero weight contribute
+// to neither intersection nor union.
+func TestWeightedZeroWeightItemsIgnored(t *testing.T) {
+	stop := ItemID(0)
+	eng := WeightedJaccardEngine{Weight: func(t ItemID) float64 {
+		if t == stop {
+			return 0
+		}
+		return 1
+	}}
+	a := NewSet(0, 1, 2)
+	b := NewSet(0, 1, 3)
+	// Ignoring item 0: J = |{1}| / |{1,2,3}| = 1/3.
+	if got := eng.AllPairs([]Set{a, b}).At(0, 1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("got %g, want 1/3", got)
+	}
+}
+
+func TestIDFWeight(t *testing.T) {
+	corpus := []Set{NewSet(1, 2), NewSet(1), NewSet(1)}
+	w := IDFWeight(corpus)
+	if w(1) >= w(2) {
+		t.Errorf("ubiquitous item weight %g not below rare %g", w(1), w(2))
+	}
+	if w(99) < w(2) {
+		t.Error("unseen item should get the maximum weight")
+	}
+	if (WeightedJaccardEngine{}).Name() != "weighted-jaccard" {
+		t.Error("wrong name")
+	}
+}

@@ -1,0 +1,131 @@
+package usereval
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// clusteredScoreSet wraps the exported study-set generator.
+func clusteredScoreSet(t testing.TB, seed int64) *core.ScoreSet {
+	t.Helper()
+	ss, err := SyntheticStudySet(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss
+}
+
+func TestPanelBasics(t *testing.T) {
+	p := NewPanel(10, 1)
+	if p.Size() != 10 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if NewPanel(0, 1).Size() != 10 {
+		t.Error("default size not applied")
+	}
+}
+
+func TestCriterionString(t *testing.T) {
+	want := map[Criterion]string{P1: "P1", P2: "P2", T1: "T1", T2: "T2", T3: "T3"}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("String(%d) = %q", int(c), c.String())
+		}
+	}
+	if Criterion(9).String() == "" {
+		t.Error("unknown criterion empty")
+	}
+}
+
+func TestScoresInRange(t *testing.T) {
+	ss := clusteredScoreSet(t, 1)
+	panel := NewPanel(10, 2)
+	params := core.Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+	sel, err := core.ABP(ss, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Criteria {
+		s := panel.Score(ss, sel.Indices, c)
+		if s < 1 || s > 10 {
+			t.Errorf("%v score %g outside [1, 10]", c, s)
+		}
+	}
+	all := panel.ScoreAll(ss, sel.Indices)
+	if len(all) != len(Criteria) {
+		t.Errorf("ScoreAll returned %d entries", len(all))
+	}
+}
+
+func TestPanelDeterministicPerSeed(t *testing.T) {
+	ss := clusteredScoreSet(t, 3)
+	sel, _ := core.TopK(ss, core.Params{K: 10, Lambda: 0.5, Gamma: 0.5})
+	a := NewPanel(10, 7).Score(ss, sel.Indices, P1)
+	b := NewPanel(10, 7).Score(ss, sel.Indices, P1)
+	if a != b {
+		t.Errorf("same seed, different scores: %g vs %g", a, b)
+	}
+}
+
+// TestEmergentPreferenceOrdering reproduces the headline Figure 12(a)
+// finding: averaged over queries, the panel prefers proportional (ABP)
+// over diversified (ABP_D) over plain top-k results, on P1 and on the
+// aggregate of the task criteria. The ordering must emerge from the
+// utility model — nothing in the scorer knows which method produced R.
+func TestEmergentPreferenceOrdering(t *testing.T) {
+	panel := NewPanel(10, 11)
+	params := core.Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+	var prop, div, topk float64
+	const queries = 12
+	for seed := int64(0); seed < queries; seed++ {
+		ss := clusteredScoreSet(t, 100+seed)
+		selP, err := core.ABP(ss, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selD, err := core.ABPDiv(ss, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		selT, err := core.TopK(ss, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range Criteria {
+			prop += panel.Score(ss, selP.Indices, c)
+			div += panel.Score(ss, selD.Indices, c)
+			topk += panel.Score(ss, selT.Indices, c)
+		}
+	}
+	n := float64(queries * len(Criteria))
+	prop, div, topk = prop/n, div/n, topk/n
+	if !(prop > div && div > topk) {
+		t.Errorf("expected proportional > diversified > top-k, got %.2f, %.2f, %.2f",
+			prop, div, topk)
+	}
+}
+
+// TestDiversitySignal: a redundant list scores below a diverse one on T3.
+func TestDiversitySignal(t *testing.T) {
+	ss := clusteredScoreSet(t, 5)
+	panel := NewPanel(10, 13)
+	// Redundant: 10 history museums (indices 0..17 are the history group).
+	redundant := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	// Mixed: spread across the groups and the outlier tail.
+	mixed := []int{0, 1, 18, 19, 34, 48, 60, 70, 78, 90}
+	if r, m := panel.Score(ss, redundant, T3), panel.Score(ss, mixed, T3); r >= m {
+		t.Errorf("T3: redundant %g ≥ mixed %g", r, m)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	ss := clusteredScoreSet(t, 7)
+	panel := NewPanel(5, 17)
+	if s := panel.Score(ss, nil, P1); s < 1 || s > 10 {
+		t.Errorf("empty R score %g outside range", s)
+	}
+	if s := panel.Score(ss, []int{3}, T3); s < 1 || s > 10 {
+		t.Errorf("singleton R score %g outside range", s)
+	}
+}
