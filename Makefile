@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench report report-small examples clean
+.PHONY: all build test vet race race-all cover bench check report report-small examples clean
 
-all: build test
+all: check
+
+# Default verification path: build, vet, tests, and the race detector on
+# the concurrency-bearing packages (serving path, parallel Step 1, stream).
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -13,7 +17,13 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
+	$(GO) test -race ./internal/resilience ./internal/grid ./internal/stream ./cmd/propserve
+
+race-all:
 	$(GO) test -race ./...
 
 cover:

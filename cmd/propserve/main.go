@@ -5,10 +5,16 @@
 //
 // Endpoints:
 //
-//	GET /healthz                 → {"status":"ok", ...}
+//	GET /healthz                 → {"status":"ok", ...} plus admission-gate occupancy
 //	GET /stats                   → corpus statistics
-//	GET /search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp
+//	GET /search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp&spatial=squared
 //	                             → proportional selection with score breakdown
+//
+// The serving path is guarded by per-request deadline budgets
+// (-query-timeout), bounded-concurrency admission control (-max-inflight,
+// -max-queue; overload sheds with 503 + Retry-After), a retrieval-size
+// ceiling (-max-K), and panic recovery. See README.md "Operational
+// resilience".
 package main
 
 import (
@@ -29,6 +35,12 @@ func main() {
 	fs := flag.NewFlagSet("propserve", flag.ExitOnError)
 	data := fs.String("data", "", "dataset file from datagen (empty: generate a demo corpus)")
 	addr := fs.String("addr", ":8080", "listen address")
+	queryTimeout := fs.Duration("query-timeout", 10*time.Second, "per-request deadline budget (admission wait + scoring + selection)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrent /search requests (0: 2×GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "max /search requests waiting for admission before shedding (0: same as -max-inflight)")
+	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait for admission before shedding")
+	maxK := fs.Int("max-K", 2000, "ceiling on the retrieval size K (quadratic work unit); larger requests are clamped")
+	degradeBudget := fs.Duration("degrade-budget", 0, "remaining-budget threshold that downshifts spatial=exact to the squared grid (0: query-timeout/4)")
 	fs.Parse(os.Args[1:])
 
 	d, err := loadOrGenerate(*data)
@@ -36,7 +48,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "propserve:", err)
 		os.Exit(1)
 	}
-	h := NewServer(d)
+	h := NewServer(d, Config{
+		QueryTimeout:  *queryTimeout,
+		MaxInFlight:   *maxInFlight,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		MaxK:          *maxK,
+		DegradeBudget: *degradeBudget,
+	})
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -45,7 +64,8 @@ func main() {
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
 	}
-	fmt.Printf("propserve: %d places, listening on %s\n", len(d.Places), *addr)
+	fmt.Printf("propserve: %d places, listening on %s (timeout %v, inflight %d, max K %d)\n",
+		len(d.Places), *addr, h.cfg.QueryTimeout, h.cfg.MaxInFlight, h.cfg.MaxK)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()

@@ -1,44 +1,120 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/resilience"
 	"repro/internal/textctx"
 )
 
-// Server serves proportional search over one corpus. It is safe for
-// concurrent use: the dataset and precomputed grid tables are read-only
-// after construction, and every request builds its own score set.
-type Server struct {
-	mux   *http.ServeMux
-	data  *dataset.Dataset
-	sqTbl *grid.SquaredTable
+// Config carries the serving-path resilience knobs. Zero values select
+// the defaults noted on each field.
+type Config struct {
+	// QueryTimeout is the per-request deadline budget covering admission
+	// wait, scoring and selection. Default 10s.
+	QueryTimeout time.Duration
+	// MaxInFlight bounds concurrent /search requests. Default 2×GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot; beyond it requests are
+	// shed with 503. Default MaxInFlight.
+	MaxQueue int
+	// QueueWait is the longest a request may wait for admission before it
+	// is shed. Default 1s.
+	QueueWait time.Duration
+	// MaxK caps the retrieval size K: Step 1 is quadratic in K, so this is
+	// the server's unit of work ceiling. Larger requests are clamped and
+	// the clamp reported in diagnostics. Default 2000.
+	MaxK int
+	// DegradeBudget is the remaining-budget threshold below which the
+	// exact spatial method is downshifted to the squared grid. Default
+	// QueryTimeout/4.
+	DegradeBudget time.Duration
+	// RetryAfter is the Retry-After hint attached to 503 shed responses.
+	// Default 1s.
+	RetryAfter time.Duration
+	// Logf receives panic reports from the recovery middleware. Default
+	// log.Printf.
+	Logf func(format string, args ...any)
 }
 
-// NewServer builds the handler tree over d.
-func NewServer(d *dataset.Dataset) *Server {
+func (c Config) withDefaults() Config {
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.MaxK <= 0 {
+		c.MaxK = 2000
+	}
+	if c.DegradeBudget <= 0 {
+		c.DegradeBudget = c.QueryTimeout / 4
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return c
+}
+
+// Server serves proportional search over one corpus. It is safe for
+// concurrent use: the dataset and precomputed grid tables are read-only
+// after construction, and every request builds its own score set. The
+// serving path is guarded end to end: panics become 500s, /search sits
+// behind a bounded admission gate, and every query carries a deadline
+// budget that the scoring and selection loops observe cooperatively.
+type Server struct {
+	handler http.Handler
+	mux     *http.ServeMux
+	data    *dataset.Dataset
+	sqTbl   *grid.SquaredTable
+	cfg     Config
+	gate    *resilience.Gate
+}
+
+// NewServer builds the handler tree over d with the given resilience
+// configuration (zero values select defaults).
+func NewServer(d *dataset.Dataset, cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
 		mux:   http.NewServeMux(),
 		data:  d,
 		sqTbl: grid.NewSquaredTable(grid.SideForCells(1024)),
+		cfg:   cfg,
+		gate:  resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.handler = resilience.Recover(s.mux, cfg.Logf)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
@@ -50,10 +126,33 @@ func writeError(w http.ResponseWriter, status int, format string, args ...interf
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// statusFor maps pipeline failures onto the HTTP taxonomy: deadline
+// overruns are 504, cancellations and shed load 503, an instance too
+// large for the requested algorithm 400, everything else an internal 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, resilience.ErrShed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrTooLarge):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status": "ok",
-		"places": len(s.data.Places),
+		"status":    "ok",
+		"places":    len(s.data.Places),
+		"inflight":  s.gate.InFlight(),
+		"queued":    s.gate.Queued(),
+		"capacity":  s.gate.Capacity(),
+		"max_K":     s.cfg.MaxK,
+		"timeout_s": s.cfg.QueryTimeout.Seconds(),
 	})
 }
 
@@ -93,84 +192,202 @@ type searchResult struct {
 	Context []string `json:"context"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+// searchParams is the validated /search parameter set.
+type searchParams struct {
+	x, y          float64
+	bigK, k       int
+	lambda, gamma float64
+	algo          core.Algorithm
+	spatial       core.SpatialMethod
+	spatialName   string
+	keywords      []textctx.ItemID
+}
+
+// parseSearchParams validates every /search parameter, returning a
+// descriptive error for anything malformed: non-finite coordinates
+// (strconv.ParseFloat happily accepts NaN and Inf), non-positive k or K,
+// k ≥ K, λ/γ outside [0, 1], and unknown algorithm or spatial method
+// names all fail here with a 400 before any scoring work starts.
+func (s *Server) parseSearchParams(r *http.Request) (searchParams, error) {
 	q := r.URL.Query()
 	getF := func(name string, def float64) (float64, error) {
 		v := q.Get(name)
 		if v == "" {
 			return def, nil
 		}
-		return strconv.ParseFloat(v, 64)
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %q: %v", name, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, fmt.Errorf("parameter %q = %v must be finite", name, f)
+		}
+		return f, nil
 	}
 	getI := func(name string, def int) (int, error) {
 		v := q.Get(name)
 		if v == "" {
 			return def, nil
 		}
-		return strconv.Atoi(v)
+		i, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("parameter %q: %v", name, err)
+		}
+		return i, nil
 	}
 
-	x, err1 := getF("x", s.data.Config.Extent/2)
-	y, err2 := getF("y", s.data.Config.Extent/2)
-	bigK, err3 := getI("K", 100)
-	k, err4 := getI("k", 10)
-	lambda, err5 := getF("lambda", 0.5)
-	gamma, err6 := getF("gamma", 0.5)
-	for _, err := range []error{err1, err2, err3, err4, err5, err6} {
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
-			return
-		}
+	var p searchParams
+	var err error
+	if p.x, err = getF("x", s.data.Config.Extent/2); err != nil {
+		return p, err
 	}
+	if p.y, err = getF("y", s.data.Config.Extent/2); err != nil {
+		return p, err
+	}
+	if p.bigK, err = getI("K", 100); err != nil {
+		return p, err
+	}
+	if p.k, err = getI("k", 10); err != nil {
+		return p, err
+	}
+	if p.lambda, err = getF("lambda", 0.5); err != nil {
+		return p, err
+	}
+	if p.gamma, err = getF("gamma", 0.5); err != nil {
+		return p, err
+	}
+	if p.bigK <= 0 {
+		return p, fmt.Errorf("K = %d must be positive", p.bigK)
+	}
+	if p.k <= 0 {
+		return p, fmt.Errorf("k = %d must be positive", p.k)
+	}
+	if p.k >= p.bigK {
+		return p, fmt.Errorf("k = %d must be smaller than K = %d", p.k, p.bigK)
+	}
+	if p.lambda < 0 || p.lambda > 1 {
+		return p, fmt.Errorf("lambda = %v outside [0, 1]", p.lambda)
+	}
+	if p.gamma < 0 || p.gamma > 1 {
+		return p, fmt.Errorf("gamma = %v outside [0, 1]", p.gamma)
+	}
+
 	algo := q.Get("algo")
 	if algo == "" {
 		algo = "abp"
 	}
+	p.algo = core.Algorithm(algo)
+	if !core.Registered(p.algo) {
+		return p, fmt.Errorf("unknown algorithm %q (have %v)", algo, core.Algorithms())
+	}
 
-	var kwIDs []textctx.ItemID
+	p.spatialName = q.Get("spatial")
+	if p.spatialName == "" {
+		p.spatialName = "squared"
+	}
+	switch p.spatialName {
+	case "squared":
+		p.spatial = core.SpatialSquaredGrid
+	case "radial":
+		p.spatial = core.SpatialRadialGrid
+	case "exact":
+		p.spatial = core.SpatialExact
+	default:
+		return p, fmt.Errorf("unknown spatial method %q (have exact, squared, radial)", p.spatialName)
+	}
+
 	for _, kw := range strings.Split(q.Get("keywords"), ",") {
 		kw = strings.TrimSpace(kw)
 		if kw == "" {
 			continue
 		}
 		if id, ok := s.data.Dict.Lookup(kw); ok {
-			kwIDs = append(kwIDs, id)
+			p.keywords = append(p.keywords, id)
+		}
+	}
+	return p, nil
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	p, err := s.parseSearchParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
+		return
+	}
+
+	// Graceful degradation, part 1: K is the unit of quadratic work, so
+	// clamp it to the server's ceiling and report the clamp.
+	degraded := map[string]any{}
+	if p.bigK > s.cfg.MaxK {
+		degraded["K_clamped_from"] = p.bigK
+		p.bigK = s.cfg.MaxK
+		if p.k >= p.bigK {
+			writeError(w, http.StatusBadRequest,
+				"bad parameter: k = %d must be smaller than the server's K ceiling %d", p.k, s.cfg.MaxK)
+			return
 		}
 	}
 
-	loc := geo.Pt(x, y)
-	places, err := s.data.Retrieve(dataset.Query{Loc: loc, Keywords: textctx.NewSet(kwIDs...)}, bigK)
+	// The deadline budget covers admission wait plus compute, and is
+	// bound to the client connection: a hang-up cancels r.Context() and
+	// with it every checkpointed loop downstream.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	release, err := s.gate.Acquire(ctx)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "retrieve: %v", err)
+		status := statusFor(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		}
+		writeError(w, status, "admission: %v", err)
 		return
 	}
-	if len(places) <= k {
-		writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), k)
+	defer release()
+
+	// Graceful degradation, part 2: if queueing consumed most of the
+	// budget, downshift the exact spatial method to the squared grid
+	// (Section 7.1.1) rather than miss the deadline.
+	if p.spatial == core.SpatialExact {
+		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
+			p.spatial = core.SpatialSquaredGrid
+			degraded["spatial"] = "exact→squared-grid (low budget)"
+		}
+	}
+
+	loc := geo.Pt(p.x, p.y)
+	places, err := s.data.Retrieve(dataset.Query{Loc: loc, Keywords: textctx.NewSet(p.keywords...)}, p.bigK)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "retrieve: %v", err)
 		return
 	}
-	ss, err := core.ComputeScores(loc, places, core.ScoreOptions{
-		Gamma:        gamma,
-		Spatial:      core.SpatialSquaredGrid,
-		SquaredTable: s.sqTbl,
-	})
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "score: %v", err)
+	if len(places) <= p.k {
+		writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), p.k)
 		return
 	}
-	params := core.Params{K: k, Lambda: lambda, Gamma: gamma}
-	sel, err := core.Select(core.Algorithm(algo), ss, params)
+	opt := core.ScoreOptions{Gamma: p.gamma, Spatial: p.spatial}
+	if p.spatial == core.SpatialSquaredGrid {
+		opt.SquaredTable = s.sqTbl
+	}
+	ss, err := core.ComputeScoresCtx(ctx, loc, places, opt)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "select: %v", err)
+		writeError(w, statusFor(err), "score: %v", err)
+		return
+	}
+	params := core.Params{K: p.k, Lambda: p.lambda, Gamma: p.gamma}
+	sel, err := core.SelectCtx(ctx, p.algo, ss, params)
+	if err != nil {
+		writeError(w, statusFor(err), "select: %v", err)
 		return
 	}
 
-	b := ss.Evaluate(sel.Indices, lambda)
+	b := ss.Evaluate(sel.Indices, p.lambda)
 	var resp searchResponse
-	resp.Query.X, resp.Query.Y = x, y
-	resp.Query.K, resp.Query.SmallK = bigK, k
-	resp.Query.Lambda, resp.Query.Gamma = lambda, gamma
-	resp.Query.Algo = algo
-	for _, kw := range kwIDs {
+	resp.Query.X, resp.Query.Y = p.x, p.y
+	resp.Query.K, resp.Query.SmallK = p.bigK, p.k
+	resp.Query.Lambda, resp.Query.Gamma = p.lambda, p.gamma
+	resp.Query.Algo = string(p.algo)
+	for _, kw := range p.keywords {
 		resp.Query.Keywords = append(resp.Query.Keywords, s.data.Dict.Word(kw))
 	}
 	resp.HPF = b.Total
@@ -184,15 +401,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"directional_coverage": diag.DirectionalCoverage,
 		"diversity":            diag.Diversity,
 		"mean_relevance":       diag.MeanRelevance,
+		"spatial_method":       p.spatial.String(),
+	}
+	if len(degraded) > 0 {
+		resp.Diagnostics["degraded"] = degraded
 	}
 	for rank, idx := range sel.Indices {
 		p := ss.Places[idx]
-		ctx := p.Context.Words(s.data.Dict)
-		if len(ctx) > 6 {
-			ctx = ctx[:6]
+		ctxWords := p.Context.Words(s.data.Dict)
+		if len(ctxWords) > 6 {
+			ctxWords = ctxWords[:6]
 		}
 		resp.Results = append(resp.Results, searchResult{
-			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctx,
+			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctxWords,
 		})
 	}
 	writeJSON(w, http.StatusOK, resp)

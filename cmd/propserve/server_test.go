@@ -12,14 +12,21 @@ import (
 )
 
 func testServer(t *testing.T) *Server {
+	return testServerCfg(t, Config{})
+}
+
+func testServerCfg(t *testing.T, cfg Config) *Server {
 	t.Helper()
-	cfg := dataset.DBpediaLike(5)
-	cfg.Places = 500
-	d, err := dataset.Generate(cfg)
+	dcfg := dataset.DBpediaLike(5)
+	dcfg.Places = 500
+	d, err := dataset.Generate(dcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewServer(d)
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf // keep panic stacks out of stderr
+	}
+	return NewServer(d, cfg)
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
@@ -116,10 +123,21 @@ func TestSearchErrors(t *testing.T) {
 	cases := []string{
 		"/search?x=notanumber",
 		"/search?K=abc",
-		"/search?lambda=2",     // rejected by core validation
-		"/search?algo=sorcery", // unknown algorithm
-		"/search?K=5&k=10",     // k ≥ retrieved
+		"/search?lambda=2",
+		"/search?lambda=-0.1",
+		"/search?algo=sorcery",     // unknown algorithm
+		"/search?spatial=wormhole", // unknown spatial method
+		"/search?K=5&k=10",         // k ≥ K
+		"/search?K=10&k=10",
+		"/search?k=0",
+		"/search?k=-3",
+		"/search?K=0",
+		"/search?K=-1",
 		"/search?K=60&k=5&gamma=7",
+		"/search?K=60&k=5&gamma=NaN",
+		"/search?x=NaN",  // strconv.ParseFloat accepts NaN; the server must not
+		"/search?y=+Inf", // likewise for infinities
+		"/search?x=-Inf",
 	}
 	for _, path := range cases {
 		rec := get(t, s, path)
@@ -129,6 +147,54 @@ func TestSearchErrors(t *testing.T) {
 		if !strings.Contains(rec.Body.String(), "error") {
 			t.Errorf("%s: no error field: %s", path, rec.Body.String())
 		}
+	}
+}
+
+// TestSearchSpatialMethods exercises the spatial method selector,
+// including the exact (quadratic baseline) path.
+func TestSearchSpatialMethods(t *testing.T) {
+	s := testServer(t)
+	for _, spatial := range []string{"exact", "squared", "radial"} {
+		rec := get(t, s, "/search?K=60&k=5&spatial="+spatial)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", spatial, rec.Code, rec.Body.String())
+		}
+		var resp searchResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Diagnostics["spatial_method"] == "" {
+			t.Errorf("%s: diagnostics missing spatial_method: %v", spatial, resp.Diagnostics)
+		}
+	}
+}
+
+// TestSearchClampsK verifies the graceful-degradation ceiling: requests
+// beyond -max-K are clamped and the clamp is reported in diagnostics.
+func TestSearchClampsK(t *testing.T) {
+	s := testServerCfg(t, Config{MaxK: 50})
+	rec := get(t, s, "/search?K=400&k=5")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Query.K != 50 {
+		t.Errorf("K = %d, want clamped 50", resp.Query.K)
+	}
+	deg, ok := resp.Diagnostics["degraded"].(map[string]any)
+	if !ok {
+		t.Fatalf("diagnostics missing degraded: %v", resp.Diagnostics)
+	}
+	if deg["K_clamped_from"] != float64(400) {
+		t.Errorf("K_clamped_from = %v, want 400", deg["K_clamped_from"])
+	}
+
+	// k larger than the ceiling cannot be satisfied at all: a client error.
+	if rec := get(t, s, "/search?K=400&k=60"); rec.Code != http.StatusBadRequest {
+		t.Errorf("k beyond ceiling: status = %d, want 400 (%s)", rec.Code, rec.Body.String())
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
@@ -8,8 +9,16 @@ import (
 // TopK returns the k most relevant places (the paper's S_k baseline from
 // the user study: top-k by rF with no diversification).
 func TopK(ss *ScoreSet, p Params) (Selection, error) {
+	return topKCtx(context.Background(), ss, p)
+}
+
+func topKCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	// TopK is O(K log K) — a single checkpoint covers it.
+	if err := checkpoint(ctx, "select:topk"); err != nil {
 		return Selection{}, err
 	}
 	idx := make([]int, n)
@@ -68,6 +77,10 @@ func (ss *ScoreSet) EvaluateDiv(r []int, lambda float64) float64 {
 // relevance + dissimilarity to the current R, with no proportional-to-S
 // term. Used as the ABP_D/IAdU_D baseline in the user evaluation.
 func IAdUDiv(ss *ScoreSet, p Params) (Selection, error) {
+	return iaduDivCtx(context.Background(), ss, p)
+}
+
+func iaduDivCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
@@ -93,6 +106,9 @@ func IAdUDiv(ss *ScoreSet, p Params) (Selection, error) {
 		}
 	}
 	for len(r) < k {
+		if err := checkpoint(ctx, "select:iadu-div"); err != nil {
+			return Selection{}, err
+		}
 		bi := -1
 		for i := 0; i < n; i++ {
 			if !used[i] && (bi < 0 || contrib[i] > contrib[bi]) {
@@ -116,13 +132,17 @@ func IAdUDiv(ss *ScoreSet, p Params) (Selection, error) {
 // ABPDiv is the diversification-only variant of ABP: best unused pair by
 // the diversification objective, lazily invalidated.
 func ABPDiv(ss *ScoreSet, p Params) (Selection, error) {
+	return abpDivCtx(context.Background(), ss, p)
+}
+
+func abpDivCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
 	}
 	k := p.K
 	if k == 1 {
-		return IAdUDiv(ss, p)
+		return iaduDivCtx(ctx, ss, p)
 	}
 	type pair struct {
 		i, j  int32
@@ -130,6 +150,9 @@ func ABPDiv(ss *ScoreSet, p Params) (Selection, error) {
 	}
 	ps := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		if err := checkpoint(ctx, "select:abp-div"); err != nil {
+			return Selection{}, err
+		}
 		for j := i + 1; j < n; j++ {
 			ps = append(ps, pair{int32(i), int32(j), ss.divPair(i, j, k, p.Lambda)})
 		}
@@ -172,6 +195,10 @@ func ABPDiv(ss *ScoreSet, p Params) (Selection, error) {
 // with C(K, k) above ~2 million subsets return ErrTooLarge. Used to
 // validate the greedy algorithms' approximation quality on small inputs.
 func Exact(ss *ScoreSet, p Params) (Selection, error) {
+	return exactCtx(context.Background(), ss, p)
+}
+
+func exactCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
@@ -182,21 +209,36 @@ func Exact(ss *ScoreSet, p Params) (Selection, error) {
 	k := p.K
 	cur := make([]int, k)
 	best := Selection{HPF: negInf}
-	var rec func(start, depth int)
-	rec = func(start, depth int) {
+	var evals int
+	var ctxErr error
+	// rec returns false to abort the enumeration after a checkpoint fires.
+	var rec func(start, depth int) bool
+	rec = func(start, depth int) bool {
 		if depth == k {
+			if evals%4096 == 0 {
+				if err := checkpoint(ctx, "select:exact"); err != nil {
+					ctxErr = err
+					return false
+				}
+			}
+			evals++
 			if h := ss.Evaluate(cur, p.Lambda).Total; h > best.HPF {
 				best.HPF = h
 				best.Indices = append([]int(nil), cur...)
 			}
-			return
+			return true
 		}
 		for i := start; i <= n-(k-depth); i++ {
 			cur[depth] = i
-			rec(i+1, depth+1)
+			if !rec(i+1, depth+1) {
+				return false
+			}
 		}
+		return true
 	}
-	rec(0, 0)
+	if !rec(0, 0) {
+		return Selection{}, ctxErr
+	}
 	return best, nil
 }
 

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// Cancellation sentinels returned by the context-accepting entry points
+// (ComputeScoresCtx, SelectCtx). Both wrap the underlying context error,
+// so errors.Is also matches context.Canceled / context.DeadlineExceeded.
+var (
+	// ErrCancelled reports that the caller's context was cancelled while
+	// a computation was in progress (e.g. the client hung up).
+	ErrCancelled = errors.New("core: computation cancelled")
+	// ErrDeadline reports that the caller's deadline budget expired while
+	// a computation was in progress.
+	ErrDeadline = errors.New("core: computation deadline exceeded")
+)
+
+// ctxError ties one of the package sentinels to the context error that
+// produced it; both are reachable through errors.Is/As.
+type ctxError struct {
+	sentinel error
+	cause    error
+}
+
+func (e *ctxError) Error() string   { return e.sentinel.Error() + ": " + e.cause.Error() }
+func (e *ctxError) Unwrap() []error { return []error{e.sentinel, e.cause} }
+
+// CtxErr maps the termination state of ctx onto the package's typed
+// errors: nil while ctx is live, ErrDeadline after its deadline expired,
+// ErrCancelled after any other cancellation.
+func CtxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	err := ctx.Err()
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return &ctxError{sentinel: ErrDeadline, cause: err}
+	default:
+		return &ctxError{sentinel: ErrCancelled, cause: err}
+	}
+}
+
+// checkpointHook, when non-nil, runs at every cancellation checkpoint in
+// the scoring and selection loops. It exists for fault injection: tests
+// install hooks that sleep (to widen race windows), panic (to exercise
+// recovery middleware), or cancel contexts mid-computation.
+var checkpointHook atomic.Pointer[func(stage string)]
+
+// SetCheckpointHook installs h as the fault-injection hook called at every
+// cancellation checkpoint, identified by a stage label such as
+// "scores:contextual" or "select:abp". It returns a restore function that
+// removes the hook. Passing nil removes any installed hook. Safe for
+// concurrent use; intended for tests only.
+func SetCheckpointHook(h func(stage string)) (restore func()) {
+	if h == nil {
+		checkpointHook.Store(nil)
+		return func() {}
+	}
+	checkpointHook.Store(&h)
+	return func() { checkpointHook.Store(nil) }
+}
+
+// checkpoint is the cooperative cancellation point placed on the outer
+// loops of the quadratic Step-1/Step-2 work: it fires the fault-injection
+// hook (if any) and reports whether ctx has terminated.
+func checkpoint(ctx context.Context, stage string) error {
+	if h := checkpointHook.Load(); h != nil {
+		(*h)(stage)
+	}
+	return CtxErr(ctx)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 )
 
@@ -12,6 +13,10 @@ import (
 // O(K·k + K log K); a 4-approximation when HPF satisfies the triangle
 // inequality (Theorem 8.2).
 func IAdU(ss *ScoreSet, p Params) (Selection, error) {
+	return iaduCtx(context.Background(), ss, p)
+}
+
+func iaduCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
@@ -43,6 +48,11 @@ func IAdU(ss *ScoreSet, p Params) (Selection, error) {
 		}
 	}
 	for len(r) < k {
+		// Each iteration costs O(K); polling here bounds the cancellation
+		// latency by one outer iteration.
+		if err := checkpoint(ctx, "select:iadu"); err != nil {
+			return Selection{}, err
+		}
 		bi := -1
 		for i := 0; i < n; i++ {
 			if !used[i] && (bi < 0 || contrib[i] > contrib[bi]) {
@@ -71,6 +81,10 @@ func IAdU(ss *ScoreSet, p Params) (Selection, error) {
 // current R (the paper allows an arbitrary choice here). Complexity
 // O(K² log K²); a 2-approximation under the Theorem 8.2 condition.
 func ABP(ss *ScoreSet, p Params) (Selection, error) {
+	return abpCtx(context.Background(), ss, p)
+}
+
+func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
@@ -93,11 +107,18 @@ func ABP(ss *ScoreSet, p Params) (Selection, error) {
 	}
 	ps := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		// The O(K²) materialisation is the dominant cost; poll per row.
+		if err := checkpoint(ctx, "select:abp"); err != nil {
+			return Selection{}, err
+		}
 		for j := i + 1; j < n; j++ {
 			ps = append(ps, pair{int32(i), int32(j), ss.PairHPF(i, j, k, p.Lambda)})
 		}
 	}
 	sort.Slice(ps, func(a, b int) bool { return ps[a].score > ps[b].score })
+	if err := checkpoint(ctx, "select:abp"); err != nil {
+		return Selection{}, err
+	}
 
 	r := make([]int, 0, k)
 	used := make([]bool, n)

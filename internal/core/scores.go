@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/geo"
@@ -92,6 +93,18 @@ func (ss *ScoreSet) K() int { return len(ss.Places) }
 // contextual and spatial similarities of all places with the configured
 // engines, caches them, and derives the pCS, pSS and pFS vectors.
 func ComputeScores(q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, error) {
+	return ComputeScoresCtx(context.Background(), q, places, opt)
+}
+
+// ComputeScoresCtx is ComputeScores with cooperative cancellation: the
+// quadratic all-pairs phases poll ctx (directly when the configured
+// engines support it, at stage boundaries otherwise) and abandon the
+// computation as soon as ctx terminates, returning an error matching
+// ErrCancelled or ErrDeadline. No goroutines outlive the call.
+func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, error) {
+	if err := checkpoint(ctx, "scores:start"); err != nil {
+		return nil, err
+	}
 	if !q.Valid() {
 		return nil, fmt.Errorf("core: invalid query location %v", q)
 	}
@@ -115,7 +128,21 @@ func ComputeScores(q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, er
 		pts[i] = places[i].Loc
 	}
 
-	sc := engine.AllPairs(sets)
+	var sc *textctx.PairScores
+	if ce, ok := engine.(textctx.ContextEngine); ok {
+		var err error
+		if sc, err = ce.AllPairsCtx(ctx, sets); err != nil {
+			if ce := CtxErr(ctx); ce != nil {
+				return nil, ce
+			}
+			return nil, err
+		}
+	} else {
+		sc = engine.AllPairs(sets)
+	}
+	if err := checkpoint(ctx, "scores:contextual"); err != nil {
+		return nil, err
+	}
 
 	cells := opt.GridCells
 	if cells <= 0 {
@@ -125,7 +152,13 @@ func ComputeScores(q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, er
 	var pss []float64
 	switch opt.Spatial {
 	case SpatialExact:
-		pss, sp = grid.PSSBaseline(q, pts)
+		var err error
+		if pss, sp, err = grid.PSSBaselineCtx(ctx, q, pts); err != nil {
+			if ce := CtxErr(ctx); ce != nil {
+				return nil, ce
+			}
+			return nil, err
+		}
 	case SpatialSquaredGrid:
 		g, err := grid.NewSquared(q, pts, cells)
 		if err != nil {
@@ -154,6 +187,9 @@ func ComputeScores(q geo.Point, places []Place, opt ScoreOptions) (*ScoreSet, er
 		pss = sp.RowSums()
 	default:
 		return nil, fmt.Errorf("core: unknown spatial method %v", opt.Spatial)
+	}
+	if err := checkpoint(ctx, "scores:spatial"); err != nil {
+		return nil, err
 	}
 
 	pcs := sc.RowSums()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -21,15 +22,17 @@ const (
 	AlgExact    Algorithm = "exact"     // brute force (small instances only)
 )
 
-var registry = map[Algorithm]func(*ScoreSet, Params) (Selection, error){
-	AlgABP:      ABP,
-	AlgIAdU:     IAdU,
-	AlgIAdUHeap: IAdUHeap,
-	AlgABPEager: ABPEager,
-	AlgTopK:     TopK,
-	AlgABPDiv:   ABPDiv,
-	AlgIAdUDiv:  IAdUDiv,
-	AlgExact:    Exact,
+// Every registered implementation threads a context through its greedy
+// loops; the context-free entry points pass context.Background().
+var registry = map[Algorithm]func(context.Context, *ScoreSet, Params) (Selection, error){
+	AlgABP:      abpCtx,
+	AlgIAdU:     iaduCtx,
+	AlgIAdUHeap: iaduHeapCtx,
+	AlgABPEager: abpEagerCtx,
+	AlgTopK:     topKCtx,
+	AlgABPDiv:   abpDivCtx,
+	AlgIAdUDiv:  iaduDivCtx,
+	AlgExact:    exactCtx,
 }
 
 // Algorithms lists the registered algorithm names, sorted.
@@ -42,11 +45,25 @@ func Algorithms() []Algorithm {
 	return out
 }
 
+// Registered reports whether alg names a registered selection algorithm —
+// servers use it to reject unknown algorithms before any scoring work.
+func Registered(alg Algorithm) bool {
+	_, ok := registry[alg]
+	return ok
+}
+
 // Select runs the named algorithm on the score set.
 func Select(alg Algorithm, ss *ScoreSet, p Params) (Selection, error) {
+	return SelectCtx(context.Background(), alg, ss, p)
+}
+
+// SelectCtx runs the named algorithm with cooperative cancellation: the
+// greedy loops poll ctx once per outer iteration and return an error
+// matching ErrCancelled or ErrDeadline as soon as ctx terminates.
+func SelectCtx(ctx context.Context, alg Algorithm, ss *ScoreSet, p Params) (Selection, error) {
 	f, ok := registry[alg]
 	if !ok {
 		return Selection{}, fmt.Errorf("core: unknown algorithm %q (have %v)", alg, Algorithms())
 	}
-	return f(ss, p)
+	return f(ctx, ss, p)
 }

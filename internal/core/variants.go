@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 )
 
@@ -68,6 +69,10 @@ func (h *contribHeap) popMax() int { return int(heap.Pop(h).(int32)) }
 // differently, so results are compared by HPF, not by identity. Kept as
 // the DESIGN.md "IAdU array-update vs heap" ablation.
 func IAdUHeap(ss *ScoreSet, p Params) (Selection, error) {
+	return iaduHeapCtx(context.Background(), ss, p)
+}
+
+func iaduHeapCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
@@ -100,6 +105,9 @@ func IAdUHeap(ss *ScoreSet, p Params) (Selection, error) {
 	}
 
 	for len(r) < k {
+		if err := checkpoint(ctx, "select:iadu-heap"); err != nil {
+			return Selection{}, err
+		}
 		bi := h.popMax()
 		r = append(r, bi)
 		if len(r) == k {
@@ -119,13 +127,17 @@ func IAdUHeap(ss *ScoreSet, p Params) (Selection, error) {
 // instead of skipping them lazily during the scan. Same selections; kept
 // as the DESIGN.md "ABP lazy vs eager" ablation.
 func ABPEager(ss *ScoreSet, p Params) (Selection, error) {
+	return abpEagerCtx(context.Background(), ss, p)
+}
+
+func abpEagerCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	n := ss.K()
 	if err := p.validate(n); err != nil {
 		return Selection{}, err
 	}
 	k := p.K
 	if k == 1 {
-		return ABP(ss, p)
+		return abpCtx(ctx, ss, p)
 	}
 	type pair struct {
 		i, j  int32
@@ -133,6 +145,9 @@ func ABPEager(ss *ScoreSet, p Params) (Selection, error) {
 	}
 	ps := make([]pair, 0, n*(n-1)/2)
 	for i := 0; i < n; i++ {
+		if err := checkpoint(ctx, "select:abp-eager"); err != nil {
+			return Selection{}, err
+		}
 		for j := i + 1; j < n; j++ {
 			ps = append(ps, pair{int32(i), int32(j), ss.PairHPF(i, j, k, p.Lambda)})
 		}
@@ -142,6 +157,10 @@ func ABPEager(ss *ScoreSet, p Params) (Selection, error) {
 	r := make([]int, 0, k)
 	used := make([]bool, n)
 	for len(r)+2 <= k && len(ps) > 0 {
+		// Each eager compaction pass is O(K²); poll before it.
+		if err := checkpoint(ctx, "select:abp-eager"); err != nil {
+			return Selection{}, err
+		}
 		pr := ps[0]
 		used[pr.i], used[pr.j] = true, true
 		r = append(r, int(pr.i), int(pr.j))

@@ -6,14 +6,29 @@
 package grid
 
 import (
+	"context"
+
 	"repro/internal/geo"
 	"repro/internal/pairs"
 )
+
+// ctxCheckStride is the number of outer-loop rows between context polls in
+// the cancellable all-pairs loops: cancellation is observed within O(K)
+// pair computations while the poll cost stays negligible.
+const ctxCheckStride = 32
 
 // AllPairsSpatial computes the exact Ptolemy spatial similarity
 // sS(p_i, p_j) w.r.t. q for every pair of points — the baseline algorithm,
 // costing ~20 arithmetic operations per pair.
 func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
+	m, _ := AllPairsSpatialCtx(context.Background(), q, pts)
+	return m
+}
+
+// AllPairsSpatialCtx is AllPairsSpatial with cancellation checkpoints on
+// the outer row loop; on cancellation the partial matrix is discarded and
+// ctx.Err() returned.
+func AllPairsSpatialCtx(ctx context.Context, q geo.Point, pts []geo.Point) (*pairs.Matrix, error) {
 	n := len(pts)
 	m := pairs.New(n)
 	// Hoist the per-point distances to q: the baseline recomputes them per
@@ -24,6 +39,11 @@ func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
 		dq[i] = p.Dist(q)
 	}
 	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for j := i + 1; j < n; j++ {
 			den := dq[i] + dq[j]
 			if den == 0 {
@@ -37,7 +57,7 @@ func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
 			m.Set(i, j, 1-d)
 		}
 	}
-	return m
+	return m, nil
 }
 
 // PSSBaseline returns the exact pSS(p_i) vector (Eq. 6) and the pairwise
@@ -45,6 +65,15 @@ func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
 func PSSBaseline(q geo.Point, pts []geo.Point) ([]float64, *pairs.Matrix) {
 	m := AllPairsSpatial(q, pts)
 	return m.RowSums(), m
+}
+
+// PSSBaselineCtx is PSSBaseline with cancellation checkpoints.
+func PSSBaselineCtx(ctx context.Context, q geo.Point, pts []geo.Point) ([]float64, *pairs.Matrix, error) {
+	m, err := AllPairsSpatialCtx(ctx, q, pts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m.RowSums(), m, nil
 }
 
 // RelativeError returns |Σ approx − Σ exact| / Σ exact, the relative

@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func ctxTestPoints(n int, seed int64) []geo.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geo.Point, n)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+	}
+	return pts
+}
+
+func TestAllPairsSpatialCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	q := geo.Pt(50, 50)
+	pts := ctxTestPoints(200, 1)
+	if _, err := AllPairsSpatialCtx(ctx, q, pts); !errors.Is(err, context.Canceled) {
+		t.Errorf("sequential: err = %v, want context.Canceled", err)
+	}
+	if _, err := AllPairsSpatialParallelCtx(ctx, q, pts, 4); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := PSSBaselineCtx(ctx, q, pts); !errors.Is(err, context.Canceled) {
+		t.Errorf("pss: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAllPairsSpatialCtxMatchesSequential(t *testing.T) {
+	q := geo.Pt(50, 50)
+	pts := ctxTestPoints(150, 2)
+	want := AllPairsSpatial(q, pts)
+	got, err := AllPairsSpatialParallelCtx(context.Background(), q, pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if got.At(i, j) != want.At(i, j) {
+				t.Fatalf("At(%d,%d) = %v, want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// TestParallelCancelMidFlight cancels while workers are running; the call
+// must return an error (not a partial matrix) and leave no goroutine
+// stuck — the deferred wait-group join would deadlock the test otherwise.
+func TestParallelCancelMidFlight(t *testing.T) {
+	q := geo.Pt(50, 50)
+	pts := ctxTestPoints(2000, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	go cancel()
+	m, err := AllPairsSpatialParallelCtx(ctx, q, pts, 8)
+	if err == nil {
+		// The race is legal: workers may finish before the cancel lands.
+		if m == nil {
+			t.Fatal("nil matrix without error")
+		}
+		return
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if m != nil {
+		t.Error("partial matrix returned alongside error")
+	}
+}

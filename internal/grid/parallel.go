@@ -1,8 +1,10 @@
 package grid
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/pairs"
@@ -14,6 +16,16 @@ import (
 // shared matrix needs no locking. Results are identical to the sequential
 // baseline.
 func AllPairsSpatialParallel(q geo.Point, pts []geo.Point, workers int) *pairs.Matrix {
+	m, _ := AllPairsSpatialParallelCtx(context.Background(), q, pts, workers)
+	return m
+}
+
+// AllPairsSpatialParallelCtx is AllPairsSpatialParallel with cooperative
+// cancellation: every worker polls ctx once per row, so on cancellation
+// all workers return within one row of work, the partial matrix is
+// discarded, and ctx.Err() is returned. Workers never outlive the call —
+// the wait-group join runs in both the completed and cancelled paths.
+func AllPairsSpatialParallelCtx(ctx context.Context, q geo.Point, pts []geo.Point, workers int) (*pairs.Matrix, error) {
 	n := len(pts)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,19 +34,24 @@ func AllPairsSpatialParallel(q geo.Point, pts []geo.Point, workers int) *pairs.M
 		workers = n
 	}
 	if workers <= 1 || n < 64 {
-		return AllPairsSpatial(q, pts)
+		return AllPairsSpatialCtx(ctx, q, pts)
 	}
 	m := pairs.New(n)
 	dq := make([]float64, n)
 	for i, p := range pts {
 		dq[i] = p.Dist(q)
 	}
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				for j := i + 1; j < n; j++ {
 					den := dq[i] + dq[j]
 					if den == 0 {
@@ -51,7 +68,10 @@ func AllPairsSpatialParallel(q geo.Point, pts []geo.Point, workers int) *pairs.M
 		}(w)
 	}
 	wg.Wait()
-	return m
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return m, nil
 }
 
 // PSSBaselineParallel returns the exact pSS vector and pair cache using

@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Gate is a bounded-concurrency admission controller: at most maxInFlight
+// requests hold a slot at once, at most maxQueue more may wait for a slot,
+// and a waiter is shed after maxWait. Everything beyond that is rejected
+// immediately with ErrShed — the server degrades by refusing work it
+// cannot finish in time instead of queueing unboundedly.
+type Gate struct {
+	slots   chan struct{} // tokens held by in-flight requests
+	queue   chan struct{} // tokens held by waiters
+	maxWait time.Duration
+}
+
+// NewGate returns a gate admitting maxInFlight concurrent requests with a
+// wait queue of maxQueue and a maximum queue time of maxWait. Zero or
+// negative values select the defaults: 2×GOMAXPROCS in flight, a queue of
+// the same size, and a 1s maximum wait.
+func NewGate(maxInFlight, maxQueue int, maxWait time.Duration) *Gate {
+	if maxInFlight <= 0 {
+		maxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if maxQueue <= 0 {
+		maxQueue = maxInFlight
+	}
+	if maxWait <= 0 {
+		maxWait = time.Second
+	}
+	return &Gate{
+		slots:   make(chan struct{}, maxInFlight),
+		queue:   make(chan struct{}, maxQueue),
+		maxWait: maxWait,
+	}
+}
+
+// Acquire admits the request or rejects it. On success it returns a
+// release function that must be called exactly once when the request
+// finishes (calling it more than once is safe). It fails with ErrShed when
+// the queue is full or the wait exceeds the gate's maximum, and with
+// ctx.Err() when the caller's context terminates while queued — so a
+// deadline budget spent waiting in the queue is charged to the request.
+func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a slot is free.
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFunc(), nil
+	default:
+	}
+	// Slow path: take a queue token or shed immediately.
+	select {
+	case g.queue <- struct{}{}:
+	default:
+		return nil, ErrShed
+	}
+	defer func() { <-g.queue }()
+	timer := time.NewTimer(g.maxWait)
+	defer timer.Stop()
+	select {
+	case g.slots <- struct{}{}:
+		return g.releaseFunc(), nil
+	case <-timer.C:
+		return nil, ErrShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (g *Gate) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(func() { <-g.slots }) }
+}
+
+// InFlight returns the number of requests currently holding a slot.
+func (g *Gate) InFlight() int { return len(g.slots) }
+
+// Queued returns the number of requests currently waiting for a slot.
+func (g *Gate) Queued() int { return len(g.queue) }
+
+// Capacity returns the maximum number of concurrent in-flight requests.
+func (g *Gate) Capacity() int { return cap(g.slots) }

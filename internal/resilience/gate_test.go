@@ -1,0 +1,156 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToCapacity(t *testing.T) {
+	g := NewGate(3, 1, 50*time.Millisecond)
+	var releases []func()
+	for i := 0; i < 3; i++ {
+		rel, err := g.Acquire(context.Background())
+		if err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		releases = append(releases, rel)
+	}
+	if got := g.InFlight(); got != 3 {
+		t.Errorf("InFlight = %d, want 3", got)
+	}
+	for _, rel := range releases {
+		rel()
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Errorf("InFlight after release = %d, want 0", got)
+	}
+}
+
+func TestGateShedsWhenQueueFull(t *testing.T) {
+	g := NewGate(1, 1, time.Second)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+
+	// One waiter fits in the queue; park it there.
+	waiterIn := make(chan struct{})
+	waiterOut := make(chan error, 1)
+	go func() {
+		close(waiterIn)
+		r, err := g.Acquire(context.Background())
+		if err == nil {
+			r()
+		}
+		waiterOut <- err
+	}()
+	<-waiterIn
+	// Give the waiter time to take the queue token.
+	for i := 0; i < 100 && g.Queued() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if g.Queued() != 1 {
+		t.Fatalf("Queued = %d, want 1", g.Queued())
+	}
+
+	// The queue is now full: the next request must shed immediately.
+	start := time.Now()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("acquire over full queue: err = %v, want ErrShed", err)
+	}
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Errorf("shed took %v; want immediate", elapsed)
+	}
+
+	rel() // free the slot: the parked waiter gets in
+	if err := <-waiterOut; err != nil {
+		t.Errorf("queued waiter: %v, want admission", err)
+	}
+}
+
+func TestGateShedsAfterMaxWait(t *testing.T) {
+	g := NewGate(1, 1, 20*time.Millisecond)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed after max wait", err)
+	}
+}
+
+func TestGateHonoursContextWhileQueued(t *testing.T) {
+	g := NewGate(1, 1, time.Minute)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := g.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestGateReleaseIdempotent(t *testing.T) {
+	g := NewGate(1, 1, time.Second)
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // must not free a second slot
+	if got := g.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+	// The single slot is reusable, and double-release did not corrupt it.
+	rel2, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel2()
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed (capacity still 1)", err)
+	}
+}
+
+func TestGateConcurrentChurn(t *testing.T) {
+	g := NewGate(4, 4, 100*time.Millisecond)
+	var wg sync.WaitGroup
+	var admitted, shed int
+	var mu sync.Mutex
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := g.Acquire(context.Background())
+			mu.Lock()
+			if err != nil {
+				shed++
+			} else {
+				admitted++
+			}
+			mu.Unlock()
+			if err == nil {
+				time.Sleep(time.Millisecond)
+				rel()
+			}
+		}()
+	}
+	wg.Wait()
+	if admitted == 0 {
+		t.Error("no request admitted")
+	}
+	if admitted+shed != 64 {
+		t.Errorf("admitted %d + shed %d != 64", admitted, shed)
+	}
+	if g.InFlight() != 0 || g.Queued() != 0 {
+		t.Errorf("gate not drained: inflight %d queued %d", g.InFlight(), g.Queued())
+	}
+}

@@ -1,0 +1,36 @@
+package resilience
+
+import (
+	"fmt"
+	"net/http"
+	"runtime/debug"
+)
+
+// Recover wraps next so that a panicking handler yields a 500 JSON error
+// and a logged stack trace instead of killing the connection-serving
+// goroutine's request (net/http would otherwise close the connection with
+// no response, and an unprotected panic in user middleware would crash the
+// process). http.ErrAbortHandler is re-panicked, preserving net/http's
+// idiom for deliberately aborting a response. If the handler already wrote
+// a response before panicking, the 500 status cannot be applied; the stack
+// is still logged.
+func Recover(next http.Handler, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			if logf != nil {
+				logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintln(w, `{"error":"internal server error"}`)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,6 +1,7 @@
 package textctx
 
 import (
+	"context"
 	"math/rand"
 )
 
@@ -14,6 +15,24 @@ type JaccardEngine interface {
 	Name() string
 }
 
+// A ContextEngine is a JaccardEngine that supports cooperative
+// cancellation: AllPairsCtx polls ctx on the outer comparison loop (every
+// ctxCheckStride rows, so a few thousand pair comparisons at most pass
+// between polls) and returns ctx.Err() instead of completing the
+// quadratic work. Callers on a serving path should prefer it.
+type ContextEngine interface {
+	JaccardEngine
+	// AllPairsCtx is AllPairs with cancellation checkpoints; on
+	// cancellation the partial matrix is discarded and ctx.Err() returned.
+	AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error)
+}
+
+// ctxCheckStride is the number of outer-loop rows between context polls in
+// the all-pairs comparison loops — frequent enough that cancellation is
+// observed within a few thousand pair comparisons, rare enough that the
+// poll cost vanishes against the O(K) row work.
+const ctxCheckStride = 32
+
 // BaselineEngine is the paper's baseline: every one of the O(K²) pairs is
 // compared by probing a per-set hash table with the elements of the other
 // set. The hash tables for all K sets are built once (the "hashing phase"),
@@ -24,7 +43,13 @@ type BaselineEngine struct{}
 func (BaselineEngine) Name() string { return "baseline" }
 
 // AllPairs implements JaccardEngine.
-func (BaselineEngine) AllPairs(sets []Set) *PairScores {
+func (e BaselineEngine) AllPairs(sets []Set) *PairScores {
+	ps, _ := e.AllPairsCtx(context.Background(), sets)
+	return ps
+}
+
+// AllPairsCtx implements ContextEngine.
+func (BaselineEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error) {
 	n := len(sets)
 	ps := NewPairScores(n)
 	// Hashing phase: one hash table per set.
@@ -38,6 +63,11 @@ func (BaselineEngine) AllPairs(sets []Set) *PairScores {
 	}
 	// Comparison phase: probe table i with the elements of set j.
 	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ti := tables[i]
 		li := sets[i].Len()
 		for j := i + 1; j < n; j++ {
@@ -54,7 +84,7 @@ func (BaselineEngine) AllPairs(sets []Set) *PairScores {
 			ps.Set(i, j, float64(inter)/float64(union))
 		}
 	}
-	return ps
+	return ps, nil
 }
 
 // MSJHEngine implements micro set Jaccard hashing (Algorithm 1). An
@@ -68,7 +98,13 @@ type MSJHEngine struct{}
 func (MSJHEngine) Name() string { return "msJh" }
 
 // AllPairs implements JaccardEngine.
-func (MSJHEngine) AllPairs(sets []Set) *PairScores {
+func (e MSJHEngine) AllPairs(sets []Set) *PairScores {
+	ps, _ := e.AllPairsCtx(context.Background(), sets)
+	return ps
+}
+
+// AllPairsCtx implements ContextEngine.
+func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error) {
 	n := len(sets)
 	ps := NewPairScores(n)
 
@@ -92,6 +128,11 @@ func (MSJHEngine) AllPairs(sets []Set) *PairScores {
 	counts := make([]int32, n)
 	touched := make([]int32, 0, 64)
 	for i, s := range sets {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		touched = touched[:0]
 		for _, v := range s.Items() {
 			list := msht[v]
@@ -117,7 +158,7 @@ func (MSJHEngine) AllPairs(sets []Set) *PairScores {
 			ps.Set(i, int(j), float64(inter)/float64(union))
 		}
 	}
-	return ps
+	return ps, nil
 }
 
 // MinHashEngine approximates all-pairs Jaccard with t independent min-wise

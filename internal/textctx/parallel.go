@@ -1,6 +1,7 @@
 package textctx
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -23,6 +24,15 @@ func (e MSJHParallelEngine) Name() string { return "msJh-parallel" }
 
 // AllPairs implements JaccardEngine.
 func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
+	ps, _ := e.AllPairsCtx(context.Background(), sets)
+	return ps
+}
+
+// AllPairsCtx implements ContextEngine: every worker polls ctx before
+// claiming its next source set, so on cancellation all workers return
+// within one row of work and the partial matrix is discarded. No
+// goroutines outlive the call.
+func (e MSJHParallelEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error) {
 	n := len(sets)
 	ps := NewPairScores(n)
 	workers := e.Workers
@@ -33,7 +43,7 @@ func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
 		workers = n
 	}
 	if workers <= 1 {
-		return MSJHEngine{}.AllPairs(sets)
+		return MSJHEngine{}.AllPairsCtx(ctx, sets)
 	}
 
 	// Step 1 (sequential): the micro set hash table.
@@ -46,6 +56,7 @@ func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
 
 	// Step 2 (parallel): dynamic i-claiming.
 	var cursor atomic.Int64
+	var cancelled atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -54,6 +65,10 @@ func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
 			counts := make([]int32, n)
 			touched := make([]int32, 0, 64)
 			for {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
 					return
@@ -84,5 +99,8 @@ func (e MSJHParallelEngine) AllPairs(sets []Set) *PairScores {
 		}()
 	}
 	wg.Wait()
-	return ps
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return ps, nil
 }
