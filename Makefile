@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench check report report-small examples clean
+.PHONY: all build test vet race race-all cover bench check profile report report-small examples clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/resilience ./internal/grid ./internal/stream ./cmd/propserve
+	$(GO) test -race ./internal/resilience ./internal/telemetry ./internal/grid ./internal/stream ./cmd/propserve
 
 race-all:
 	$(GO) test -race ./...
@@ -31,6 +31,20 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Start propserve with the pprof debug listener and capture a 10s CPU
+# profile into cpu.pprof (inspect with: go tool pprof cpu.pprof).
+profile:
+	$(GO) build -o /tmp/propserve-profile ./cmd/propserve
+	/tmp/propserve-profile -addr 127.0.0.1:18080 -debug-addr 127.0.0.1:16060 -access-log=false & \
+	pid=$$!; \
+	sleep 2; \
+	( for i in $$(seq 1 200); do \
+		curl -s -o /dev/null "http://127.0.0.1:18080/search?K=400&k=10&spatial=exact"; \
+	  done ) & \
+	curl -s -o cpu.pprof "http://127.0.0.1:16060/debug/pprof/profile?seconds=10"; \
+	kill $$pid; wait; \
+	echo "wrote cpu.pprof"
 
 # Regenerate every figure of the paper's evaluation (full parameter ranges).
 report:
@@ -45,5 +59,5 @@ examples:
 	done
 
 clean:
-	rm -f experiments_report.txt test_output.txt bench_output.txt
+	rm -f experiments_report.txt test_output.txt bench_output.txt cpu.pprof
 	rm -rf results_csv

@@ -6,15 +6,21 @@
 // Endpoints:
 //
 //	GET /healthz                 → {"status":"ok", ...} plus admission-gate occupancy
-//	GET /stats                   → corpus statistics
+//	GET /stats                   → corpus statistics, gate counters, recovered panics
+//	GET /metrics                 → Prometheus text-format metrics (requests, stage
+//	                               latencies, gate gauges/counters, degradations)
 //	GET /search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp&spatial=squared
-//	                             → proportional selection with score breakdown
+//	                             → proportional selection with score breakdown and a
+//	                               per-stage timing breakdown in diagnostics
 //
 // The serving path is guarded by per-request deadline budgets
 // (-query-timeout), bounded-concurrency admission control (-max-inflight,
 // -max-queue; overload sheds with 503 + Retry-After), a retrieval-size
-// ceiling (-max-K), and panic recovery. See README.md "Operational
-// resilience".
+// ceiling (-max-K), and panic recovery. Every request carries an
+// X-Request-ID (echoed in error bodies and the JSON access log, which
+// -access-log=false disables), and -debug-addr opts into a net/http/pprof
+// listener for profiling. See README.md "Operational resilience" and
+// "Observability".
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +48,8 @@ func main() {
 	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait for admission before shedding")
 	maxK := fs.Int("max-K", 2000, "ceiling on the retrieval size K (quadratic work unit); larger requests are clamped")
 	degradeBudget := fs.Duration("degrade-budget", 0, "remaining-budget threshold that downshifts spatial=exact to the squared grid (0: query-timeout/4)")
+	debugAddr := fs.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty: disabled)")
+	accessLog := fs.Bool("access-log", true, "write one structured JSON line per request to stdout")
 	fs.Parse(os.Args[1:])
 
 	d, err := loadOrGenerate(*data)
@@ -48,14 +57,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "propserve:", err)
 		os.Exit(1)
 	}
-	h := NewServer(d, Config{
+	cfg := Config{
 		QueryTimeout:  *queryTimeout,
 		MaxInFlight:   *maxInFlight,
 		MaxQueue:      *maxQueue,
 		QueueWait:     *queueWait,
 		MaxK:          *maxK,
 		DegradeBudget: *degradeBudget,
-	})
+	}
+	if *accessLog {
+		cfg.AccessLog = os.Stdout
+	}
+	h := NewServer(d, cfg)
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -63,6 +76,23 @@ func main() {
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		IdleTimeout:       60 * time.Second,
+	}
+	if *debugAddr != "" {
+		// The pprof surface is opt-in and served on its own listener so it
+		// is never reachable through the public address.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dsrv := &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := dsrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "propserve: debug server:", err)
+			}
+		}()
+		fmt.Printf("propserve: pprof debug server on %s\n", *debugAddr)
 	}
 	fmt.Printf("propserve: %d places, listening on %s (timeout %v, inflight %d, max K %d)\n",
 		len(d.Places), *addr, h.cfg.QueryTimeout, h.cfg.MaxInFlight, h.cfg.MaxK)

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/metrics"
 	"repro/internal/resilience"
+	"repro/internal/telemetry"
 	"repro/internal/textctx"
 )
 
@@ -47,9 +49,12 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 503 shed responses.
 	// Default 1s.
 	RetryAfter time.Duration
-	// Logf receives panic reports from the recovery middleware. Default
-	// log.Printf.
+	// Logf receives panic reports from the recovery middleware and
+	// response-encoding errors. Default log.Printf.
 	Logf func(format string, args ...any)
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (see telemetry.AccessEntry). Nil disables access logging.
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -80,12 +85,72 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// serverMetrics bundles the Prometheus registry and the instruments the
+// handlers mutate directly. Gate and panic counters are registered as
+// read-at-scrape functions over their sources of truth
+// (resilience.Gate.Stats, resilience.Recoverer.Panics) so there is no
+// double bookkeeping.
+type serverMetrics struct {
+	reg            *telemetry.Registry
+	requests       *telemetry.CounterVec   // propserve_requests_total{code}
+	requestSeconds *telemetry.Histogram    // propserve_request_seconds
+	stageSeconds   *telemetry.HistogramVec // propserve_stage_seconds{stage}
+	queueWait      *telemetry.Histogram    // propserve_gate_queue_wait_seconds
+	degraded       *telemetry.CounterVec   // propserve_degraded_total{reason}
+}
+
+func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("propserve_requests_total",
+			"HTTP requests served, by status code.", "code"),
+		requestSeconds: reg.Histogram("propserve_request_seconds",
+			"End-to-end request latency in seconds.", telemetry.DefBuckets),
+		stageSeconds: reg.HistogramVec("propserve_stage_seconds",
+			"Per-stage pipeline latency in seconds (parse, admission_wait, retrieve, step1_pcs, step1_pss, step2_select, encode).",
+			"stage", telemetry.DefBuckets),
+		queueWait: reg.Histogram("propserve_gate_queue_wait_seconds",
+			"Time spent waiting for admission at the gate, in seconds.", telemetry.DefBuckets),
+		degraded: reg.CounterVec("propserve_degraded_total",
+			"Graceful-degradation decisions applied, by reason.", "reason"),
+	}
+	reg.GaugeFunc("propserve_gate_inflight",
+		"Requests currently holding an admission slot.",
+		func() float64 { return float64(gate.InFlight()) })
+	reg.GaugeFunc("propserve_gate_queued",
+		"Requests currently waiting for an admission slot.",
+		func() float64 { return float64(gate.Queued()) })
+	reg.GaugeFunc("propserve_gate_capacity",
+		"Maximum concurrent in-flight requests.",
+		func() float64 { return float64(gate.Capacity()) })
+	reg.CounterFunc("propserve_gate_admitted_total",
+		"Requests admitted by the gate.",
+		func() uint64 { return gate.Stats().Admitted })
+	reg.CounterFunc("propserve_gate_shed_total",
+		"Requests shed immediately because the wait queue was full.",
+		func() uint64 { return gate.Stats().Shed })
+	reg.CounterFunc("propserve_gate_queue_timeout_total",
+		"Requests shed after waiting the maximum queue time.",
+		func() uint64 { return gate.Stats().QueueTimeouts })
+	reg.CounterFunc("propserve_gate_cancelled_total",
+		"Requests whose context terminated while queued.",
+		func() uint64 { return gate.Stats().Cancelled })
+	reg.CounterFunc("propserve_panics_recovered_total",
+		"Handler panics recovered by the resilience middleware.",
+		func() uint64 { return rec.Panics() })
+	return m
+}
+
 // Server serves proportional search over one corpus. It is safe for
 // concurrent use: the dataset and precomputed grid tables are read-only
 // after construction, and every request builds its own score set. The
 // serving path is guarded end to end: panics become 500s, /search sits
 // behind a bounded admission gate, and every query carries a deadline
 // budget that the scoring and selection loops observe cooperatively.
+// Every request is assigned an X-Request-ID and, via internal/telemetry,
+// yields a per-stage span breakdown exposed in /search diagnostics and
+// in the propserve_stage_seconds histogram on /metrics.
 type Server struct {
 	handler http.Handler
 	mux     *http.ServeMux
@@ -93,6 +158,8 @@ type Server struct {
 	sqTbl   *grid.SquaredTable
 	cfg     Config
 	gate    *resilience.Gate
+	rec     *resilience.Recoverer
+	tel     *serverMetrics
 }
 
 // NewServer builds the handler tree over d with the given resilience
@@ -109,21 +176,65 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /search", s.handleSearch)
-	s.handler = resilience.Recover(s.mux, cfg.Logf)
+	s.rec = resilience.NewRecoverer(s.mux, cfg.Logf)
+	s.tel = newServerMetrics(s.gate, s.rec)
+	s.mux.Handle("GET /metrics", s.tel.reg)
+
+	// Middleware, innermost first: panic recovery around the routes, the
+	// access log outside it (so recovered 500s are logged with their
+	// status), request counting outside that, and request-ID assignment
+	// outermost so every response — including 4xx/5xx shed and panic
+	// paths — carries X-Request-ID.
+	var h http.Handler = s.rec
+	if cfg.AccessLog != nil {
+		h = telemetry.AccessLog(h, cfg.AccessLog)
+	}
+	h = s.instrument(h)
+	s.handler = telemetry.RequestID(h)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-func writeJSON(w http.ResponseWriter, status int, v interface{}) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+// instrument counts every response by status code and observes the
+// end-to-end latency.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := telemetry.NewStatusRecorder(w)
+		next.ServeHTTP(sr, r)
+		status := sr.Status()
+		if status == 0 {
+			status = http.StatusOK // handler wrote nothing: net/http sends 200
+		}
+		s.tel.requests.With(strconv.Itoa(status)).Inc()
+		s.tel.requestSeconds.Observe(time.Since(start).Seconds())
+	})
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeJSON writes v with the given status. Encode errors (a client
+// hang-up mid-body, or an unencodable value — a bug) are logged with the
+// request ID rather than silently dropped; the status line is already
+// out, so nothing else can be done for the client.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.cfg.Logf("propserve: encoding %d response (request %s): %v",
+			status, w.Header().Get(telemetry.RequestIDHeader), err)
+	}
+}
+
+// writeError writes the error taxonomy payload; the request ID rides
+// along in the body so clients quoting an error can be correlated with
+// the access log and server log.
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	body := map[string]string{"error": fmt.Sprintf(format, args...)}
+	if id := w.Header().Get(telemetry.RequestIDHeader); id != "" {
+		body["request_id"] = id
+	}
+	s.writeJSON(w, status, body)
 }
 
 // statusFor maps pipeline failures onto the HTTP taxonomy: deadline
@@ -145,7 +256,7 @@ func statusFor(err error) int {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":    "ok",
 		"places":    len(s.data.Places),
 		"inflight":  s.gate.InFlight(),
@@ -157,17 +268,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	gs := s.gate.Stats()
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"dataset":    s.data.Config.Name,
 		"places":     len(s.data.Places),
 		"vocabulary": s.data.Dict.Len(),
 		"extent":     s.data.Config.Extent,
+		"gate": map[string]interface{}{
+			"admitted":       gs.Admitted,
+			"shed":           gs.Shed,
+			"queue_timeouts": gs.QueueTimeouts,
+			"cancelled":      gs.Cancelled,
+			"inflight":       gs.InFlight,
+			"queued":         gs.Queued,
+			"capacity":       gs.Capacity,
+			"queue_capacity": gs.QueueCapacity,
+		},
+		"panics_recovered": s.rec.Panics(),
 	})
 }
 
 // searchResponse is the /search payload.
 type searchResponse struct {
-	Query struct {
+	RequestID string `json:"request_id,omitempty"`
+	Query     struct {
 		X        float64  `json:"x"`
 		Y        float64  `json:"y"`
 		Keywords []string `json:"keywords,omitempty"`
@@ -308,10 +432,36 @@ func (s *Server) parseSearchParams(r *http.Request) (searchParams, error) {
 	return p, nil
 }
 
+// stageDiag renders a trace into the diagnostics map: per-stage
+// milliseconds plus the elapsed wall time so far, so every response
+// shows where its budget went (and degradation decisions carry their
+// evidence).
+func stageDiag(tr *telemetry.Trace) map[string]any {
+	stages := map[string]any{}
+	for stage, d := range tr.Stages() {
+		stages[stage] = round3(d.Seconds() * 1e3)
+	}
+	return stages
+}
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	// One trace per request; the pipeline stages (core, textctx, grid)
+	// find it through the context and record their spans on it.
+	tr := telemetry.NewTrace()
+	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	defer func() {
+		for _, sp := range tr.Spans() {
+			s.tel.stageSeconds.With(sp.Stage).Observe(sp.Dur.Seconds())
+		}
+	}()
+
+	endParse := tr.StartSpan(telemetry.StageParse)
 	p, err := s.parseSearchParams(r)
+	endParse()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
 		return
 	}
 
@@ -321,8 +471,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if p.bigK > s.cfg.MaxK {
 		degraded["K_clamped_from"] = p.bigK
 		p.bigK = s.cfg.MaxK
+		s.tel.degraded.With("k_clamp").Inc()
 		if p.k >= p.bigK {
-			writeError(w, http.StatusBadRequest,
+			s.writeError(w, http.StatusBadRequest,
 				"bad parameter: k = %d must be smaller than the server's K ceiling %d", p.k, s.cfg.MaxK)
 			return
 		}
@@ -334,55 +485,67 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
 
+	waitStart := time.Now()
+	endWait := tr.StartSpan(telemetry.StageAdmission)
 	release, err := s.gate.Acquire(ctx)
+	endWait()
+	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
-		writeError(w, status, "admission: %v", err)
+		s.writeError(w, status, "admission: %v", err)
 		return
 	}
 	defer release()
 
 	// Graceful degradation, part 2: if queueing consumed most of the
 	// budget, downshift the exact spatial method to the squared grid
-	// (Section 7.1.1) rather than miss the deadline.
+	// (Section 7.1.1) rather than miss the deadline. The remaining budget
+	// is recorded as the decision's evidence.
 	if p.spatial == core.SpatialExact {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
 			p.spatial = core.SpatialSquaredGrid
 			degraded["spatial"] = "exact→squared-grid (low budget)"
+			degraded["remaining_budget_ms"] = round3(remaining.Seconds() * 1e3)
+			s.tel.degraded.With("spatial_downshift").Inc()
 		}
 	}
 
 	loc := geo.Pt(p.x, p.y)
+	endRetrieve := tr.StartSpan(telemetry.StageRetrieve)
 	places, err := s.data.Retrieve(dataset.Query{Loc: loc, Keywords: textctx.NewSet(p.keywords...)}, p.bigK)
+	endRetrieve()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "retrieve: %v", err)
+		s.writeError(w, http.StatusInternalServerError, "retrieve: %v", err)
 		return
 	}
 	if len(places) <= p.k {
-		writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), p.k)
+		s.writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), p.k)
 		return
 	}
 	opt := core.ScoreOptions{Gamma: p.gamma, Spatial: p.spatial}
 	if p.spatial == core.SpatialSquaredGrid {
 		opt.SquaredTable = s.sqTbl
 	}
+	// Step 1 records the step1_pcs / step1_pss spans on ctx's trace;
+	// Step 2 records step2_select.
 	ss, err := core.ComputeScoresCtx(ctx, loc, places, opt)
 	if err != nil {
-		writeError(w, statusFor(err), "score: %v", err)
+		s.writeError(w, statusFor(err), "score: %v", err)
 		return
 	}
 	params := core.Params{K: p.k, Lambda: p.lambda, Gamma: p.gamma}
 	sel, err := core.SelectCtx(ctx, p.algo, ss, params)
 	if err != nil {
-		writeError(w, statusFor(err), "select: %v", err)
+		s.writeError(w, statusFor(err), "select: %v", err)
 		return
 	}
 
 	b := ss.Evaluate(sel.Indices, p.lambda)
 	var resp searchResponse
+	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
 	resp.Query.X, resp.Query.Y = p.x, p.y
 	resp.Query.K, resp.Query.SmallK = p.bigK, p.k
 	resp.Query.Lambda, resp.Query.Gamma = p.lambda, p.gamma
@@ -402,6 +565,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		"diversity":            diag.Diversity,
 		"mean_relevance":       diag.MeanRelevance,
 		"spatial_method":       p.spatial.String(),
+		"stage_ms":             stageDiag(tr),
+		"elapsed_ms":           round3(tr.Elapsed().Seconds() * 1e3),
 	}
 	if len(degraded) > 0 {
 		resp.Diagnostics["degraded"] = degraded
@@ -416,5 +581,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctxWords,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	endEncode := tr.StartSpan(telemetry.StageEncode)
+	s.writeJSON(w, http.StatusOK, resp)
+	endEncode()
 }

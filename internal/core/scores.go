@@ -7,6 +7,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/pairs"
+	"repro/internal/telemetry"
 	"repro/internal/textctx"
 )
 
@@ -138,7 +139,11 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			return nil, err
 		}
 	} else {
+		// Context-free engines cannot record the pCS span themselves
+		// (ContextEngine implementations do, inside AllPairsCtx).
+		endPCS := telemetry.StartSpan(ctx, telemetry.StagePCS)
 		sc = engine.AllPairs(sets)
+		endPCS()
 	}
 	if err := checkpoint(ctx, "scores:contextual"); err != nil {
 		return nil, err
@@ -160,27 +165,40 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			return nil, err
 		}
 	case SpatialSquaredGrid:
+		// The grid approximations take no context (they are near-linear
+		// thanks to the precomputed tables), so the pSS span is recorded
+		// here at the stage boundary; the exact path records it inside
+		// grid.AllPairsSpatialCtx.
+		endPSS := telemetry.StartSpan(ctx, telemetry.StagePSS)
 		g, err := grid.NewSquared(q, pts, cells)
 		if err != nil {
+			endPSS()
 			return nil, err
 		}
 		pss = g.PSS(opt.SquaredTable)
 		sp = g.ApproxAllPairs(opt.SquaredTable)
+		endPSS()
 	case SpatialRadialGrid:
+		endPSS := telemetry.StartSpan(ctx, telemetry.StagePSS)
 		g, err := grid.NewRadial(q, pts, cells)
 		if err != nil {
+			endPSS()
 			return nil, err
 		}
 		pss = g.PSS(opt.RadialTable)
 		sp = g.ApproxAllPairs(opt.RadialTable)
+		endPSS()
 	case SpatialCustom:
 		if opt.CustomSpatial == nil {
 			return nil, fmt.Errorf("core: SpatialCustom requires CustomSpatial")
 		}
+		endPSS := telemetry.StartSpan(ctx, telemetry.StagePSS)
 		var err error
 		if sp, err = opt.CustomSpatial(q, places); err != nil {
+			endPSS()
 			return nil, err
 		}
+		endPSS()
 		if sp == nil || sp.N() != len(places) {
 			return nil, fmt.Errorf("core: CustomSpatial returned a matrix of wrong size")
 		}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // Algorithm names a selection algorithm for dispatch from configuration
@@ -65,5 +67,6 @@ func SelectCtx(ctx context.Context, alg Algorithm, ss *ScoreSet, p Params) (Sele
 	if !ok {
 		return Selection{}, fmt.Errorf("core: unknown algorithm %q (have %v)", alg, Algorithms())
 	}
+	defer telemetry.StartSpan(ctx, telemetry.StageSelect)()
 	return f(ctx, ss, p)
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/pairs"
+	"repro/internal/telemetry"
 )
 
 // ctxCheckStride is the number of outer-loop rows between context polls in
@@ -29,6 +30,7 @@ func AllPairsSpatial(q geo.Point, pts []geo.Point) *pairs.Matrix {
 // the outer row loop; on cancellation the partial matrix is discarded and
 // ctx.Err() returned.
 func AllPairsSpatialCtx(ctx context.Context, q geo.Point, pts []geo.Point) (*pairs.Matrix, error) {
+	defer telemetry.StartSpan(ctx, telemetry.StagePSS)()
 	n := len(pts)
 	m := pairs.New(n)
 	// Hoist the per-point distances to q: the baseline recomputes them per

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/pairs"
+	"repro/internal/telemetry"
 )
 
 // AllPairsSpatialParallel is AllPairsSpatial with the pair loop fanned out
@@ -36,6 +37,9 @@ func AllPairsSpatialParallelCtx(ctx context.Context, q geo.Point, pts []geo.Poin
 	if workers <= 1 || n < 64 {
 		return AllPairsSpatialCtx(ctx, q, pts)
 	}
+	// The sequential fallback records its own span; span only the
+	// genuinely parallel path so the stage is never counted twice.
+	defer telemetry.StartSpan(ctx, telemetry.StagePSS)()
 	m := pairs.New(n)
 	dq := make([]float64, n)
 	for i, p := range pts {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,13 @@ type Gate struct {
 	slots   chan struct{} // tokens held by in-flight requests
 	queue   chan struct{} // tokens held by waiters
 	maxWait time.Duration
+
+	// Lifetime outcome counters, exported via Stats for /stats and the
+	// Prometheus registry.
+	admitted      atomic.Uint64 // successful Acquires
+	shed          atomic.Uint64 // rejected immediately: wait queue full
+	queueTimeouts atomic.Uint64 // rejected after waiting maxWait in the queue
+	cancelled     atomic.Uint64 // caller's context terminated while queued
 }
 
 // NewGate returns a gate admitting maxInFlight concurrent requests with a
@@ -49,6 +57,7 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	// Fast path: a slot is free.
 	select {
 	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
 		return g.releaseFunc(), nil
 	default:
 	}
@@ -56,6 +65,7 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case g.queue <- struct{}{}:
 	default:
+		g.shed.Add(1)
 		return nil, ErrShed
 	}
 	defer func() { <-g.queue }()
@@ -63,11 +73,48 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	defer timer.Stop()
 	select {
 	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
 		return g.releaseFunc(), nil
 	case <-timer.C:
+		g.queueTimeouts.Add(1)
 		return nil, ErrShed
 	case <-ctx.Done():
+		g.cancelled.Add(1)
 		return nil, ctx.Err()
+	}
+}
+
+// GateStats is a snapshot of a gate's lifetime outcome counters and
+// current occupancy. The counters are read individually, so a snapshot
+// taken under concurrent traffic is consistent per field, not across
+// fields.
+type GateStats struct {
+	// Admitted counts successful Acquires (fast path and queued).
+	Admitted uint64
+	// Shed counts requests rejected immediately because the wait queue
+	// was full.
+	Shed uint64
+	// QueueTimeouts counts requests rejected after waiting the gate's
+	// maximum queue time (also reported as ErrShed to the caller).
+	QueueTimeouts uint64
+	// Cancelled counts requests whose context terminated while queued.
+	Cancelled uint64
+	// InFlight, Queued, Capacity and QueueCapacity describe the current
+	// occupancy and the configured bounds.
+	InFlight, Queued, Capacity, QueueCapacity int
+}
+
+// Stats returns a snapshot of the gate's counters and occupancy.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Admitted:      g.admitted.Load(),
+		Shed:          g.shed.Load(),
+		QueueTimeouts: g.queueTimeouts.Load(),
+		Cancelled:     g.cancelled.Load(),
+		InFlight:      g.InFlight(),
+		Queued:        g.Queued(),
+		Capacity:      g.Capacity(),
+		QueueCapacity: cap(g.queue),
 	}
 }
 

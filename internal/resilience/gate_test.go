@@ -120,6 +120,52 @@ func TestGateReleaseIdempotent(t *testing.T) {
 	}
 }
 
+// TestGateStats drives the gate through every admission outcome and
+// checks the counters: fast-path admission, queue-full shed, queue
+// timeout, and cancellation while queued.
+func TestGateStats(t *testing.T) {
+	g := NewGate(1, 1, 30*time.Millisecond)
+	if gs := g.Stats(); gs != (GateStats{Capacity: 1, QueueCapacity: 1}) {
+		t.Fatalf("fresh gate stats = %+v", gs)
+	}
+
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Queue timeout: the slot is held, maxWait elapses.
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+
+	// Queue-full shed: park one waiter, then overflow the queue.
+	waiterOut := make(chan error, 1)
+	waiterCtx, cancelWaiter := context.WithCancel(context.Background())
+	go func() {
+		_, err := g.Acquire(waiterCtx)
+		waiterOut <- err
+	}()
+	for i := 0; i < 1000 && g.Queued() == 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := g.Acquire(context.Background()); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed over full queue", err)
+	}
+	// Cancellation while queued.
+	cancelWaiter()
+	if err := <-waiterOut; !errors.Is(err, context.Canceled) {
+		t.Fatalf("waiter err = %v, want context.Canceled", err)
+	}
+	rel()
+
+	gs := g.Stats()
+	want := GateStats{Admitted: 1, Shed: 1, QueueTimeouts: 1, Cancelled: 1, Capacity: 1, QueueCapacity: 1}
+	if gs != want {
+		t.Errorf("stats = %+v, want %+v", gs, want)
+	}
+}
+
 func TestGateConcurrentChurn(t *testing.T) {
 	g := NewGate(4, 4, 100*time.Millisecond)
 	var wg sync.WaitGroup

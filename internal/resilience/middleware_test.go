@@ -53,6 +53,38 @@ func TestRecoverRepanicsAbortHandler(t *testing.T) {
 	t.Error("expected re-panic")
 }
 
+// TestRecovererCountsPanics: the panic counter advances once per
+// recovered panic and is untouched by clean requests; ErrAbortHandler
+// re-panics without being counted.
+func TestRecovererCountsPanics(t *testing.T) {
+	calls := 0
+	rc := NewRecoverer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		calls++
+		if calls <= 2 {
+			panic(fmt.Sprintf("fault %d", calls))
+		}
+		w.WriteHeader(http.StatusOK)
+	}), func(string, ...any) {})
+
+	for i := 0; i < 3; i++ {
+		rc.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}
+	if got := rc.Panics(); got != 2 {
+		t.Errorf("Panics() = %d, want 2", got)
+	}
+
+	abort := NewRecoverer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic(http.ErrAbortHandler)
+	}), nil)
+	func() {
+		defer func() { recover() }()
+		abort.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	}()
+	if abort.Panics() != 0 {
+		t.Errorf("ErrAbortHandler counted as a recovered panic")
+	}
+}
+
 func TestRemaining(t *testing.T) {
 	if _, ok := Remaining(context.Background()); ok {
 		t.Error("background context reported a deadline")

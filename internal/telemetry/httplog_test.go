@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRequestIDGeneratedAndEchoed(t *testing.T) {
+	var fromCtx string
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fromCtx = RequestIDFrom(r.Context())
+		w.WriteHeader(http.StatusOK)
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+	id := rec.Header().Get(RequestIDHeader)
+	if id == "" || id != fromCtx {
+		t.Fatalf("header id %q, context id %q; want equal and non-empty", id, fromCtx)
+	}
+
+	// A second request gets a different ID.
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest(http.MethodGet, "/", nil))
+	if rec2.Header().Get(RequestIDHeader) == id {
+		t.Error("two requests share one generated ID")
+	}
+}
+
+func TestRequestIDClientSupplied(t *testing.T) {
+	h := RequestID(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+
+	req := httptest.NewRequest(http.MethodGet, "/", nil)
+	req.Header.Set(RequestIDHeader, "client-id-42")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if got := rec.Header().Get(RequestIDHeader); got != "client-id-42" {
+		t.Errorf("well-formed client ID not reused: %q", got)
+	}
+
+	// Malformed (header-splitting, overlong) IDs are replaced, not echoed.
+	for _, bad := range []string{"x y", "a\"b", strings.Repeat("z", 100), "dollar$"} {
+		req := httptest.NewRequest(http.MethodGet, "/", nil)
+		req.Header.Set(RequestIDHeader, bad)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if got := rec.Header().Get(RequestIDHeader); got == bad || got == "" {
+			t.Errorf("malformed ID %q echoed as %q", bad, got)
+		}
+	}
+}
+
+func TestStatusRecorder(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := NewStatusRecorder(rec)
+	if sr.Status() != 0 {
+		t.Errorf("untouched status = %d, want 0", sr.Status())
+	}
+	sr.WriteHeader(http.StatusTeapot)
+	sr.WriteHeader(http.StatusOK) // superfluous; first wins
+	sr.Write([]byte("hello"))
+	if sr.Status() != http.StatusTeapot {
+		t.Errorf("status = %d, want 418", sr.Status())
+	}
+	if sr.BytesWritten() != 5 {
+		t.Errorf("bytes = %d, want 5", sr.BytesWritten())
+	}
+
+	// Implicit 200 on first Write.
+	sr2 := NewStatusRecorder(httptest.NewRecorder())
+	sr2.Write([]byte("x"))
+	if sr2.Status() != http.StatusOK {
+		t.Errorf("implicit status = %d, want 200", sr2.Status())
+	}
+}
+
+func TestAccessLogWritesStructuredLine(t *testing.T) {
+	var buf strings.Builder
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+		w.Write([]byte("nope"))
+	})
+	h := RequestID(AccessLog(inner, &buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/search?K=10&k=2", nil))
+
+	line := strings.TrimSpace(buf.String())
+	var e AccessEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("access log line is not JSON: %v (%q)", err, line)
+	}
+	if e.Method != http.MethodGet || e.Path != "/search" || e.Query != "K=10&k=2" {
+		t.Errorf("entry = %+v", e)
+	}
+	if e.Status != http.StatusNotFound || e.Bytes != 4 {
+		t.Errorf("status/bytes = %d/%d, want 404/4", e.Status, e.Bytes)
+	}
+	if e.RequestID != rec.Header().Get(RequestIDHeader) {
+		t.Errorf("log id %q != header id %q", e.RequestID, rec.Header().Get(RequestIDHeader))
+	}
+	if e.DurationMS < 0 || e.Time == "" {
+		t.Errorf("missing timing: %+v", e)
+	}
+}

@@ -1,0 +1,402 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets is the default latency bucket layout (seconds). It spans
+// 0.5ms–10s, bracketing everything from a grid-approximated Step 1 on a
+// small K to a quadratic exact run at the -max-K ceiling.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// collector is the exposition hook shared by all metric kinds: it writes
+// the series lines (without HELP/TYPE headers) for a family.
+type collector interface {
+	collect(w io.Writer, name string)
+}
+
+type family struct {
+	name, help, kind string
+	metric           collector
+}
+
+// Registry holds a set of uniquely named metric families and renders
+// them in Prometheus text format. The zero value is not usable; call
+// NewRegistry. Registration panics on a duplicate or malformed name —
+// metric wiring is programmer-controlled, so both are programming
+// errors, not runtime conditions.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, kind string, c collector) {
+	if !metricNameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[name]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric name %q", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: kind, metric: c}
+}
+
+// Counter registers and returns a monotonically increasing counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — used to expose counts whose source of truth lives elsewhere
+// (e.g. resilience.Gate.Stats) without double bookkeeping.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, help, "counter", funcCollector(func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %d\n", n, fn())
+	}))
+}
+
+// CounterVec registers a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	if !labelNameRE.MatchString(label) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", label))
+	}
+	v := &CounterVec{label: label, series: make(map[string]*Counter)}
+	r.register(name, help, "counter", v)
+	return v
+}
+
+// Gauge registers and returns a gauge (a value that can go up and down).
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, "gauge", funcCollector(func(w io.Writer, n string) {
+		fmt.Fprintf(w, "%s %s\n", n, formatFloat(fn()))
+	}))
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (seconds for latency histograms); a +Inf bucket is
+// implicit. Buckets must be non-empty; they are copied and sorted.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	h := newHistogram(buckets)
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// HistogramVec registers a histogram family keyed by one label, each
+// series sharing the same bucket layout.
+func (r *Registry) HistogramVec(name, help, label string, buckets []float64) *HistogramVec {
+	if !labelNameRE.MatchString(label) {
+		panic(fmt.Sprintf("telemetry: invalid label name %q", label))
+	}
+	v := &HistogramVec{label: label, buckets: normalizeBuckets(buckets), series: make(map[string]*Histogram)}
+	r.register(name, help, "histogram", v)
+	return v
+}
+
+// WritePrometheus renders every registered family in Prometheus text
+// exposition format (version 0.0.4), families sorted by name, each with
+// exactly one HELP and TYPE header and no duplicate series.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		f.metric.collect(w, f.name)
+	}
+}
+
+// ServeHTTP implements http.Handler, making the registry mountable as a
+// GET /metrics endpoint.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	io.WriteString(w, b.String())
+}
+
+type funcCollector func(w io.Writer, name string)
+
+func (f funcCollector) collect(w io.Writer, name string) { f(w, name) }
+
+// Counter is a monotonically increasing counter; safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) collect(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.Value())
+}
+
+// CounterVec is a family of counters distinguished by one label value.
+type CounterVec struct {
+	mu     sync.RWMutex
+	label  string
+	series map[string]*Counter
+}
+
+// With returns the counter for the given label value, creating it on
+// first use. Label values should come from a bounded set (status codes,
+// stage names) to keep series cardinality finite.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.series[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.series[value]; ok {
+		return c
+	}
+	c = &Counter{}
+	v.series[value] = c
+	return c
+}
+
+func (v *CounterVec) collect(w io.Writer, name string) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", name, v.label, k, v.With(k).Value())
+	}
+}
+
+// Gauge is a value that can go up and down; safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) with a CAS loop.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) collect(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %s\n", name, formatFloat(g.Value()))
+}
+
+// Histogram counts observations into fixed buckets; safe for concurrent
+// use. Exposed as cumulative le-labelled buckets plus _sum and _count,
+// per the Prometheus histogram convention.
+type Histogram struct {
+	upper  []float64 // sorted upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomicFloat
+}
+
+func normalizeBuckets(buckets []float64) []float64 {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket")
+	}
+	up := make([]float64, 0, len(buckets))
+	for _, b := range buckets {
+		if math.IsNaN(b) {
+			panic("telemetry: NaN histogram bucket")
+		}
+		if math.IsInf(b, +1) {
+			continue // +Inf is implicit
+		}
+		up = append(up, b)
+	}
+	sort.Float64s(up)
+	// Drop duplicates: a repeated le value would emit a duplicate series.
+	out := up[:0]
+	for i, b := range up {
+		if i == 0 || b != out[len(out)-1] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	up := normalizeBuckets(buckets)
+	return &Histogram{upper: up, counts: make([]atomic.Uint64, len(up)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound is ≥ v; beyond the last bound the
+	// observation lands in the implicit +Inf bucket.
+	idx := sort.SearchFloat64s(h.upper, v)
+	h.counts[idx].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+func (h *Histogram) collect(w io.Writer, name string) {
+	h.collectLabelled(w, name, "")
+}
+
+// collectLabelled writes the bucket/sum/count lines; extra is either ""
+// or a pre-rendered `label="value",` prefix for vec series.
+func (h *Histogram) collectLabelled(w io.Writer, name, extra string) {
+	var cum uint64
+	for i, ub := range h.upper {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, extra, formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.upper)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, extra, cum)
+	// _sum/_count carry the vec label (if any) but no le label.
+	suffix := ""
+	if extra != "" {
+		suffix = "{" + strings.TrimSuffix(extra, ",") + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.Count())
+}
+
+// HistogramVec is a family of histograms distinguished by one label
+// value, all sharing the same bucket layout.
+type HistogramVec struct {
+	mu      sync.RWMutex
+	label   string
+	buckets []float64
+	series  map[string]*Histogram
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.series[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.series[value]; ok {
+		return h
+	}
+	h = &Histogram{upper: v.buckets, counts: make([]atomic.Uint64, len(v.buckets)+1)}
+	v.series[value] = h
+	return h
+}
+
+func (v *HistogramVec) collect(w io.Writer, name string) {
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.series))
+	for k := range v.series {
+		keys = append(keys, k)
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		extra := fmt.Sprintf("%s=%q,", v.label, k)
+		v.With(k).collectLabelled(w, name, extra)
+	}
+}
+
+// atomicFloat is a float64 mutated with CAS on its bit pattern.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP line per the exposition format; label values
+// need no separate helper because %q quoting escapes `\`, `"` and
+// newlines compatibly.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

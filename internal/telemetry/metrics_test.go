@@ -1,0 +1,226 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	g := reg.Gauge("test_gauge", "a gauge")
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", g.Value())
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("requests_total", "by code", "code")
+	v.With("200").Add(3)
+	v.With("503").Inc()
+	if v.With("200").Value() != 3 || v.With("503").Value() != 1 {
+		t.Errorf("vec values wrong")
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`requests_total{code="200"} 3`,
+		`requests_total{code="503"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.1 + 0.5 + 5 + 50; math.Abs(h.Sum()-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), want)
+	}
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	// Cumulative: ≤0.1 sees 0.05 and 0.1; ≤1 adds 0.5; ≤10 adds 5; +Inf adds 50.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramVec(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.HistogramVec("stage_seconds", "per stage", "stage", []float64{1})
+	v.With("parse").Observe(0.5)
+	v.With("select").Observe(2)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`stage_seconds_bucket{stage="parse",le="1"} 1`,
+		`stage_seconds_bucket{stage="select",le="+Inf"} 1`,
+		`stage_seconds_sum{stage="select"} 2`,
+		`stage_seconds_count{stage="parse"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// seriesLine matches one exposition sample line: a metric name, an
+// optional label set, and a value.
+var seriesLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// TestExpositionFormat parses the full output of a representative
+// registry: every line is either a well-formed comment or a well-formed
+// sample, HELP/TYPE appear exactly once per family, and no series
+// (name + label set) repeats.
+func TestExpositionFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a_total", "counts a").Inc()
+	reg.Gauge("b_gauge", `a "gauge" with \ tricky help`).Set(2.5)
+	reg.GaugeFunc("c_gauge", "func gauge", func() float64 { return 7 })
+	reg.CounterFunc("d_total", "func counter", func() uint64 { return 9 })
+	cv := reg.CounterVec("e_total", "by code", "code")
+	cv.With("200").Inc()
+	cv.With("404").Inc()
+	h := reg.Histogram("f_seconds", "hist", DefBuckets)
+	h.Observe(0.3)
+	hv := reg.HistogramVec("g_seconds", "hist vec", "stage", []float64{0.5, 5})
+	hv.With("x").Observe(1)
+	hv.With("y").Observe(1)
+
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+
+	seen := map[string]bool{}
+	helps := map[string]int{}
+	var prevFamily string
+	var families []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed comment line %q", line)
+			}
+			helps[parts[1]+" "+parts[2]]++
+			if parts[1] == "# HELP" && parts[2] != prevFamily {
+				families = append(families, parts[2])
+				prevFamily = parts[2]
+			}
+			continue
+		}
+		m := seriesLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		series := m[1] + m[2]
+		if seen[series] {
+			t.Errorf("duplicate series %q", series)
+		}
+		seen[series] = true
+	}
+	for key, n := range helps {
+		if n != 1 {
+			t.Errorf("%s appears %d times, want 1", key, n)
+		}
+	}
+	for i := 1; i < len(families); i++ {
+		if families[i-1] >= families[i] {
+			t.Errorf("families not sorted: %q before %q", families[i-1], families[i])
+		}
+	}
+}
+
+func TestRegistryPanicsOnDuplicateAndBadNames(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dup_total", "")
+	for name, f := range map[string]func(){
+		"duplicate":    func() { reg.Counter("dup_total", "") },
+		"bad metric":   func() { reg.Counter("0bad", "") },
+		"bad label":    func() { reg.CounterVec("ok_total", "", "0bad") },
+		"empty bucket": func() { reg.Histogram("h_seconds", "", nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMetricsConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g_gauge", "")
+	h := reg.Histogram("h_seconds", "", DefBuckets)
+	v := reg.CounterVec("v_total", "", "code")
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i) / perWorker)
+				v.With(fmt.Sprint(w % 3)).Inc()
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers: must be race-free.
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	if g.Value() != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*perWorker)
+	}
+	if h.Count() != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*perWorker)
+	}
+	var vecTotal uint64
+	for i := 0; i < 3; i++ {
+		vecTotal += v.With(fmt.Sprint(i)).Value()
+	}
+	if vecTotal != workers*perWorker {
+		t.Errorf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}

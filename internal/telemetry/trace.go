@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// The canonical stage names of the /search pipeline, matching the
+// Step 1 / Step 2 decomposition of DESIGN.md: request parsing, admission
+// wait at the resilience gate, top-K retrieval, the all-pairs contextual
+// (pCS) and spatial (pSS) phases of Step 1, greedy selection (Step 2),
+// and response encoding. The pCS/pSS/select spans are recorded by
+// internal/textctx, internal/grid and internal/core themselves, at the
+// same boundaries as the PR 1 cancellation checkpoints.
+const (
+	StageParse     = "parse"
+	StageAdmission = "admission_wait"
+	StageRetrieve  = "retrieve"
+	StagePCS       = "step1_pcs"
+	StagePSS       = "step1_pss"
+	StageSelect    = "step2_select"
+	StageEncode    = "encode"
+)
+
+// Span is one completed stage of a request, stored as offsets from the
+// trace start so spans from one trace share a single clock.
+type Span struct {
+	Stage string
+	Start time.Duration // offset of the stage start from the trace start
+	Dur   time.Duration
+}
+
+// Trace records the stage spans of one request. A nil *Trace is valid
+// and records nothing, so instrumented code can call
+// TraceFrom(ctx).StartSpan(...) unconditionally. Safe for concurrent
+// use.
+type Trace struct {
+	t0    time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewTrace starts a trace; its clock starts now.
+func NewTrace() *Trace { return &Trace{t0: time.Now()} }
+
+// StartSpan begins a stage and returns the function that ends it. The
+// span is recorded when the returned function runs (idempotently), so
+// the idiom is:
+//
+//	defer tr.StartSpan(telemetry.StagePCS)()
+func (t *Trace) StartSpan(stage string) (end func()) {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Since(t.t0)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			d := time.Since(t.t0) - start
+			t.mu.Lock()
+			t.spans = append(t.spans, Span{Stage: stage, Start: start, Dur: d})
+			t.mu.Unlock()
+		})
+	}
+}
+
+// Spans returns the completed spans sorted by start offset.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	for i := 1; i < len(out); i++ { // insertion sort: spans are nearly ordered
+		for j := i; j > 0 && out[j].Start < out[j-1].Start; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Stages returns the total duration per stage name (a stage recorded
+// more than once accumulates).
+func (t *Trace) Stages() map[string]time.Duration {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]time.Duration, len(t.spans))
+	for _, s := range t.spans {
+		out[s.Stage] += s.Dur
+	}
+	return out
+}
+
+// Elapsed returns the wall time since the trace started.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+type traceKey struct{}
+
+// WithTrace returns a context carrying tr; the pipeline stages retrieve
+// it with TraceFrom / StartSpan.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil (a valid no-op
+// trace receiver) when there is none.
+func TraceFrom(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// StartSpan begins a stage on the trace carried by ctx, if any. It is
+// the one-liner the pipeline stages use:
+//
+//	defer telemetry.StartSpan(ctx, telemetry.StageSelect)()
+func StartSpan(ctx context.Context, stage string) (end func()) {
+	return TraceFrom(ctx).StartSpan(stage)
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansMonotonicAndBounded(t *testing.T) {
+	tr := NewTrace()
+	for _, stage := range []string{StageParse, StagePCS, StagePSS, StageSelect} {
+		end := tr.StartSpan(stage)
+		time.Sleep(time.Millisecond)
+		end()
+	}
+	elapsed := tr.Elapsed()
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4", len(spans))
+	}
+	var sum time.Duration
+	for i, sp := range spans {
+		if sp.Start < 0 || sp.Dur < 0 {
+			t.Errorf("span %d has negative offset/duration: %+v", i, sp)
+		}
+		if i > 0 {
+			prev := spans[i-1]
+			if sp.Start < prev.Start {
+				t.Errorf("spans not monotonic: %+v before %+v", prev, sp)
+			}
+			// Sequential stages must not overlap.
+			if sp.Start < prev.Start+prev.Dur {
+				t.Errorf("span %d overlaps previous: %+v vs %+v", i, sp, prev)
+			}
+		}
+		if sp.Start+sp.Dur > elapsed {
+			t.Errorf("span %d extends past elapsed %v: %+v", i, elapsed, sp)
+		}
+		sum += sp.Dur
+	}
+	// Sequential spans' durations must sum to no more than the wall time.
+	if sum > elapsed {
+		t.Errorf("span durations sum %v > elapsed %v", sum, elapsed)
+	}
+	// They also cover most of it here: every stage slept, the gaps are
+	// only loop overhead.
+	if sum < elapsed/2 {
+		t.Errorf("span durations sum %v < half of elapsed %v", sum, elapsed)
+	}
+}
+
+func TestTraceStagesAccumulate(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 3; i++ {
+		end := tr.StartSpan(StagePCS)
+		time.Sleep(time.Millisecond)
+		end()
+	}
+	st := tr.Stages()
+	if len(st) != 1 {
+		t.Fatalf("stages = %v, want 1 entry", st)
+	}
+	if st[StagePCS] < 3*time.Millisecond {
+		t.Errorf("accumulated %v, want ≥ 3ms", st[StagePCS])
+	}
+}
+
+func TestTraceEndIdempotent(t *testing.T) {
+	tr := NewTrace()
+	end := tr.StartSpan(StageEncode)
+	end()
+	end()
+	if n := len(tr.Spans()); n != 1 {
+		t.Errorf("double end recorded %d spans, want 1", n)
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")() // must not panic
+	if tr.Spans() != nil || tr.Stages() != nil || tr.Elapsed() != 0 {
+		t.Error("nil trace returned non-zero data")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom did not return the stored trace")
+	}
+	StartSpan(ctx, StageSelect)()
+	if len(tr.Spans()) != 1 {
+		t.Errorf("context StartSpan recorded %d spans, want 1", len(tr.Spans()))
+	}
+	// A context without a trace yields a usable no-op.
+	StartSpan(context.Background(), StageSelect)()
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				tr.StartSpan(StagePCS)()
+			}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if n := len(tr.Spans()); n != 800 {
+		t.Errorf("got %d spans, want 800", n)
+	}
+}

@@ -3,6 +3,8 @@ package textctx
 import (
 	"context"
 	"math/rand"
+
+	"repro/internal/telemetry"
 )
 
 // A JaccardEngine computes the all-pairs contextual similarity matrix
@@ -50,6 +52,7 @@ func (e BaselineEngine) AllPairs(sets []Set) *PairScores {
 
 // AllPairsCtx implements ContextEngine.
 func (BaselineEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error) {
+	defer telemetry.StartSpan(ctx, telemetry.StagePCS)()
 	n := len(sets)
 	ps := NewPairScores(n)
 	// Hashing phase: one hash table per set.
@@ -105,6 +108,7 @@ func (e MSJHEngine) AllPairs(sets []Set) *PairScores {
 
 // AllPairsCtx implements ContextEngine.
 func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, error) {
+	defer telemetry.StartSpan(ctx, telemetry.StagePCS)()
 	n := len(sets)
 	ps := NewPairScores(n)
 

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // MSJHParallelEngine is msJh with the comparison step fanned out over
@@ -45,6 +47,10 @@ func (e MSJHParallelEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairS
 	if workers <= 1 {
 		return MSJHEngine{}.AllPairsCtx(ctx, sets)
 	}
+	// The sequential fallback above records its own span; record one here
+	// only for the genuinely parallel path, so the stage is never counted
+	// twice.
+	defer telemetry.StartSpan(ctx, telemetry.StagePCS)()
 
 	// Step 1 (sequential): the micro set hash table.
 	msht := make(map[ItemID][]int32)
