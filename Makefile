@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve check profile report report-small examples clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/resilience ./internal/telemetry ./internal/grid ./internal/stream ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/grid ./internal/stream ./cmd/propserve
 
 race-all:
 	$(GO) test -race ./...
@@ -31,6 +31,12 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Measure the cross-query engine's repeated-query speedup (cache hit vs
+# miss) and write BENCH_engine.json. The acceptance bar is a ≥5x speedup.
+bench-serve:
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/engine -run TestBenchServe -v
+	@cat BENCH_engine.json
 
 # Start propserve with the pprof debug listener and capture a 10s CPU
 # profile into cpu.pprof (inspect with: go tool pprof cpu.pprof).

@@ -3,15 +3,27 @@
 //
 //	propserve -data db.gob -addr :8080
 //
-// Endpoints:
+// Endpoints (versioned under /v1; the pre-versioning /search and /stats
+// aliases keep working and answer with a Deprecation header):
 //
-//	GET /healthz                 → {"status":"ok", ...} plus admission-gate occupancy
-//	GET /stats                   → corpus statistics, gate counters, recovered panics
-//	GET /metrics                 → Prometheus text-format metrics (requests, stage
-//	                               latencies, gate gauges/counters, degradations)
-//	GET /search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp&spatial=squared
-//	                             → proportional selection with score breakdown and a
-//	                               per-stage timing breakdown in diagnostics
+//	GET  /healthz                → {"status":"ok", ...} plus admission-gate occupancy
+//	GET  /v1/stats               → corpus statistics, gate counters, engine cache
+//	                               counters, recovered panics
+//	GET  /metrics                → Prometheus text-format metrics (requests, stage
+//	                               latencies, gate gauges/counters, engine cache
+//	                               hit/miss/coalesced/eviction counters, degradations)
+//	GET  /v1/search?x=&y=&keywords=a,b&K=100&k=10&lambda=0.5&gamma=0.5&algo=abp&spatial=squared
+//	                             → proportional selection with score breakdown, a
+//	                               per-stage timing breakdown, and the cache status
+//	                               (hit/miss/coalesced) in diagnostics
+//	POST /v1/batch               → {"queries":[{...}, ...]} runs up to -max-batch
+//	                               queries through a bounded worker pool; each element
+//	                               reports its own status from the same error taxonomy
+//
+// Queries are served by a shared cross-query engine (internal/engine):
+// maximal grid tables are built once per resolution, score sets are
+// cached in an LRU (-cache-entries), and concurrent identical queries
+// are computed once and shared.
 //
 // The serving path is guarded by per-request deadline budgets
 // (-query-timeout), bounded-concurrency admission control (-max-inflight,
@@ -19,8 +31,8 @@
 // ceiling (-max-K), and panic recovery. Every request carries an
 // X-Request-ID (echoed in error bodies and the JSON access log, which
 // -access-log=false disables), and -debug-addr opts into a net/http/pprof
-// listener for profiling. See README.md "Operational resilience" and
-// "Observability".
+// listener for profiling. See README.md "Operational resilience",
+// "Observability" and "Serving at scale".
 package main
 
 import (
@@ -47,6 +59,9 @@ func main() {
 	maxQueue := fs.Int("max-queue", 0, "max /search requests waiting for admission before shedding (0: same as -max-inflight)")
 	queueWait := fs.Duration("queue-wait", time.Second, "longest a request may wait for admission before shedding")
 	maxK := fs.Int("max-K", 2000, "ceiling on the retrieval size K (quadratic work unit); larger requests are clamped")
+	cacheEntries := fs.Int("cache-entries", 0, "score sets held in the engine's LRU cache (0: 128; one entry is ~12·K² bytes)")
+	maxBatch := fs.Int("max-batch", 0, "max queries accepted in one POST /v1/batch request (0: 256)")
+	batchWorkers := fs.Int("batch-workers", 0, "worker pool size per batch request (0: GOMAXPROCS)")
 	degradeBudget := fs.Duration("degrade-budget", 0, "remaining-budget threshold that downshifts spatial=exact to the squared grid (0: query-timeout/4)")
 	debugAddr := fs.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty: disabled)")
 	accessLog := fs.Bool("access-log", true, "write one structured JSON line per request to stdout")
@@ -63,6 +78,9 @@ func main() {
 		MaxQueue:      *maxQueue,
 		QueueWait:     *queueWait,
 		MaxK:          *maxK,
+		CacheEntries:  *cacheEntries,
+		MaxBatch:      *maxBatch,
+		BatchWorkers:  *batchWorkers,
 		DegradeBudget: *degradeBudget,
 	}
 	if *accessLog {

@@ -11,26 +11,28 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
-	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/geo"
-	"repro/internal/grid"
-	"repro/internal/metrics"
+	"repro/internal/engine"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
-	"repro/internal/textctx"
 )
 
-// Config carries the serving-path resilience knobs. Zero values select
-// the defaults noted on each field.
+// searchResponse is the canonical query payload; the name survives from
+// the pre-engine server for the tests and any code reading it.
+type searchResponse = engine.QueryResponse
+
+// Config carries the serving-path resilience and engine knobs. Zero
+// values select the defaults noted on each field.
 type Config struct {
 	// QueryTimeout is the per-request deadline budget covering admission
 	// wait, scoring and selection. Default 10s.
 	QueryTimeout time.Duration
-	// MaxInFlight bounds concurrent /search requests. Default 2×GOMAXPROCS.
+	// MaxInFlight bounds concurrent query computations (single searches
+	// and batch elements alike). Default 2×GOMAXPROCS.
 	MaxInFlight int
 	// MaxQueue bounds requests waiting for a slot; beyond it requests are
 	// shed with 503. Default MaxInFlight.
@@ -42,6 +44,15 @@ type Config struct {
 	// the server's unit of work ceiling. Larger requests are clamped and
 	// the clamp reported in diagnostics. Default 2000.
 	MaxK int
+	// CacheEntries bounds the engine's score-set LRU (a score set is
+	// ~12·K² bytes). Default 128.
+	CacheEntries int
+	// MaxBatch caps the number of queries in one POST /v1/batch request.
+	// Default 256.
+	MaxBatch int
+	// BatchWorkers bounds the per-batch worker pool; the admission gate
+	// still bounds total compute across all requests. Default GOMAXPROCS.
+	BatchWorkers int
 	// DegradeBudget is the remaining-budget threshold below which the
 	// exact spatial method is downshifted to the squared grid. Default
 	// QueryTimeout/4.
@@ -49,8 +60,9 @@ type Config struct {
 	// RetryAfter is the Retry-After hint attached to 503 shed responses.
 	// Default 1s.
 	RetryAfter time.Duration
-	// Logf receives panic reports from the recovery middleware and
-	// response-encoding errors. Default log.Printf.
+	// Logf receives panic reports from the recovery middleware,
+	// deprecated-route warnings and response-encoding errors. Default
+	// log.Printf.
 	Logf func(format string, args ...any)
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// request (see telemetry.AccessEntry). Nil disables access logging.
@@ -73,6 +85,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxK <= 0 {
 		c.MaxK = 2000
 	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchWorkers <= 0 {
+		c.BatchWorkers = runtime.GOMAXPROCS(0)
+	}
 	if c.DegradeBudget <= 0 {
 		c.DegradeBudget = c.QueryTimeout / 4
 	}
@@ -86,10 +107,10 @@ func (c Config) withDefaults() Config {
 }
 
 // serverMetrics bundles the Prometheus registry and the instruments the
-// handlers mutate directly. Gate and panic counters are registered as
-// read-at-scrape functions over their sources of truth
-// (resilience.Gate.Stats, resilience.Recoverer.Panics) so there is no
-// double bookkeeping.
+// handlers mutate directly. Gate, panic and engine counters are
+// registered as read-at-scrape functions over their sources of truth
+// (resilience.Gate.Stats, resilience.Recoverer.Panics, engine.Stats) so
+// there is no double bookkeeping.
 type serverMetrics struct {
 	reg            *telemetry.Registry
 	requests       *telemetry.CounterVec   // propserve_requests_total{code}
@@ -97,9 +118,12 @@ type serverMetrics struct {
 	stageSeconds   *telemetry.HistogramVec // propserve_stage_seconds{stage}
 	queueWait      *telemetry.Histogram    // propserve_gate_queue_wait_seconds
 	degraded       *telemetry.CounterVec   // propserve_degraded_total{reason}
+	batches        *telemetry.Counter      // propserve_batch_requests_total
+	batchQueries   *telemetry.Counter      // propserve_batch_queries_total
+	deprecated     *telemetry.CounterVec   // propserve_deprecated_requests_total{path}
 }
 
-func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer) *serverMetrics {
+func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *engine.Engine) *serverMetrics {
 	reg := telemetry.NewRegistry()
 	m := &serverMetrics{
 		reg: reg,
@@ -114,6 +138,12 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer) *serverM
 			"Time spent waiting for admission at the gate, in seconds.", telemetry.DefBuckets),
 		degraded: reg.CounterVec("propserve_degraded_total",
 			"Graceful-degradation decisions applied, by reason.", "reason"),
+		batches: reg.Counter("propserve_batch_requests_total",
+			"POST /v1/batch requests accepted."),
+		batchQueries: reg.Counter("propserve_batch_queries_total",
+			"Individual queries carried by batch requests."),
+		deprecated: reg.CounterVec("propserve_deprecated_requests_total",
+			"Requests served through deprecated pre-/v1 routes, by path.", "path"),
 	}
 	reg.GaugeFunc("propserve_gate_inflight",
 		"Requests currently holding an admission slot.",
@@ -139,45 +169,81 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer) *serverM
 	reg.CounterFunc("propserve_panics_recovered_total",
 		"Handler panics recovered by the resilience middleware.",
 		func() uint64 { return rec.Panics() })
+	reg.CounterFunc("propserve_engine_cache_hits_total",
+		"Queries served a score set straight from the engine LRU.",
+		func() uint64 { return eng.Stats().Hits })
+	reg.CounterFunc("propserve_engine_cache_misses_total",
+		"Queries that computed (and cached) a score set.",
+		func() uint64 { return eng.Stats().Misses })
+	reg.CounterFunc("propserve_engine_coalesced_total",
+		"Queries that waited on an identical concurrent computation.",
+		func() uint64 { return eng.Stats().Coalesced })
+	reg.CounterFunc("propserve_engine_cache_evictions_total",
+		"Score sets evicted from the engine LRU.",
+		func() uint64 { return eng.Stats().Evictions })
+	reg.CounterFunc("propserve_engine_builds_total",
+		"Score-set builds started by the engine.",
+		func() uint64 { return eng.Stats().Builds })
+	reg.CounterFunc("propserve_engine_build_errors_total",
+		"Score-set builds that failed (failures are never cached).",
+		func() uint64 { return eng.Stats().BuildErrors })
+	reg.GaugeFunc("propserve_engine_cache_entries",
+		"Score sets currently resident in the engine LRU.",
+		func() float64 { return float64(eng.Stats().Entries) })
+	reg.GaugeFunc("propserve_engine_table_bytes",
+		"Combined footprint of the shared maximal grid tables.",
+		func() float64 { return float64(eng.Stats().TableBytes) })
 	return m
 }
 
-// Server serves proportional search over one corpus. It is safe for
-// concurrent use: the dataset and precomputed grid tables are read-only
-// after construction, and every request builds its own score set. The
-// serving path is guarded end to end: panics become 500s, /search sits
-// behind a bounded admission gate, and every query carries a deadline
-// budget that the scoring and selection loops observe cooperatively.
-// Every request is assigned an X-Request-ID and, via internal/telemetry,
-// yields a per-stage span breakdown exposed in /search diagnostics and
-// in the propserve_stage_seconds histogram on /metrics.
+// Server serves proportional search over one corpus through a shared
+// cross-query engine: grid tables are built once, score sets are cached
+// in an LRU and concurrent identical queries are coalesced (see
+// internal/engine). It is safe for concurrent use. The serving path is
+// guarded end to end: panics become 500s, query compute sits behind a
+// bounded admission gate, and every query carries a deadline budget that
+// the scoring and selection loops observe cooperatively. Every request
+// is assigned an X-Request-ID and, via internal/telemetry, yields a
+// per-stage span breakdown exposed in the search diagnostics and in the
+// propserve_stage_seconds histogram on /metrics.
+//
+// Routes are versioned under /v1 (GET /v1/search, POST /v1/batch, GET
+// /v1/stats); the pre-versioning /search and /stats aliases keep working
+// with a Deprecation header and identical payloads.
 type Server struct {
-	handler http.Handler
-	mux     *http.ServeMux
-	data    *dataset.Dataset
-	sqTbl   *grid.SquaredTable
-	cfg     Config
-	gate    *resilience.Gate
-	rec     *resilience.Recoverer
-	tel     *serverMetrics
+	handler  http.Handler
+	mux      *http.ServeMux
+	data     *dataset.Dataset
+	eng      *engine.Engine
+	cfg      Config
+	gate     *resilience.Gate
+	rec      *resilience.Recoverer
+	tel      *serverMetrics
+	warnOnce sync.Map // deprecated path → *sync.Once
 }
 
-// NewServer builds the handler tree over d with the given resilience
-// configuration (zero values select defaults).
+// NewServer builds the handler tree over d with the given configuration
+// (zero values select defaults).
 func NewServer(d *dataset.Dataset, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		mux:   http.NewServeMux(),
-		data:  d,
-		sqTbl: grid.NewSquaredTable(grid.SideForCells(1024)),
-		cfg:   cfg,
-		gate:  resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		mux:  http.NewServeMux(),
+		data: d,
+		eng: engine.New(d, engine.Options{
+			MaxK:         cfg.MaxK,
+			CacheEntries: cfg.CacheEntries,
+		}),
+		cfg:  cfg,
+		gate: resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
+	s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
 	s.rec = resilience.NewRecoverer(s.mux, cfg.Logf)
-	s.tel = newServerMetrics(s.gate, s.rec)
+	s.tel = newServerMetrics(s.gate, s.rec, s.eng)
 	s.mux.Handle("GET /metrics", s.tel.reg)
 
 	// Middleware, innermost first: panic recovery around the routes, the
@@ -196,6 +262,23 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// deprecatedAlias serves old into the same handler as its /v1 successor,
+// marking the response with a Deprecation header (draft-ietf-httpapi-
+// deprecation-header) and a successor-version Link, and logging a
+// one-time warning per alias.
+func (s *Server) deprecatedAlias(old, successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		once, _ := s.warnOnce.LoadOrStore(old, &sync.Once{})
+		once.(*sync.Once).Do(func() {
+			s.cfg.Logf("propserve: deprecated route %s served; clients should move to %s", old, successor)
+		})
+		s.tel.deprecated.With(old).Inc()
+		h(w, r)
+	}
+}
 
 // instrument counts every response by status code and observes the
 // end-to-end latency.
@@ -238,8 +321,10 @@ func (s *Server) writeError(w http.ResponseWriter, status int, format string, ar
 }
 
 // statusFor maps pipeline failures onto the HTTP taxonomy: deadline
-// overruns are 504, cancellations and shed load 503, an instance too
-// large for the requested algorithm 400, everything else an internal 500.
+// overruns are 504, cancellations and shed load 503, caller errors
+// (malformed requests, invalid selection parameters, an instance too
+// large for the requested algorithm) 400, everything else an internal
+// 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, core.ErrDeadline) || errors.Is(err, context.DeadlineExceeded):
@@ -249,6 +334,8 @@ func statusFor(err error) int {
 	case errors.Is(err, resilience.ErrShed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrTooLarge):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrBadParams) || errors.Is(err, engine.ErrBadRequest):
 		return http.StatusBadRequest
 	default:
 		return http.StatusInternalServerError
@@ -269,6 +356,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.gate.Stats()
+	es := s.eng.Stats()
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"dataset":    s.data.Config.Name,
 		"places":     len(s.data.Places),
@@ -284,181 +372,46 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"capacity":       gs.Capacity,
 			"queue_capacity": gs.QueueCapacity,
 		},
+		"engine": map[string]interface{}{
+			"cache": map[string]interface{}{
+				"hits":      es.Hits,
+				"misses":    es.Misses,
+				"coalesced": es.Coalesced,
+				"evictions": es.Evictions,
+				"entries":   es.Entries,
+				"capacity":  es.Capacity,
+			},
+			"builds":       es.Builds,
+			"build_errors": es.BuildErrors,
+			"tables": map[string]interface{}{
+				"squared":            es.SquaredTables,
+				"radial_resolutions": es.RadialResolutions,
+				"bytes":              es.TableBytes,
+			},
+		},
 		"panics_recovered": s.rec.Panics(),
 	})
 }
 
-// searchResponse is the /search payload.
-type searchResponse struct {
-	RequestID string `json:"request_id,omitempty"`
-	Query     struct {
-		X        float64  `json:"x"`
-		Y        float64  `json:"y"`
-		Keywords []string `json:"keywords,omitempty"`
-		K        int      `json:"K"`
-		SmallK   int      `json:"k"`
-		Lambda   float64  `json:"lambda"`
-		Gamma    float64  `json:"gamma"`
-		Algo     string   `json:"algo"`
-	} `json:"query"`
-	HPF         float64        `json:"hpf"`
-	Breakdown   map[string]any `json:"breakdown"`
-	Diagnostics map[string]any `json:"diagnostics"`
-	Results     []searchResult `json:"results"`
+// flushSpans records a request trace's spans on the per-stage histogram.
+func (s *Server) flushSpans(tr *telemetry.Trace) {
+	for _, sp := range tr.Spans() {
+		s.tel.stageSeconds.With(sp.Stage).Observe(sp.Dur.Seconds())
+	}
 }
-
-type searchResult struct {
-	Rank    int      `json:"rank"`
-	ID      string   `json:"id"`
-	X       float64  `json:"x"`
-	Y       float64  `json:"y"`
-	Rel     float64  `json:"rel"`
-	Context []string `json:"context"`
-}
-
-// searchParams is the validated /search parameter set.
-type searchParams struct {
-	x, y          float64
-	bigK, k       int
-	lambda, gamma float64
-	algo          core.Algorithm
-	spatial       core.SpatialMethod
-	spatialName   string
-	keywords      []textctx.ItemID
-}
-
-// parseSearchParams validates every /search parameter, returning a
-// descriptive error for anything malformed: non-finite coordinates
-// (strconv.ParseFloat happily accepts NaN and Inf), non-positive k or K,
-// k ≥ K, λ/γ outside [0, 1], and unknown algorithm or spatial method
-// names all fail here with a 400 before any scoring work starts.
-func (s *Server) parseSearchParams(r *http.Request) (searchParams, error) {
-	q := r.URL.Query()
-	getF := func(name string, def float64) (float64, error) {
-		v := q.Get(name)
-		if v == "" {
-			return def, nil
-		}
-		f, err := strconv.ParseFloat(v, 64)
-		if err != nil {
-			return 0, fmt.Errorf("parameter %q: %v", name, err)
-		}
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return 0, fmt.Errorf("parameter %q = %v must be finite", name, f)
-		}
-		return f, nil
-	}
-	getI := func(name string, def int) (int, error) {
-		v := q.Get(name)
-		if v == "" {
-			return def, nil
-		}
-		i, err := strconv.Atoi(v)
-		if err != nil {
-			return 0, fmt.Errorf("parameter %q: %v", name, err)
-		}
-		return i, nil
-	}
-
-	var p searchParams
-	var err error
-	if p.x, err = getF("x", s.data.Config.Extent/2); err != nil {
-		return p, err
-	}
-	if p.y, err = getF("y", s.data.Config.Extent/2); err != nil {
-		return p, err
-	}
-	if p.bigK, err = getI("K", 100); err != nil {
-		return p, err
-	}
-	if p.k, err = getI("k", 10); err != nil {
-		return p, err
-	}
-	if p.lambda, err = getF("lambda", 0.5); err != nil {
-		return p, err
-	}
-	if p.gamma, err = getF("gamma", 0.5); err != nil {
-		return p, err
-	}
-	if p.bigK <= 0 {
-		return p, fmt.Errorf("K = %d must be positive", p.bigK)
-	}
-	if p.k <= 0 {
-		return p, fmt.Errorf("k = %d must be positive", p.k)
-	}
-	if p.k >= p.bigK {
-		return p, fmt.Errorf("k = %d must be smaller than K = %d", p.k, p.bigK)
-	}
-	if p.lambda < 0 || p.lambda > 1 {
-		return p, fmt.Errorf("lambda = %v outside [0, 1]", p.lambda)
-	}
-	if p.gamma < 0 || p.gamma > 1 {
-		return p, fmt.Errorf("gamma = %v outside [0, 1]", p.gamma)
-	}
-
-	algo := q.Get("algo")
-	if algo == "" {
-		algo = "abp"
-	}
-	p.algo = core.Algorithm(algo)
-	if !core.Registered(p.algo) {
-		return p, fmt.Errorf("unknown algorithm %q (have %v)", algo, core.Algorithms())
-	}
-
-	p.spatialName = q.Get("spatial")
-	if p.spatialName == "" {
-		p.spatialName = "squared"
-	}
-	switch p.spatialName {
-	case "squared":
-		p.spatial = core.SpatialSquaredGrid
-	case "radial":
-		p.spatial = core.SpatialRadialGrid
-	case "exact":
-		p.spatial = core.SpatialExact
-	default:
-		return p, fmt.Errorf("unknown spatial method %q (have exact, squared, radial)", p.spatialName)
-	}
-
-	for _, kw := range strings.Split(q.Get("keywords"), ",") {
-		kw = strings.TrimSpace(kw)
-		if kw == "" {
-			continue
-		}
-		if id, ok := s.data.Dict.Lookup(kw); ok {
-			p.keywords = append(p.keywords, id)
-		}
-	}
-	return p, nil
-}
-
-// stageDiag renders a trace into the diagnostics map: per-stage
-// milliseconds plus the elapsed wall time so far, so every response
-// shows where its budget went (and degradation decisions carry their
-// evidence).
-func stageDiag(tr *telemetry.Trace) map[string]any {
-	stages := map[string]any{}
-	for stage, d := range tr.Stages() {
-		stages[stage] = round3(d.Seconds() * 1e3)
-	}
-	return stages
-}
-
-func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	// One trace per request; the pipeline stages (core, textctx, grid)
-	// find it through the context and record their spans on it.
+	// One trace per request; the pipeline stages (engine, core, textctx,
+	// grid) find it through the context and record their spans on it.
 	tr := telemetry.NewTrace()
 	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
-	defer func() {
-		for _, sp := range tr.Spans() {
-			s.tel.stageSeconds.With(sp.Stage).Observe(sp.Dur.Seconds())
-		}
-	}()
+	defer s.flushSpans(tr)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
-	p, err := s.parseSearchParams(r)
+	req, err := s.eng.RequestFromValues(r.URL.Query())
+	if err == nil {
+		_, err = req.Normalize()
+	}
 	endParse()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
@@ -466,17 +419,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Graceful degradation, part 1: K is the unit of quadratic work, so
-	// clamp it to the server's ceiling and report the clamp.
+	// Normalize clamps it to the engine's ceiling; report the clamp.
 	degraded := map[string]any{}
-	if p.bigK > s.cfg.MaxK {
-		degraded["K_clamped_from"] = p.bigK
-		p.bigK = s.cfg.MaxK
+	if from := req.ClampedFrom(); from > 0 {
+		degraded["K_clamped_from"] = from
 		s.tel.degraded.With("k_clamp").Inc()
-		if p.k >= p.bigK {
-			s.writeError(w, http.StatusBadRequest,
-				"bad parameter: k = %d must be smaller than the server's K ceiling %d", p.k, s.cfg.MaxK)
-			return
-		}
 	}
 
 	// The deadline budget covers admission wait plus compute, and is
@@ -504,84 +451,163 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// budget, downshift the exact spatial method to the squared grid
 	// (Section 7.1.1) rather than miss the deadline. The remaining budget
 	// is recorded as the decision's evidence.
-	if p.spatial == core.SpatialExact {
+	if req.SpatialMethod() == core.SpatialExact {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
-			p.spatial = core.SpatialSquaredGrid
+			req.Spatial = "squared"
+			if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
+				s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
+				return
+			}
 			degraded["spatial"] = "exact→squared-grid (low budget)"
 			degraded["remaining_budget_ms"] = round3(remaining.Seconds() * 1e3)
 			s.tel.degraded.With("spatial_downshift").Inc()
 		}
 	}
 
-	loc := geo.Pt(p.x, p.y)
-	endRetrieve := tr.StartSpan(telemetry.StageRetrieve)
-	places, err := s.data.Retrieve(dataset.Query{Loc: loc, Keywords: textctx.NewSet(p.keywords...)}, p.bigK)
-	endRetrieve()
+	res, err := s.eng.Query(ctx, req)
 	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, "retrieve: %v", err)
-		return
-	}
-	if len(places) <= p.k {
-		s.writeError(w, http.StatusBadRequest, "retrieved %d places; need more than k=%d", len(places), p.k)
-		return
-	}
-	opt := core.ScoreOptions{Gamma: p.gamma, Spatial: p.spatial}
-	if p.spatial == core.SpatialSquaredGrid {
-		opt.SquaredTable = s.sqTbl
-	}
-	// Step 1 records the step1_pcs / step1_pss spans on ctx's trace;
-	// Step 2 records step2_select.
-	ss, err := core.ComputeScoresCtx(ctx, loc, places, opt)
-	if err != nil {
-		s.writeError(w, statusFor(err), "score: %v", err)
-		return
-	}
-	params := core.Params{K: p.k, Lambda: p.lambda, Gamma: p.gamma}
-	sel, err := core.SelectCtx(ctx, p.algo, ss, params)
-	if err != nil {
-		s.writeError(w, statusFor(err), "select: %v", err)
+		s.writeError(w, statusFor(err), "%v", err)
 		return
 	}
 
-	b := ss.Evaluate(sel.Indices, p.lambda)
-	var resp searchResponse
+	resp := s.eng.BuildResponse(req, res, tr)
 	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
-	resp.Query.X, resp.Query.Y = p.x, p.y
-	resp.Query.K, resp.Query.SmallK = p.bigK, p.k
-	resp.Query.Lambda, resp.Query.Gamma = p.lambda, p.gamma
-	resp.Query.Algo = string(p.algo)
-	for _, kw := range p.keywords {
-		resp.Query.Keywords = append(resp.Query.Keywords, s.data.Dict.Word(kw))
-	}
-	resp.HPF = b.Total
-	resp.Breakdown = map[string]any{"rel": b.Rel, "pC": b.PC, "pS": b.PS}
-	diag := metrics.Evaluate(ss, sel.Indices)
-	resp.Diagnostics = map[string]any{
-		"inference_match":      diag.InferenceMatch,
-		"dominance":            diag.Dominance,
-		"rare_share":           diag.RareShare,
-		"type_coverage":        diag.TypeCoverage,
-		"directional_coverage": diag.DirectionalCoverage,
-		"diversity":            diag.Diversity,
-		"mean_relevance":       diag.MeanRelevance,
-		"spatial_method":       p.spatial.String(),
-		"stage_ms":             stageDiag(tr),
-		"elapsed_ms":           round3(tr.Elapsed().Seconds() * 1e3),
-	}
 	if len(degraded) > 0 {
 		resp.Diagnostics["degraded"] = degraded
-	}
-	for rank, idx := range sel.Indices {
-		p := ss.Places[idx]
-		ctxWords := p.Context.Words(s.data.Dict)
-		if len(ctxWords) > 6 {
-			ctxWords = ctxWords[:6]
-		}
-		resp.Results = append(resp.Results, searchResult{
-			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctxWords,
-		})
 	}
 	endEncode := tr.StartSpan(telemetry.StageEncode)
 	s.writeJSON(w, http.StatusOK, resp)
 	endEncode()
 }
+
+// batchRequest is the POST /v1/batch payload: a list of QueryRequest
+// objects. Elements are decoded individually so one malformed query
+// fails only its own slot.
+type batchRequest struct {
+	Queries []json.RawMessage `json:"queries"`
+}
+
+// batchItem is one element of a batch response, in input order.
+type batchItem struct {
+	Index    int                   `json:"index"`
+	Status   int                   `json:"status"`
+	Error    string                `json:"error,omitempty"`
+	Response *engine.QueryResponse `json:"response,omitempty"`
+}
+
+// batchResponse is the POST /v1/batch response envelope.
+type batchResponse struct {
+	RequestID string      `json:"request_id,omitempty"`
+	Count     int         `json:"count"`
+	Results   []batchItem `json:"results"`
+}
+
+// handleBatch runs up to MaxBatch queries through a bounded worker pool.
+// Each element is admitted through the same gate as single searches (so
+// a batch cannot starve interactive traffic beyond the shared bound),
+// carries its own deadline budget, and reports its own status from the
+// same error taxonomy; identical elements coalesce inside the engine.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var br batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&br); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad batch body: %v", err)
+		return
+	}
+	if len(br.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty batch: provide a non-empty \"queries\" array")
+		return
+	}
+	if len(br.Queries) > s.cfg.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, "batch of %d queries exceeds the limit of %d", len(br.Queries), s.cfg.MaxBatch)
+		return
+	}
+	s.tel.batches.Inc()
+	s.tel.batchQueries.Add(uint64(len(br.Queries)))
+
+	items := make([]batchItem, len(br.Queries))
+	jobs := make(chan int)
+	workers := s.cfg.BatchWorkers
+	if workers > len(br.Queries) {
+		workers = len(br.Queries)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				items[idx] = s.batchElement(r.Context(), idx, br.Queries[idx])
+			}
+		}()
+	}
+	for idx := range br.Queries {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+
+	s.writeJSON(w, http.StatusOK, batchResponse{
+		RequestID: w.Header().Get(telemetry.RequestIDHeader),
+		Count:     len(items),
+		Results:   items,
+	})
+}
+
+// batchElement runs one batch query end to end: decode over the corpus
+// defaults, validate, admit through the gate, query the engine. Panics
+// are contained to the element (batch workers run outside the HTTP
+// recovery middleware's goroutine).
+func (s *Server) batchElement(parent context.Context, idx int, raw json.RawMessage) (item batchItem) {
+	item.Index = idx
+	defer func() {
+		if v := recover(); v != nil {
+			s.cfg.Logf("propserve: panic in batch element %d: %v", idx, v)
+			item = batchItem{Index: idx, Status: http.StatusInternalServerError, Error: "internal server error"}
+		}
+	}()
+
+	tr := telemetry.NewTrace()
+	defer s.flushSpans(tr)
+
+	endParse := tr.StartSpan(telemetry.StageParse)
+	req := s.eng.NewRequest()
+	err := json.Unmarshal(raw, req)
+	if err == nil {
+		_, err = req.Normalize()
+	}
+	endParse()
+	if err != nil {
+		item.Status = http.StatusBadRequest
+		item.Error = fmt.Sprintf("bad query: %v", err)
+		return item
+	}
+
+	ctx, cancel := context.WithTimeout(parent, s.cfg.QueryTimeout)
+	defer cancel()
+	ctx = telemetry.WithTrace(ctx, tr)
+
+	waitStart := time.Now()
+	endWait := tr.StartSpan(telemetry.StageAdmission)
+	release, err := s.gate.Acquire(ctx)
+	endWait()
+	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
+	if err != nil {
+		item.Status = statusFor(err)
+		item.Error = fmt.Sprintf("admission: %v", err)
+		return item
+	}
+	defer release()
+
+	res, err := s.eng.Query(ctx, req)
+	if err != nil {
+		item.Status = statusFor(err)
+		item.Error = err.Error()
+		return item
+	}
+	item.Status = http.StatusOK
+	item.Response = s.eng.BuildResponse(req, res, tr)
+	return item
+}
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }

@@ -212,7 +212,11 @@ func TestNotFoundAndMethod(t *testing.T) {
 }
 
 func TestConcurrentSearches(t *testing.T) {
-	s := testServer(t)
+	// Identical concurrent queries coalesce in the engine: the waiters
+	// park (holding admission slots) while one leader computes, so a
+	// simultaneous burst genuinely overlaps at the gate. Give the burst
+	// explicit headroom instead of relying on scheduling to spread it.
+	s := testServerCfg(t, Config{MaxInFlight: 4, MaxQueue: 8})
 	done := make(chan error, 8)
 	for w := 0; w < 8; w++ {
 		go func() {

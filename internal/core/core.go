@@ -62,19 +62,24 @@ func DefaultParams() Params { return Params{K: 10, Lambda: 0.5, Gamma: 0.5} }
 
 func (p Params) validate(n int) error {
 	if p.K <= 0 {
-		return fmt.Errorf("core: k = %d must be positive", p.K)
+		return fmt.Errorf("%w: k = %d must be positive", ErrBadParams, p.K)
 	}
 	if p.K >= n {
-		return fmt.Errorf("core: k = %d must be smaller than K = %d", p.K, n)
+		return fmt.Errorf("%w: k = %d must be smaller than K = %d", ErrBadParams, p.K, n)
 	}
 	if math.IsNaN(p.Lambda) || p.Lambda < 0 || p.Lambda > 1 {
-		return fmt.Errorf("core: λ = %v outside [0, 1]", p.Lambda)
+		return fmt.Errorf("%w: λ = %v outside [0, 1]", ErrBadParams, p.Lambda)
 	}
 	if math.IsNaN(p.Gamma) || p.Gamma < 0 || p.Gamma > 1 {
-		return fmt.Errorf("core: γ = %v outside [0, 1]", p.Gamma)
+		return fmt.Errorf("%w: γ = %v outside [0, 1]", ErrBadParams, p.Gamma)
 	}
 	return nil
 }
+
+// ErrBadParams marks selection-parameter validation failures (non-positive
+// or oversized k, λ/γ outside [0, 1]). Like ErrTooLarge it is a caller
+// error: servers surface errors matching it as HTTP 400, not 500.
+var ErrBadParams = errors.New("core: invalid selection parameters")
 
 // ErrTooLarge is returned by Exact for instances beyond brute force.
 var ErrTooLarge = errors.New("core: instance too large for exact solver")

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentQueriesBuildOncePerKey hammers the LRU + singleflight with
+// a mixed workload — many goroutines per key across several distinct keys
+// — and asserts the cross-query invariants: exactly one score-set build
+// per distinct key, every request accounted as hit, miss or coalesced,
+// and every result identical to the uncached per-request pipeline. Run
+// under -race this is the concurrency test the serving path leans on.
+func TestConcurrentQueriesBuildOncePerKey(t *testing.T) {
+	d := testData(t)
+	e := New(d, Options{CacheEntries: 32})
+
+	const distinctKeys = 5
+	const workersPerKey = 16
+	reqFor := func(key int) *QueryRequest {
+		req := e.NewRequest()
+		req.K, req.SmallK = 60, 5
+		req.X = 15 + float64(key)*12
+		req.Y = 20 + float64(key)*9
+		return req
+	}
+
+	results := make([][]*Result, distinctKeys)
+	errs := make([][]error, distinctKeys)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for key := 0; key < distinctKeys; key++ {
+		results[key] = make([]*Result, workersPerKey)
+		errs[key] = make([]error, workersPerKey)
+		for w := 0; w < workersPerKey; w++ {
+			wg.Add(1)
+			go func(key, w int) {
+				defer wg.Done()
+				start.Wait() // maximise contention: everyone starts together
+				res, err := e.Query(context.Background(), reqFor(key))
+				results[key][w], errs[key][w] = res, err
+			}(key, w)
+		}
+	}
+	start.Done()
+	wg.Wait()
+
+	for key := range errs {
+		for w, err := range errs[key] {
+			if err != nil {
+				t.Fatalf("key %d worker %d: %v", key, w, err)
+			}
+		}
+	}
+
+	st := e.Stats()
+	if st.Builds != distinctKeys {
+		t.Errorf("builds = %d, want exactly %d (one per distinct key)", st.Builds, distinctKeys)
+	}
+	if st.BuildErrors != 0 {
+		t.Errorf("build errors = %d, want 0", st.BuildErrors)
+	}
+	if total := st.Hits + st.Misses + st.Coalesced; total != distinctKeys*workersPerKey {
+		t.Errorf("hits+misses+coalesced = %d, want %d", total, distinctKeys*workersPerKey)
+	}
+	if st.Entries != distinctKeys {
+		t.Errorf("cache entries = %d, want %d", st.Entries, distinctKeys)
+	}
+
+	// Every worker on a key saw the same shared score set and the same
+	// selection, and the shared answer equals the uncached pipeline's.
+	for key := range results {
+		wantSel, wantB := uncached(t, d, reqFor(key))
+		for w, res := range results[key] {
+			if res.SS != results[key][0].SS {
+				t.Errorf("key %d worker %d: score set not shared", key, w)
+			}
+			if !sameIndices(res.Sel.Indices, wantSel.Indices) {
+				t.Errorf("key %d worker %d: indices %v != uncached %v", key, w, res.Sel.Indices, wantSel.Indices)
+			}
+			if res.Breakdown.Total != wantB.Total {
+				t.Errorf("key %d worker %d: HPF %v != uncached %v", key, w, res.Breakdown.Total, wantB.Total)
+			}
+			switch res.Cache {
+			case CacheHit, CacheMiss, CacheCoalesced:
+			default:
+				t.Errorf("key %d worker %d: cache status %q", key, w, res.Cache)
+			}
+		}
+	}
+}
+
+// TestConcurrentStep2Variants drives one score set's selection memo from
+// many goroutines with distinct (algorithm, k, λ) triples: still one
+// build, and each triple's answer is deterministic across goroutines.
+func TestConcurrentStep2Variants(t *testing.T) {
+	e := New(testData(t), Options{})
+	variants := []struct {
+		algo   string
+		k      int
+		lambda float64
+	}{
+		{"abp", 5, 0.5}, {"abp", 8, 0.5}, {"abp", 5, 0.9},
+		{"iadu", 5, 0.5}, {"iadu", 8, 0.2}, {"topk", 6, 0.5},
+	}
+	const rounds = 8
+	got := make([][]*Result, len(variants))
+	var wg sync.WaitGroup
+	for vi := range variants {
+		got[vi] = make([]*Result, rounds)
+		for r := 0; r < rounds; r++ {
+			wg.Add(1)
+			go func(vi, r int) {
+				defer wg.Done()
+				v := variants[vi]
+				req := e.NewRequest()
+				req.K, req.SmallK = 60, v.k
+				req.Algo, req.Lambda = v.algo, v.lambda
+				res, err := e.Query(context.Background(), req)
+				if err != nil {
+					panic(fmt.Sprintf("variant %d: %v", vi, err))
+				}
+				got[vi][r] = res
+			}(vi, r)
+		}
+	}
+	wg.Wait()
+
+	if st := e.Stats(); st.Builds != 1 {
+		t.Errorf("builds = %d, want 1 (Step-2 parameters are not in the cache key)", st.Builds)
+	}
+	for vi := range got {
+		for r := 1; r < rounds; r++ {
+			if !sameIndices(got[vi][r].Sel.Indices, got[vi][0].Sel.Indices) {
+				t.Errorf("variant %d: selection differs across goroutines", vi)
+			}
+		}
+	}
+}
+
+// TestWaiterSurvivesLeaderCancellation: when the flight leader's context
+// is cancelled mid-build, a healthy waiter retries and becomes the new
+// leader instead of inheriting the cancellation.
+func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
+	e := New(testData(t), Options{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	cancelLeader() // the leader is doomed from the start
+
+	req := e.NewRequest()
+	req.K, req.SmallK = 60, 5
+	if _, err := e.Query(leaderCtx, req); err == nil {
+		t.Fatal("cancelled leader unexpectedly succeeded")
+	}
+
+	// A fresh caller with a live context succeeds: the failed build was
+	// not cached and does not poison the key.
+	req2 := e.NewRequest()
+	req2.K, req2.SmallK = 60, 5
+	res, err := e.Query(context.Background(), req2)
+	if err != nil {
+		t.Fatalf("follow-up query after cancelled build: %v", err)
+	}
+	if res.Cache != CacheMiss {
+		t.Errorf("follow-up cache = %q, want miss (rebuild)", res.Cache)
+	}
+}

@@ -1,0 +1,369 @@
+// Package engine is the cross-query serving core: a long-lived Engine
+// owns a registered corpus (places plus the interned textctx.Dict) and
+// amortises the paper's per-query work across requests.
+//
+// Three reuse layers, ordered by generality:
+//
+//  1. Maximal grid tables. By Theorem 7.1 the cell-centre similarities of
+//     the squared grid (and the sector-representative similarities of the
+//     radial grid) depend only on cell positions relative to the grid
+//     centre measured in whole cells — never on the query location or the
+//     grid's physical size. The Engine therefore builds each table lazily,
+//     exactly once per (grid kind, resolution), and shares it across every
+//     query forever.
+//  2. Score sets. The Step-1 output (*core.ScoreSet: retrieved set S plus
+//     the all-pairs contextual/spatial similarity caches) is valid only
+//     for the full Step-1 parameter key — location, interned keyword set,
+//     retrieval size K, γ, and spatial method. Score sets are cached in a
+//     size-bounded LRU keyed by that canonicalised key.
+//  3. Selections. Step 2 is deterministic given a score set, so each
+//     cache entry memoises selections per (algorithm, k, λ).
+//
+// Concurrent identical requests are deduplicated with a singleflight
+// group: one caller (the leader) computes Step 1 in its own goroutine —
+// so panics surface through the caller's recovery middleware and the
+// caller's deadline governs the build — while the thundering herd waits
+// on the shared result. A waiter whose leader was cancelled retries and
+// becomes the new leader, so one impatient client cannot fail the herd.
+//
+// The Engine is safe for concurrent use; the registered corpus must not
+// be mutated after registration.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/telemetry"
+)
+
+// Cache-status values reported in Result.Cache and the response
+// diagnostics' "cache" field.
+const (
+	// CacheHit: the score set came straight from the LRU.
+	CacheHit = "hit"
+	// CacheMiss: this request computed the score set (and cached it).
+	CacheMiss = "miss"
+	// CacheCoalesced: an identical concurrent request was already
+	// computing the score set; this request waited for its result.
+	CacheCoalesced = "coalesced"
+)
+
+// Options configures an Engine. Zero values select the documented
+// defaults.
+type Options struct {
+	// MaxK is the ceiling on the retrieval size K; larger requests are
+	// clamped during Normalize (the clamp is observable via
+	// QueryRequest.ClampedFrom). 0 disables clamping.
+	MaxK int
+	// CacheEntries bounds the score-set LRU. A score set holds three
+	// K×K/2 float64 matrices (~12·K² bytes), so the right capacity
+	// depends on the expected K; 0 means 128.
+	CacheEntries int
+	// GridTableCells is |G_MAX| for the shared maximal squared-grid
+	// table; queries whose per-query grid exceeds it fall back to direct
+	// cell-centre computation (grid.SquaredTable.At). 0 means 1024,
+	// covering the paper's |G| ≈ K rule up to K = 1024.
+	GridTableCells int
+	// SelectionMemo bounds the per-entry (algorithm, k, λ) selection
+	// memo. 0 means 64.
+	SelectionMemo int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 128
+	}
+	if o.GridTableCells <= 0 {
+		o.GridTableCells = 1024
+	}
+	if o.SelectionMemo <= 0 {
+		o.SelectionMemo = 64
+	}
+	return o
+}
+
+// Engine serves proportionality queries over one registered corpus,
+// reusing grid tables, score sets and selections across requests.
+type Engine struct {
+	data *dataset.Dataset
+	opt  Options
+
+	cache  *lruCache
+	flight group[*entry]
+
+	tblMu   sync.Mutex
+	squared map[int]*grid.SquaredTable // keyed by maximal side
+	radial  *grid.RadialTable
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	coalesced   atomic.Uint64
+	builds      atomic.Uint64
+	buildErrors atomic.Uint64
+}
+
+// New registers d as the Engine's corpus. The dataset (places, dictionary
+// and index) must be treated as read-only from now on; every cache key
+// assumes the corpus never changes.
+func New(d *dataset.Dataset, opt Options) *Engine {
+	o := opt.withDefaults()
+	return &Engine{
+		data:    d,
+		opt:     o,
+		cache:   newLRU(o.CacheEntries),
+		squared: make(map[int]*grid.SquaredTable),
+	}
+}
+
+// Corpus returns the registered dataset.
+func (e *Engine) Corpus() *dataset.Dataset { return e.data }
+
+// SquaredTable returns the shared maximal squared-grid table, building it
+// on first use (once per resolution; see Theorem 7.1 for why one table
+// serves every query location and grid size).
+func (e *Engine) SquaredTable() *grid.SquaredTable {
+	side := grid.SideForCells(e.opt.GridTableCells)
+	e.tblMu.Lock()
+	defer e.tblMu.Unlock()
+	t, ok := e.squared[side]
+	if !ok {
+		t = grid.NewSquaredTable(side)
+		e.squared[side] = t
+	}
+	return t
+}
+
+// RadialTable returns the shared radial-grid table. The table itself
+// memoises one matrix per ring count on first use, so it covers every
+// radial resolution queries select.
+func (e *Engine) RadialTable() *grid.RadialTable {
+	e.tblMu.Lock()
+	defer e.tblMu.Unlock()
+	if e.radial == nil {
+		e.radial = grid.NewRadialTable()
+	}
+	return e.radial
+}
+
+// Result is the evaluated output of one query.
+type Result struct {
+	// SS is the (possibly shared) score set. Callers must treat it as
+	// read-only: it may be serving other requests concurrently.
+	SS *core.ScoreSet
+	// Sel is the Step-2 selection; its Indices slice may be shared with
+	// other requests and must not be mutated.
+	Sel core.Selection
+	// Breakdown is HPF(R) with the Figure-11 decomposition.
+	Breakdown core.Breakdown
+	// Cache reports how the score set was obtained: CacheHit, CacheMiss
+	// or CacheCoalesced.
+	Cache string
+}
+
+// Query evaluates req end to end: Normalize (validate, clamp, resolve
+// keywords, derive the cache key), obtain the score set (LRU →
+// singleflight → build), select, and evaluate. Errors wrapping
+// ErrBadRequest or core.ErrBadParams/core.ErrTooLarge are caller errors;
+// everything else is an internal or lifecycle (cancelled/deadline)
+// failure.
+func (e *Engine) Query(ctx context.Context, req *QueryRequest) (*Result, error) {
+	key, err := req.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	ent, status, err := e.scoreSet(ctx, req, key.String())
+	if err != nil {
+		return nil, err
+	}
+	if ent.ss.K() <= req.SmallK {
+		return nil, fmt.Errorf("%w: retrieved %d places; need more than k=%d",
+			ErrBadRequest, ent.ss.K(), req.SmallK)
+	}
+	p := core.Params{K: req.SmallK, Lambda: req.Lambda, Gamma: req.Gamma}
+	sel, err := ent.selection(ctx, core.Algorithm(req.Algo), p, e.opt.SelectionMemo)
+	if err != nil {
+		return nil, fmt.Errorf("select: %w", err)
+	}
+	return &Result{
+		SS:        ent.ss,
+		Sel:       sel,
+		Breakdown: ent.ss.Evaluate(sel.Indices, req.Lambda),
+		Cache:     status,
+	}, nil
+}
+
+// scoreSet returns the cached score-set entry for key, computing it at
+// most once per key across concurrent callers.
+func (e *Engine) scoreSet(ctx context.Context, req *QueryRequest, key string) (*entry, string, error) {
+	for {
+		if ent, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			return ent, CacheHit, nil
+		}
+		ent, shared, err := e.flight.do(ctx, key, func() (*entry, error) {
+			// Double-check under the flight: a previous leader may have
+			// cached the entry between our lookup and winning the flight,
+			// which keeps "builds per key" at exactly one.
+			if ent, ok := e.cache.get(key); ok {
+				return ent, nil
+			}
+			ent, err := e.build(ctx, req)
+			if err != nil {
+				return nil, err
+			}
+			e.cache.add(key, ent)
+			return ent, nil
+		})
+		if err == nil {
+			if shared {
+				e.coalesced.Add(1)
+				return ent, CacheCoalesced, nil
+			}
+			e.misses.Add(1)
+			return ent, CacheMiss, nil
+		}
+		if shared && ctx.Err() == nil {
+			// The shared failure was the leader's (its cancellation, or its
+			// panic), not ours: retry, becoming the new leader if needed. A
+			// deterministic build failure recurs on the retry and is then
+			// returned as our own (shared = false).
+			continue
+		}
+		if !shared {
+			e.buildErrors.Add(1)
+		}
+		return nil, "", err
+	}
+}
+
+// build runs retrieval plus Step 1 for req on the caller's context. The
+// per-stage spans land on the caller's trace, and the caller's deadline
+// and cancellation govern the computation through the core checkpoints.
+func (e *Engine) build(ctx context.Context, req *QueryRequest) (*entry, error) {
+	e.builds.Add(1)
+	loc := geo.Pt(req.X, req.Y)
+	endRetrieve := telemetry.StartSpan(ctx, telemetry.StageRetrieve)
+	places, err := e.data.Retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
+	endRetrieve()
+	if err != nil {
+		return nil, fmt.Errorf("retrieve: %w", err)
+	}
+	if len(places) < 2 {
+		return nil, fmt.Errorf("%w: retrieved %d places; need more than k=1",
+			ErrBadRequest, len(places))
+	}
+	opt := core.ScoreOptions{Gamma: req.Gamma, Spatial: req.spatial}
+	switch req.spatial {
+	case core.SpatialSquaredGrid:
+		opt.SquaredTable = e.SquaredTable()
+	case core.SpatialRadialGrid:
+		opt.RadialTable = e.RadialTable()
+	}
+	ss, err := core.ComputeScoresCtx(ctx, loc, places, opt)
+	if err != nil {
+		return nil, fmt.Errorf("score: %w", err)
+	}
+	return newEntry(ss), nil
+}
+
+// Stats is a point-in-time snapshot of the Engine's reuse counters. The
+// counters are read individually; a snapshot under concurrent traffic is
+// consistent per field, not across fields.
+type Stats struct {
+	// Hits counts requests served a score set straight from the LRU.
+	Hits uint64
+	// Misses counts requests that computed (and cached) a score set.
+	Misses uint64
+	// Coalesced counts requests that waited on an identical concurrent
+	// request's computation instead of duplicating it.
+	Coalesced uint64
+	// Evictions counts LRU evictions.
+	Evictions uint64
+	// Builds counts score-set builds started; BuildErrors the ones that
+	// failed (failures are never cached).
+	Builds, BuildErrors uint64
+	// Entries and Capacity describe the LRU occupancy.
+	Entries, Capacity int
+	// SquaredTables and RadialResolutions count the memoised maximal
+	// grid tables per kind; TableBytes is their combined footprint.
+	SquaredTables, RadialResolutions int
+	TableBytes                       int
+}
+
+// Stats returns a snapshot of the Engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Hits:        e.hits.Load(),
+		Misses:      e.misses.Load(),
+		Coalesced:   e.coalesced.Load(),
+		Evictions:   e.cache.evicted(),
+		Builds:      e.builds.Load(),
+		BuildErrors: e.buildErrors.Load(),
+		Entries:     e.cache.len(),
+		Capacity:    e.opt.CacheEntries,
+	}
+	e.tblMu.Lock()
+	s.SquaredTables = len(e.squared)
+	for _, t := range e.squared {
+		s.TableBytes += t.Bytes()
+	}
+	if e.radial != nil {
+		s.RadialResolutions = e.radial.Resolutions()
+		s.TableBytes += e.radial.Bytes()
+	}
+	e.tblMu.Unlock()
+	return s
+}
+
+// entry is one LRU slot: a score set plus its per-(algorithm, k, λ)
+// selection memo.
+type entry struct {
+	ss   *core.ScoreSet
+	mu   sync.Mutex
+	sels map[selKey]core.Selection
+}
+
+type selKey struct {
+	algo   core.Algorithm
+	k      int
+	lambda float64
+}
+
+func newEntry(ss *core.ScoreSet) *entry {
+	return &entry{ss: ss, sels: make(map[selKey]core.Selection)}
+}
+
+// selection returns the memoised Step-2 selection for (alg, p), computing
+// it outside the entry lock so distinct parameter sets never serialise.
+// Selection is deterministic given a score set, so a duplicated
+// computation under contention is wasted work, never a wrong answer.
+func (en *entry) selection(ctx context.Context, alg core.Algorithm, p core.Params, memoCap int) (core.Selection, error) {
+	k := selKey{algo: alg, k: p.K, lambda: p.Lambda}
+	en.mu.Lock()
+	sel, ok := en.sels[k]
+	en.mu.Unlock()
+	if ok {
+		return sel, nil
+	}
+	sel, err := core.SelectCtx(ctx, alg, en.ss, p)
+	if err != nil {
+		return core.Selection{}, err
+	}
+	en.mu.Lock()
+	if len(en.sels) >= memoCap {
+		for stale := range en.sels { // drop one arbitrary memo to stay bounded
+			delete(en.sels, stale)
+			break
+		}
+	}
+	en.sels[k] = sel
+	en.mu.Unlock()
+	return sel, nil
+}

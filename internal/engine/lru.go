@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// lruCache is a size-bounded, mutex-guarded LRU over score-set entries.
+// Capacity is counted in entries, not bytes: a score set's footprint is
+// ~12·K² bytes (three packed K×K symmetric matrices), so the caller picks
+// the capacity for its K ceiling (see Options.CacheEntries).
+type lruCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	evictions atomic.Uint64
+}
+
+type lruItem struct {
+	key string
+	val *entry
+}
+
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache) get(key string) (*entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).val, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used entry
+// beyond capacity.
+func (c *lruCache) add(key string, v *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, val: v})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+func (c *lruCache) evicted() uint64 { return c.evictions.Load() }

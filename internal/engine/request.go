@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+	"repro/internal/textctx"
+)
+
+// ErrBadRequest marks request-validation failures (malformed or
+// out-of-range parameters, unknown algorithm or spatial method names,
+// too-small retrieved sets). Servers map errors wrapping it to HTTP 400.
+var ErrBadRequest = errors.New("engine: bad request")
+
+// QueryRequest is the one canonical query schema, shared by GET
+// /v1/search (via RequestFromValues) and every element of POST /v1/batch
+// (via JSON decoding over a NewRequest-seeded value, so absent fields
+// keep the corpus defaults). Normalize validates it and derives the
+// score-set cache key.
+type QueryRequest struct {
+	// X, Y is the query location q; the corpus default is the extent
+	// centre.
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+	// Keywords are resolved against the corpus dictionary during
+	// Normalize; unknown words match nothing and are dropped.
+	Keywords []string `json:"keywords,omitempty"`
+	// K is the retrieval size |S| (default 100); SmallK the result size
+	// k < K (default 10).
+	K      int `json:"K"`
+	SmallK int `json:"k"`
+	// Lambda trades relevance against proportionality, Gamma contextual
+	// against spatial proportionality; both default to 0.5.
+	Lambda float64 `json:"lambda"`
+	Gamma  float64 `json:"gamma"`
+	// Algo names the selection algorithm (default "abp").
+	Algo string `json:"algo"`
+	// Spatial is "squared", "radial" or "exact" (default "squared").
+	Spatial string `json:"spatial"`
+
+	// Filled by NewRequest / Normalize.
+	eng         *Engine
+	maxK        int
+	kwSet       textctx.Set
+	spatial     core.SpatialMethod
+	clampedFrom int
+	normalized  bool
+}
+
+// NewRequest returns a request seeded with the corpus defaults (location
+// at the extent centre, K=100, k=10, λ=γ=0.5, abp over the squared grid)
+// and bound to the Engine's dictionary and K ceiling.
+func (e *Engine) NewRequest() *QueryRequest {
+	center := e.data.Config.Extent / 2
+	return &QueryRequest{
+		X: center, Y: center,
+		K: 100, SmallK: 10,
+		Lambda: 0.5, Gamma: 0.5,
+		Algo: string(core.AlgABP), Spatial: "squared",
+		eng: e, maxK: e.opt.MaxK,
+	}
+}
+
+// RequestFromValues builds a request from URL query parameters, replacing
+// the scattered per-parameter parsing servers used to carry. Parameters
+// absent from q keep the NewRequest defaults; malformed or non-finite
+// numbers fail with an error wrapping ErrBadRequest.
+func (e *Engine) RequestFromValues(q url.Values) (*QueryRequest, error) {
+	r := e.NewRequest()
+	getF := func(name string, dst *float64) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("%w: parameter %q: %v", ErrBadRequest, name, err)
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("%w: parameter %q = %v must be finite", ErrBadRequest, name, f)
+		}
+		*dst = f
+		return nil
+	}
+	getI := func(name string, dst *int) error {
+		v := q.Get(name)
+		if v == "" {
+			return nil
+		}
+		i, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("%w: parameter %q: %v", ErrBadRequest, name, err)
+		}
+		*dst = i
+		return nil
+	}
+	if err := getF("x", &r.X); err != nil {
+		return nil, err
+	}
+	if err := getF("y", &r.Y); err != nil {
+		return nil, err
+	}
+	if err := getI("K", &r.K); err != nil {
+		return nil, err
+	}
+	if err := getI("k", &r.SmallK); err != nil {
+		return nil, err
+	}
+	if err := getF("lambda", &r.Lambda); err != nil {
+		return nil, err
+	}
+	if err := getF("gamma", &r.Gamma); err != nil {
+		return nil, err
+	}
+	if v := q.Get("algo"); v != "" {
+		r.Algo = v
+	}
+	if v := q.Get("spatial"); v != "" {
+		r.Spatial = v
+	}
+	if v := q.Get("keywords"); v != "" {
+		r.Keywords = strings.Split(v, ",")
+	}
+	return r, nil
+}
+
+// CacheKey is the canonical score-set cache key: the exact bits of the
+// Step-1 parameters (location, K after clamping, γ, spatial method) plus
+// the interned keyword-set fingerprint. Step-2 parameters (algorithm, k,
+// λ) are deliberately absent — they do not affect the score set (see
+// DESIGN.md).
+type CacheKey struct{ s string }
+
+// String returns the canonical encoding.
+func (k CacheKey) String() string { return k.s }
+
+// Normalize validates every field, applies the engine's K ceiling,
+// resolves the keywords against the corpus dictionary, and returns the
+// canonicalised cache key. All failures wrap ErrBadRequest. Normalize is
+// idempotent and must be called (directly or via Query) before the
+// SpatialMethod/ClampedFrom/KeywordSet accessors mean anything.
+func (r *QueryRequest) Normalize() (CacheKey, error) {
+	bad := func(format string, args ...any) (CacheKey, error) {
+		return CacheKey{}, fmt.Errorf("%w: %s", ErrBadRequest, fmt.Sprintf(format, args...))
+	}
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{{"x", r.X}, {"y", r.Y}, {"lambda", r.Lambda}, {"gamma", r.Gamma}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return bad("parameter %q = %v must be finite", f.name, f.v)
+		}
+	}
+	if r.K <= 0 {
+		return bad("K = %d must be positive", r.K)
+	}
+	if r.SmallK <= 0 {
+		return bad("k = %d must be positive", r.SmallK)
+	}
+	if r.SmallK >= r.K {
+		return bad("k = %d must be smaller than K = %d", r.SmallK, r.K)
+	}
+	if r.Lambda < 0 || r.Lambda > 1 {
+		return bad("lambda = %v outside [0, 1]", r.Lambda)
+	}
+	if r.Gamma < 0 || r.Gamma > 1 {
+		return bad("gamma = %v outside [0, 1]", r.Gamma)
+	}
+	if r.Algo == "" {
+		r.Algo = string(core.AlgABP)
+	}
+	if !core.Registered(core.Algorithm(r.Algo)) {
+		return bad("unknown algorithm %q (have %v)", r.Algo, core.Algorithms())
+	}
+	if r.Spatial == "" {
+		r.Spatial = "squared"
+	}
+	switch r.Spatial {
+	case "squared":
+		r.spatial = core.SpatialSquaredGrid
+	case "radial":
+		r.spatial = core.SpatialRadialGrid
+	case "exact":
+		r.spatial = core.SpatialExact
+	default:
+		return bad("unknown spatial method %q (have exact, squared, radial)", r.Spatial)
+	}
+	if r.maxK > 0 && r.K > r.maxK {
+		if r.clampedFrom == 0 {
+			r.clampedFrom = r.K
+		}
+		r.K = r.maxK
+		if r.SmallK >= r.K {
+			return bad("k = %d must be smaller than the server's K ceiling %d", r.SmallK, r.maxK)
+		}
+	}
+	if r.eng != nil {
+		var ids []textctx.ItemID
+		for _, w := range r.Keywords {
+			w = strings.TrimSpace(w)
+			if w == "" {
+				continue
+			}
+			if id, ok := r.eng.data.Dict.Lookup(w); ok {
+				ids = append(ids, id)
+			}
+		}
+		r.kwSet = textctx.NewSet(ids...)
+	}
+	r.normalized = true
+	return r.cacheKey(), nil
+}
+
+// cacheKey encodes the Step-1 parameters exactly (float bit patterns, so
+// no two distinct parameter sets collide).
+func (r *QueryRequest) cacheKey() CacheKey {
+	return CacheKey{s: fmt.Sprintf("x=%016x;y=%016x;K=%d;g=%016x;s=%d;kw=%s",
+		math.Float64bits(r.X), math.Float64bits(r.Y), r.K,
+		math.Float64bits(r.Gamma), int(r.spatial), r.kwSet.Fingerprint())}
+}
+
+// SpatialMethod returns the resolved spatial method (valid after
+// Normalize).
+func (r *QueryRequest) SpatialMethod() core.SpatialMethod { return r.spatial }
+
+// ClampedFrom returns the original K of a request clamped by the engine's
+// ceiling, or 0 if no clamp applied (valid after Normalize).
+func (r *QueryRequest) ClampedFrom() int { return r.clampedFrom }
+
+// KeywordSet returns the interned keyword set (valid after Normalize).
+func (r *QueryRequest) KeywordSet() textctx.Set { return r.kwSet }
+
+// PlaceResult is one selected place in a QueryResponse.
+type PlaceResult struct {
+	Rank    int      `json:"rank"`
+	ID      string   `json:"id"`
+	X       float64  `json:"x"`
+	Y       float64  `json:"y"`
+	Rel     float64  `json:"rel"`
+	Context []string `json:"context"`
+}
+
+// QueryResponse is the canonical response schema, shared by /v1/search,
+// the deprecated /search alias, and every element of a /v1/batch
+// response. The JSON layout is unchanged from the pre-engine /search
+// payload so existing clients keep working; diagnostics gains "cache".
+type QueryResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	Query     struct {
+		X        float64  `json:"x"`
+		Y        float64  `json:"y"`
+		Keywords []string `json:"keywords,omitempty"`
+		K        int      `json:"K"`
+		SmallK   int      `json:"k"`
+		Lambda   float64  `json:"lambda"`
+		Gamma    float64  `json:"gamma"`
+		Algo     string   `json:"algo"`
+	} `json:"query"`
+	HPF         float64        `json:"hpf"`
+	Breakdown   map[string]any `json:"breakdown"`
+	Diagnostics map[string]any `json:"diagnostics"`
+	Results     []PlaceResult  `json:"results"`
+}
+
+// BuildResponse renders a Result into the canonical response schema. tr,
+// when non-nil, contributes the per-stage timing diagnostics; the caller
+// owns policy-level diagnostics (degradation reports, request IDs) and
+// may add them to the returned value before encoding.
+func (e *Engine) BuildResponse(req *QueryRequest, res *Result, tr *telemetry.Trace) *QueryResponse {
+	var resp QueryResponse
+	resp.Query.X, resp.Query.Y = req.X, req.Y
+	resp.Query.K, resp.Query.SmallK = req.K, req.SmallK
+	resp.Query.Lambda, resp.Query.Gamma = req.Lambda, req.Gamma
+	resp.Query.Algo = req.Algo
+	for _, id := range req.kwSet.Items() {
+		resp.Query.Keywords = append(resp.Query.Keywords, e.data.Dict.Word(id))
+	}
+	resp.HPF = res.Breakdown.Total
+	resp.Breakdown = map[string]any{
+		"rel": res.Breakdown.Rel, "pC": res.Breakdown.PC, "pS": res.Breakdown.PS,
+	}
+	diag := metrics.Evaluate(res.SS, res.Sel.Indices)
+	resp.Diagnostics = map[string]any{
+		"inference_match":      diag.InferenceMatch,
+		"dominance":            diag.Dominance,
+		"rare_share":           diag.RareShare,
+		"type_coverage":        diag.TypeCoverage,
+		"directional_coverage": diag.DirectionalCoverage,
+		"diversity":            diag.Diversity,
+		"mean_relevance":       diag.MeanRelevance,
+		"spatial_method":       req.spatial.String(),
+		"cache":                res.Cache,
+	}
+	if tr != nil {
+		stages := map[string]any{}
+		for stage, d := range tr.Stages() {
+			stages[stage] = round3(d.Seconds() * 1e3)
+		}
+		resp.Diagnostics["stage_ms"] = stages
+		resp.Diagnostics["elapsed_ms"] = round3(tr.Elapsed().Seconds() * 1e3)
+	}
+	for rank, idx := range res.Sel.Indices {
+		p := res.SS.Places[idx]
+		ctxWords := p.Context.Words(e.data.Dict)
+		if len(ctxWords) > 6 {
+			ctxWords = ctxWords[:6]
+		}
+		resp.Results = append(resp.Results, PlaceResult{
+			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctxWords,
+		})
+	}
+	return &resp
+}
+
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errFlightPanic is the error waiters observe when the leader of their
+// flight panicked mid-build. The panic itself keeps unwinding the
+// leader's goroutine (so HTTP recovery middleware sees it); waiters treat
+// the sentinel as a leader failure and retry.
+var errFlightPanic = errors.New("engine: concurrent identical request panicked")
+
+// call is one in-flight computation.
+type call[V any] struct {
+	done     chan struct{}
+	val      V
+	err      error
+	finished bool // false in the deferred cleanup iff fn panicked
+}
+
+// group deduplicates concurrent computations by key (a minimal
+// singleflight; the module deliberately has no dependencies). Unlike
+// x/sync's singleflight the leader runs fn synchronously in its own
+// goroutine — panics and cancellation stay with the leader — and waiters
+// are context-aware: a waiter abandons the flight when its own context
+// terminates, without disturbing the leader.
+type group[V any] struct {
+	mu sync.Mutex
+	m  map[string]*call[V]
+}
+
+// do returns the result of fn for key, running fn at most once across
+// concurrent callers. shared reports whether the caller joined an
+// existing flight (true) or led its own (false). A joining caller whose
+// context terminates first returns its ctx error with shared = true.
+func (g *group[V]) do(ctx context.Context, key string, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call[V])
+	}
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, true, c.err
+		case <-ctx.Done():
+			var zero V
+			return zero, true, ctx.Err()
+		}
+	}
+	c := &call[V]{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	defer func() {
+		if !c.finished {
+			// fn panicked: fail the flight for the waiters, then let the
+			// panic continue unwinding the leader.
+			c.err = errFlightPanic
+			g.settle(key, c)
+		}
+	}()
+	c.val, c.err = fn()
+	c.finished = true
+	g.settle(key, c)
+	return c.val, false, c.err
+}
+
+// settle removes the flight from the group (so the next caller starts a
+// fresh one) and releases the waiters.
+func (g *group[V]) settle(key string, c *call[V]) {
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+}

@@ -190,6 +190,25 @@ func NewRadialTable() *RadialTable {
 	return &RadialTable{per: make(map[int][]float64)}
 }
 
+// Resolutions returns the number of ring counts whose matrices have been
+// built and memoised so far.
+func (t *RadialTable) Resolutions() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.per)
+}
+
+// Bytes returns the memory footprint of all memoised matrices.
+func (t *RadialTable) Bytes() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var n int
+	for _, m := range t.per {
+		n += len(m) * 8
+	}
+	return n
+}
+
 // At returns the precomputed sS between the representatives of sectors ci
 // and cj of a radial grid with the given ring count, computing and caching
 // the matrix for that ring count on first use.

@@ -218,6 +218,14 @@ func NewSquaredTable(maxSide int) *SquaredTable {
 // MaxSide returns the largest grid side the table covers.
 func (t *SquaredTable) MaxSide() int { return t.maxSide }
 
+// Cells returns |G_MAX| = MaxSide², the number of cells of the maximal
+// grid the table was built for.
+func (t *SquaredTable) Cells() int { return t.maxSide * t.maxSide }
+
+// Bytes returns the memory footprint of the precomputed matrix, for
+// capacity planning and stats endpoints (the table is |G_MAX|² float64s).
+func (t *SquaredTable) Bytes() int { return len(t.v) * 8 }
+
 // At returns the precomputed sS between the centres of cells ci and cj of
 // a grid with the given (even) side ≤ MaxSide; larger grids fall back to
 // direct computation.

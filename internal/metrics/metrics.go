@@ -90,13 +90,21 @@ func FrequentItemKL(ss *core.ScoreSet, r []int) float64 {
 	}
 	sup := supportOf(ss)
 	minSup := minSupport(len(ss.Places))
-	freqS := make(map[textctx.ItemID]float64)
-	var totS float64
+	// Accumulate in sorted item order: float addition is order-dependent,
+	// and map iteration order would make repeated evaluations of the same
+	// selection differ in the last bits.
+	frequent := make([]textctx.ItemID, 0, len(sup))
 	for it, c := range sup {
 		if c >= minSup {
-			freqS[it] = float64(c)
-			totS += float64(c)
+			frequent = append(frequent, it)
 		}
+	}
+	sort.Slice(frequent, func(a, b int) bool { return frequent[a] < frequent[b] })
+	freqS := make(map[textctx.ItemID]float64, len(frequent))
+	var totS float64
+	for _, it := range frequent {
+		freqS[it] = float64(sup[it])
+		totS += float64(sup[it])
 	}
 	if totS == 0 {
 		return 0 // no frequent structure to misrepresent
@@ -114,8 +122,8 @@ func FrequentItemKL(ss *core.ScoreSet, r []int) float64 {
 	const alpha = 0.5
 	denom := totR + alpha*float64(len(freqS))
 	var kl float64
-	for it, fs := range freqS {
-		ps := fs / totS
+	for _, it := range frequent {
+		ps := freqS[it] / totS
 		pr := (freqR[it] + alpha) / denom
 		kl += ps * math.Log(ps/pr)
 	}

@@ -84,6 +84,21 @@ func (g *Gate) Acquire(ctx context.Context) (release func(), err error) {
 	}
 }
 
+// Do admits the request, runs fn while holding the admission slot, and
+// releases the slot when fn returns (or panics). It is the convenience
+// form batch-style callers use to run many units of work through one
+// gate: admission failures are returned without running fn, so every
+// element of a batch is individually subject to the same load-shedding
+// policy as interactive requests.
+func (g *Gate) Do(ctx context.Context, fn func() error) error {
+	release, err := g.Acquire(ctx)
+	if err != nil {
+		return err
+	}
+	defer release()
+	return fn()
+}
+
 // GateStats is a snapshot of a gate's lifetime outcome counters and
 // current occupancy. The counters are read individually, so a snapshot
 // taken under concurrent traffic is consistent per field, not across

@@ -200,3 +200,46 @@ func TestGateConcurrentChurn(t *testing.T) {
 		t.Errorf("gate not drained: inflight %d queued %d", g.InFlight(), g.Queued())
 	}
 }
+
+func TestGateDo(t *testing.T) {
+	g := NewGate(1, 0, 10*time.Millisecond)
+
+	// Do runs fn while holding a slot and releases it afterwards.
+	var sawInFlight int
+	if err := g.Do(context.Background(), func() error {
+		sawInFlight = g.InFlight()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sawInFlight != 1 {
+		t.Errorf("InFlight during fn = %d, want 1", sawInFlight)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight after Do = %d, want 0", g.InFlight())
+	}
+
+	// fn errors pass through, and the slot is still released.
+	boom := errors.New("boom")
+	if err := g.Do(context.Background(), func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want the fn error", err)
+	}
+	if g.InFlight() != 0 {
+		t.Errorf("InFlight after failing fn = %d, want 0", g.InFlight())
+	}
+
+	// With the only slot held, Do sheds without running fn.
+	rel, err := g.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	err = g.Do(context.Background(), func() error { ran = true; return nil })
+	if !errors.Is(err, ErrShed) {
+		t.Errorf("err = %v, want ErrShed", err)
+	}
+	if ran {
+		t.Error("fn ran despite shed admission")
+	}
+	rel()
+}

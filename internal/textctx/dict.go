@@ -14,6 +14,8 @@ package textctx
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // ItemID is the dense identifier of an interned contextual item.
@@ -105,6 +107,24 @@ func (s Set) Items() []ItemID { return s.items }
 func (s Set) Contains(id ItemID) bool {
 	i := sort.Search(len(s.items), func(i int) bool { return s.items[i] >= id })
 	return i < len(s.items) && s.items[i] == id
+}
+
+// Fingerprint returns a compact canonical encoding of the set's item
+// identifiers ("3,17,42"). Two sets have equal fingerprints iff they are
+// Equal, which makes the fingerprint usable as (part of) a cache key for
+// query results keyed on an interned keyword set.
+func (s Set) Fingerprint() string {
+	if len(s.items) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, id := range s.items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(id)))
+	}
+	return b.String()
 }
 
 // Words resolves the set back to strings using d.
