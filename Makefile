@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench bench-serve check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-diff check profile report report-small examples clean
 
 all: check
 
@@ -21,7 +21,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/grid ./internal/stream ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./cmd/propserve
 
 race-all:
 	$(GO) test -race ./...
@@ -37,6 +37,24 @@ bench:
 bench-serve:
 	BENCH_SERVE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/engine -run TestBenchServe -v
 	@cat BENCH_engine.json
+
+# Run the full perf-trajectory suite over the demo corpus: Step-1 engines
+# (baseline/msJh/minhash), spatial pSS methods (exact vs grids), and the
+# Step-2 greedy algorithms (IAdU vs ABP). Writes BENCH_step1.json,
+# BENCH_spatial.json and BENCH_select.json; compare two snapshots with
+# `go run ./cmd/benchdiff old.json new.json`.
+bench-suite:
+	BENCH_SUITE_DIR=$(CURDIR) $(GO) test ./internal/benchsuite -run TestBench -count=1 -v
+	@ls -l BENCH_step1.json BENCH_spatial.json BENCH_select.json
+
+# Compare the working tree's fresh bench results against the committed
+# baselines (OLD=<dir> overrides where the baselines are read from).
+OLD ?= .
+bench-diff:
+	@for f in BENCH_step1 BENCH_spatial BENCH_select; do \
+		echo "--- $$f"; \
+		$(GO) run ./cmd/benchdiff $(OLD)/$$f.json $$f.json || true; \
+	done
 
 # Start propserve with the pprof debug listener and capture a 10s CPU
 # profile into cpu.pprof (inspect with: go tool pprof cpu.pprof).

@@ -1,0 +1,124 @@
+// Command benchdiff compares two BENCH_*.json reports (written by `make
+// bench-serve` or `make bench-suite`) and flags timing regressions.
+//
+//	benchdiff [-threshold 0.15] old.json new.json
+//
+// Every top-level numeric field whose name ends in "_ns_op" and appears
+// in both files is compared; a field whose new value exceeds the old by
+// more than the threshold (default 15%) is a regression. benchdiff exits
+// 1 when any regression is found, 0 otherwise, so CI can run it as a
+// non-blocking trend check against committed baselines. Fields present
+// in only one file are reported but never fail the comparison — reports
+// gain fields as the suite grows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.15, "relative slowdown above which a *_ns_op field is a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.15] old.json new.json")
+		return 2
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchdiff:", err)
+		return 2
+	}
+
+	keys := timingKeys(oldRep, newRep)
+	if len(keys) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no *_ns_op fields to compare")
+		return 2
+	}
+	regressions := 0
+	for _, k := range keys {
+		ov, oldHas := number(oldRep, k)
+		nv, newHas := number(newRep, k)
+		switch {
+		case !oldHas:
+			fmt.Fprintf(stdout, "  new   %-24s %14.0f ns/op (no baseline)\n", k, nv)
+		case !newHas:
+			fmt.Fprintf(stdout, "  gone  %-24s %14.0f ns/op (not in new report)\n", k, ov)
+		case ov <= 0:
+			fmt.Fprintf(stdout, "  skip  %-24s baseline %.0f is not a usable timing\n", k, ov)
+		default:
+			delta := nv/ov - 1
+			mark := "  ok   "
+			if delta > *threshold {
+				mark = "  SLOW "
+				regressions++
+			} else if delta < -*threshold {
+				mark = "  fast "
+			}
+			fmt.Fprintf(stdout, "%s%-24s %14.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, k, ov, nv, delta*100)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d field(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: no regression beyond %.0f%%\n", *threshold*100)
+	return 0
+}
+
+func load(path string) (map[string]any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// timingKeys collects the union of *_ns_op field names, sorted.
+func timingKeys(reports ...map[string]any) []string {
+	seen := map[string]bool{}
+	for _, r := range reports {
+		for k, v := range r {
+			if _, ok := v.(float64); ok && hasNsOpSuffix(k) {
+				seen[k] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasNsOpSuffix(k string) bool {
+	const suf = "_ns_op"
+	return len(k) > len(suf) && k[len(k)-len(suf):] == suf
+}
+
+func number(m map[string]any, k string) (float64, bool) {
+	v, ok := m[k].(float64)
+	return v, ok
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, fields map[string]any) string {
+	t.Helper()
+	b, err := json.Marshal(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func diff(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// TestRegressionFails: a synthetic >15% slowdown exits non-zero and names
+// the regressed field.
+func TestRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{
+		"benchmark": "x", "miss_ns_op": 1000.0, "hit_ns_op": 100.0,
+	})
+	newP := writeReport(t, dir, "new.json", map[string]any{
+		"benchmark": "x", "miss_ns_op": 1200.0, "hit_ns_op": 100.0,
+	})
+	code, out, _ := diff(t, oldP, newP)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for a 20%% regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "SLOW") || !strings.Contains(out, "miss_ns_op") {
+		t.Errorf("output does not flag miss_ns_op as SLOW:\n%s", out)
+	}
+	if strings.Contains(out, "SLOW  hit_ns_op") {
+		t.Errorf("unchanged hit_ns_op flagged:\n%s", out)
+	}
+}
+
+// TestWithinThresholdPasses: a 10% slowdown is inside the default 15%
+// threshold and passes.
+func TestWithinThresholdPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{"miss_ns_op": 1000.0})
+	newP := writeReport(t, dir, "new.json", map[string]any{"miss_ns_op": 1100.0})
+	if code, out, _ := diff(t, oldP, newP); code != 0 {
+		t.Fatalf("exit = %d, want 0 for a 10%% slowdown\n%s", code, out)
+	}
+}
+
+// TestCustomThreshold: the same 10% slowdown fails under -threshold 0.05.
+func TestCustomThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{"miss_ns_op": 1000.0})
+	newP := writeReport(t, dir, "new.json", map[string]any{"miss_ns_op": 1100.0})
+	if code, out, _ := diff(t, "-threshold", "0.05", oldP, newP); code != 1 {
+		t.Fatalf("exit = %d, want 1 at threshold 0.05\n%s", code, out)
+	}
+}
+
+// TestImprovementPasses: speedups never fail, and are marked.
+func TestImprovementPasses(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{"miss_ns_op": 1000.0})
+	newP := writeReport(t, dir, "new.json", map[string]any{"miss_ns_op": 500.0})
+	code, out, _ := diff(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for an improvement\n%s", code, out)
+	}
+	if !strings.Contains(out, "fast") {
+		t.Errorf("improvement not marked fast:\n%s", out)
+	}
+}
+
+// TestNewFieldsTolerated: a field present only in the new report (the
+// suite grew) is reported but never a failure.
+func TestNewFieldsTolerated(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{"miss_ns_op": 1000.0})
+	newP := writeReport(t, dir, "new.json", map[string]any{"miss_ns_op": 1000.0, "extra_ns_op": 123.0})
+	code, out, _ := diff(t, oldP, newP)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 when a field is new\n%s", code, out)
+	}
+	if !strings.Contains(out, "extra_ns_op") || !strings.Contains(out, "no baseline") {
+		t.Errorf("new field not reported:\n%s", out)
+	}
+}
+
+// TestBadUsage: missing args and unreadable files are usage errors (2),
+// distinct from regression failures (1).
+func TestBadUsage(t *testing.T) {
+	if code, _, _ := diff(t); code != 2 {
+		t.Errorf("no args: exit = %d, want 2", code)
+	}
+	if code, _, stderr := diff(t, "/does/not/exist.json", "/neither.json"); code != 2 || stderr == "" {
+		t.Errorf("missing files: exit = %d, want 2 with a message", code)
+	}
+	dir := t.TempDir()
+	empty := writeReport(t, dir, "empty.json", map[string]any{"benchmark": "x"})
+	if code, _, _ := diff(t, empty, empty); code != 2 {
+		t.Errorf("no timing fields: exit = %d, want 2", code)
+	}
+}

@@ -19,6 +19,10 @@
 //	POST /v1/batch               → {"queries":[{...}, ...]} runs up to -max-batch
 //	                               queries through a bounded worker pool; each element
 //	                               reports its own status from the same error taxonomy
+//	GET  /v1/explain             → /v1/search parameters evaluated under an
+//	                               introspection collector (greedy trace, msJh pruning
+//	                               counters, sampled grid error); requires
+//	                               -enable-explain and bypasses the score-set cache
 //
 // Queries are served by a shared cross-query engine (internal/engine):
 // maximal grid tables are built once per resolution, score sets are
@@ -31,8 +35,10 @@
 // ceiling (-max-K), and panic recovery. Every request carries an
 // X-Request-ID (echoed in error bodies and the JSON access log, which
 // -access-log=false disables), and -debug-addr opts into a net/http/pprof
-// listener for profiling. See README.md "Operational resilience",
-// "Observability" and "Serving at scale".
+// listener for profiling. Queries slower than -slow-query-ms emit one
+// JSON line with their full stage (and, for explains, introspection)
+// breakdown. See README.md "Operational resilience", "Observability" and
+// "Serving at scale".
 package main
 
 import (
@@ -65,6 +71,8 @@ func main() {
 	degradeBudget := fs.Duration("degrade-budget", 0, "remaining-budget threshold that downshifts spatial=exact to the squared grid (0: query-timeout/4)")
 	debugAddr := fs.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty: disabled)")
 	accessLog := fs.Bool("access-log", true, "write one structured JSON line per request to stdout")
+	enableExplain := fs.Bool("enable-explain", false, "serve GET /v1/explain (cache-bypassing algorithm introspection; more expensive than the query it explains)")
+	slowQueryMS := fs.Int("slow-query-ms", 0, "latency threshold in milliseconds above which a query emits a slow-query JSON line (0: disabled)")
 	fs.Parse(os.Args[1:])
 
 	d, err := loadOrGenerate(*data)
@@ -82,9 +90,14 @@ func main() {
 		MaxBatch:      *maxBatch,
 		BatchWorkers:  *batchWorkers,
 		DegradeBudget: *degradeBudget,
+		EnableExplain: *enableExplain,
+		SlowQuery:     time.Duration(*slowQueryMS) * time.Millisecond,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stdout
+	}
+	if cfg.SlowQuery > 0 {
+		cfg.SlowQueryLog = os.Stderr
 	}
 	h := NewServer(d, cfg)
 	srv := &http.Server{

@@ -67,6 +67,18 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// request (see telemetry.AccessEntry). Nil disables access logging.
 	AccessLog io.Writer
+	// EnableExplain opens GET /v1/explain, which recomputes both pipeline
+	// steps under an introspection collector and bypasses the score-set
+	// cache. Off by default: an explain is strictly more expensive than
+	// the query it explains, so the endpoint is an operator opt-in.
+	EnableExplain bool
+	// SlowQuery is the latency threshold above which a query emits one
+	// JSON line with its full stage and explain breakdown to SlowQueryLog.
+	// 0 disables slow-query logging.
+	SlowQuery time.Duration
+	// SlowQueryLog receives slow-query lines. Nil falls back to AccessLog's
+	// writer, then to Logf.
+	SlowQueryLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +133,9 @@ type serverMetrics struct {
 	batches        *telemetry.Counter      // propserve_batch_requests_total
 	batchQueries   *telemetry.Counter      // propserve_batch_queries_total
 	deprecated     *telemetry.CounterVec   // propserve_deprecated_requests_total{path}
+	slowQueries    *telemetry.Counter      // propserve_slow_queries_total
+	msjhPruned     *telemetry.Gauge        // propserve_msjh_pruned_ratio
+	gridErr        *telemetry.Gauge        // propserve_grid_err_sampled
 }
 
 func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *engine.Engine) *serverMetrics {
@@ -144,6 +159,12 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 			"Individual queries carried by batch requests."),
 		deprecated: reg.CounterVec("propserve_deprecated_requests_total",
 			"Requests served through deprecated pre-/v1 routes, by path.", "path"),
+		slowQueries: reg.Counter("propserve_slow_queries_total",
+			"Queries whose end-to-end latency exceeded the slow-query threshold."),
+		msjhPruned: reg.Gauge("propserve_msjh_pruned_ratio",
+			"Fraction of candidate pairs the msJh engine skipped in the most recent explain run."),
+		gridErr: reg.Gauge("propserve_grid_err_sampled",
+			"Mean absolute grid-approximation error over sampled pairs in the most recent explain run."),
 	}
 	reg.GaugeFunc("propserve_gate_inflight",
 		"Requests currently holding an admission slot.",
@@ -187,6 +208,12 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 	reg.CounterFunc("propserve_engine_build_errors_total",
 		"Score-set builds that failed (failures are never cached).",
 		func() uint64 { return eng.Stats().BuildErrors })
+	reg.CounterFunc("propserve_engine_explains_total",
+		"Cache-bypassing /v1/explain evaluations.",
+		func() uint64 { return eng.Stats().Explains })
+	reg.GaugeFunc("propserve_engine_cache_hit_ratio",
+		"Engine LRU hit ratio over all lookups so far (0 before any lookup).",
+		func() float64 { return eng.Stats().HitRatio() })
 	reg.GaugeFunc("propserve_engine_cache_entries",
 		"Score sets currently resident in the engine LRU.",
 		func() float64 { return float64(eng.Stats().Entries) })
@@ -220,6 +247,7 @@ type Server struct {
 	rec      *resilience.Recoverer
 	tel      *serverMetrics
 	warnOnce sync.Map // deprecated path → *sync.Once
+	slowMu   sync.Mutex
 }
 
 // NewServer builds the handler tree over d with the given configuration
@@ -238,6 +266,7 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
@@ -380,9 +409,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 				"evictions": es.Evictions,
 				"entries":   es.Entries,
 				"capacity":  es.Capacity,
+				"hit_ratio": round3(es.HitRatio()),
 			},
 			"builds":       es.Builds,
 			"build_errors": es.BuildErrors,
+			"explains":     es.Explains,
 			"tables": map[string]interface{}{
 				"squared":            es.SquaredTables,
 				"radial_resolutions": es.RadialResolutions,
@@ -469,6 +500,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, statusFor(err), "%v", err)
 		return
 	}
+	telemetry.NoteCache(r.Context(), res.Cache)
 
 	resp := s.eng.BuildResponse(req, res, tr)
 	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
@@ -478,6 +510,139 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	endEncode := tr.StartSpan(telemetry.StageEncode)
 	s.writeJSON(w, http.StatusOK, resp)
 	endEncode()
+	s.maybeLogSlow("/v1/search", resp.RequestID, req, tr, res.Cache, nil)
+}
+
+// handleExplain serves GET /v1/explain: the /v1/search parameter schema
+// evaluated with Engine.Explain, which bypasses the score-set cache and
+// recomputes both steps under an introspection collector. The response is
+// the search payload plus an "explain" object carrying the greedy trace,
+// Step-1 pruning counters, and sampled grid-approximation error. Spatial
+// downshifting is deliberately skipped: an explain exists to show what the
+// requested configuration does, not a degraded stand-in.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableExplain {
+		s.writeError(w, http.StatusForbidden, "explain disabled: start the server with -enable-explain")
+		return
+	}
+	tr := telemetry.NewTrace()
+	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	defer s.flushSpans(tr)
+
+	endParse := tr.StartSpan(telemetry.StageParse)
+	req, err := s.eng.RequestFromValues(r.URL.Query())
+	if err == nil {
+		_, err = req.Normalize()
+	}
+	endParse()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+
+	waitStart := time.Now()
+	endWait := tr.StartSpan(telemetry.StageAdmission)
+	release, err := s.gate.Acquire(ctx)
+	endWait()
+	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		}
+		s.writeError(w, status, "admission: %v", err)
+		return
+	}
+	defer release()
+
+	res, rep, err := s.eng.Explain(ctx, req)
+	if err != nil {
+		s.writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	telemetry.NoteCache(r.Context(), res.Cache)
+	if rep.Pruning != nil {
+		s.tel.msjhPruned.Set(rep.Pruning.PrunedRatio)
+	}
+	if rep.Grid != nil && rep.Grid.SampledPairs > 0 {
+		s.tel.gridErr.Set(rep.Grid.MeanAbsError)
+	}
+
+	resp := s.eng.BuildResponse(req, res, tr)
+	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
+	resp.Explain = rep
+	endEncode := tr.StartSpan(telemetry.StageEncode)
+	s.writeJSON(w, http.StatusOK, resp)
+	endEncode()
+	s.maybeLogSlow("/v1/explain", resp.RequestID, req, tr, res.Cache, rep)
+}
+
+// slowQueryEntry is one slow-query log line: enough context to understand
+// the query without the access log, the full stage breakdown, and — for
+// explain requests — the algorithm-level introspection report.
+type slowQueryEntry struct {
+	Time        string         `json:"time"`
+	RequestID   string         `json:"request_id,omitempty"`
+	Endpoint    string         `json:"endpoint"`
+	DurationMS  float64        `json:"duration_ms"`
+	ThresholdMS float64        `json:"threshold_ms"`
+	Query       map[string]any `json:"query"`
+	StageMS     map[string]any `json:"stage_ms"`
+	Cache       string         `json:"cache,omitempty"`
+	Explain     any            `json:"explain,omitempty"`
+}
+
+// maybeLogSlow emits one structured line when the request's trace elapsed
+// beyond the slow-query threshold. The writer preference is SlowQueryLog,
+// then the access-log writer, then Logf; concurrent emitters are
+// serialised so lines never interleave.
+func (s *Server) maybeLogSlow(endpoint, requestID string, req *engine.QueryRequest, tr *telemetry.Trace, cache string, explainRep any) {
+	if s.cfg.SlowQuery <= 0 {
+		return
+	}
+	elapsed := tr.Elapsed()
+	if elapsed < s.cfg.SlowQuery {
+		return
+	}
+	s.tel.slowQueries.Inc()
+	stages := map[string]any{}
+	for stage, d := range tr.Stages() {
+		stages[stage] = round3(d.Seconds() * 1e3)
+	}
+	e := slowQueryEntry{
+		Time:        time.Now().UTC().Format(time.RFC3339Nano),
+		RequestID:   requestID,
+		Endpoint:    endpoint,
+		DurationMS:  round3(elapsed.Seconds() * 1e3),
+		ThresholdMS: round3(s.cfg.SlowQuery.Seconds() * 1e3),
+		Query: map[string]any{
+			"x": req.X, "y": req.Y, "keywords": req.Keywords,
+			"K": req.K, "k": req.SmallK,
+			"lambda": req.Lambda, "gamma": req.Gamma,
+			"algo": req.Algo, "spatial": req.Spatial,
+		},
+		StageMS: stages,
+		Cache:   cache,
+		Explain: explainRep,
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	out := s.cfg.SlowQueryLog
+	if out == nil {
+		out = s.cfg.AccessLog
+	}
+	if out == nil {
+		s.cfg.Logf("propserve: slow query: %s", line)
+		return
+	}
+	s.slowMu.Lock()
+	out.Write(append(line, '\n'))
+	s.slowMu.Unlock()
 }
 
 // batchRequest is the POST /v1/batch payload: a list of QueryRequest
@@ -531,13 +696,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if workers > len(br.Queries) {
 		workers = len(br.Queries)
 	}
+	requestID := w.Header().Get(telemetry.RequestIDHeader)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				items[idx] = s.batchElement(r.Context(), idx, br.Queries[idx])
+				items[idx] = s.batchElement(r.Context(), requestID, idx, br.Queries[idx])
 			}
 		}()
 	}
@@ -557,8 +723,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // batchElement runs one batch query end to end: decode over the corpus
 // defaults, validate, admit through the gate, query the engine. Panics
 // are contained to the element (batch workers run outside the HTTP
-// recovery middleware's goroutine).
-func (s *Server) batchElement(parent context.Context, idx int, raw json.RawMessage) (item batchItem) {
+// recovery middleware's goroutine). Each element gets its own trace —
+// spans never bleed across elements — while requestID ties every element's
+// response and slow-query line back to the parent batch request.
+func (s *Server) batchElement(parent context.Context, requestID string, idx int, raw json.RawMessage) (item batchItem) {
 	item.Index = idx
 	defer func() {
 		if v := recover(); v != nil {
@@ -607,6 +775,8 @@ func (s *Server) batchElement(parent context.Context, idx int, raw json.RawMessa
 	}
 	item.Status = http.StatusOK
 	item.Response = s.eng.BuildResponse(req, res, tr)
+	item.Response.RequestID = requestID
+	s.maybeLogSlow("/v1/batch", requestID, req, tr, res.Cache, nil)
 	return item
 }
 

@@ -1,0 +1,118 @@
+// Package benchsuite drives `make bench-suite`: wall-clock comparisons of
+// the paper's competing implementations — Step-1 all-pairs engines
+// (baseline / msJh / minhash), spatial similarity methods (exact vs the
+// squared and radial grids), and the Step-2 greedy algorithms (IAdU vs
+// ABP) — over the demo corpus. Each comparison is written as one
+// BENCH_*.json file in the same schema as BENCH_engine.json (top-level
+// "benchmark", "dataset", "runs", *_ns_op numbers, "go", "cpus") so
+// cmd/benchdiff can track the performance trajectory across commits.
+//
+// The measurements live in gated tests (see suite_test.go) keyed on the
+// BENCH_SUITE_DIR environment variable; without it the package is inert
+// and `go test ./...` skips the timing work.
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+)
+
+// corpusPlaces and corpusSeed mirror the propserve demo corpus
+// (DBpediaLike seed 7, 1500 places) so the suite measures the served
+// configuration, like BENCH_engine.json does.
+const (
+	corpusSeed   = 7
+	corpusPlaces = 1500
+
+	// RetrieveK is the per-measurement instance size |S|: large enough
+	// that the quadratic phases dominate, small enough that the full
+	// suite stays in CI-friendly territory.
+	RetrieveK = 200
+)
+
+var (
+	corpusOnce sync.Once
+	corpusVal  *dataset.Dataset
+	corpusErr  error
+)
+
+// Corpus returns the shared demo corpus, generated once per process.
+func Corpus() (*dataset.Dataset, error) {
+	corpusOnce.Do(func() {
+		cfg := dataset.DBpediaLike(corpusSeed)
+		cfg.Places = corpusPlaces
+		corpusVal, corpusErr = dataset.Generate(cfg)
+	})
+	return corpusVal, corpusErr
+}
+
+// Instance retrieves the standard RetrieveK-place instance at the corpus
+// centre, the common input of every comparison in the suite.
+func Instance() (geo.Point, []core.Place, error) {
+	d, err := Corpus()
+	if err != nil {
+		return geo.Point{}, nil, err
+	}
+	loc := geo.Pt(d.Config.Extent/2, d.Config.Extent/2)
+	places, err := d.Retrieve(dataset.Query{Loc: loc}, RetrieveK)
+	if err != nil {
+		return geo.Point{}, nil, err
+	}
+	return loc, places, nil
+}
+
+// TimeNs runs f runs times after one untimed warm-up and returns the mean
+// wall-clock nanoseconds per run.
+func TimeNs(runs int, f func() error) (float64, error) {
+	if err := f(); err != nil { // warm-up: first-touch allocations, table builds
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if err := f(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(runs), nil
+}
+
+// Report assembles the shared envelope of a suite report: the benchmark
+// name, the corpus identity, the run counts, and the toolchain stamp.
+// Comparison-specific numbers are passed through fields.
+func Report(benchmark string, runs map[string]any, fields map[string]any) (map[string]any, error) {
+	d, err := Corpus()
+	if err != nil {
+		return nil, err
+	}
+	r := map[string]any{
+		"benchmark": benchmark,
+		"dataset": map[string]any{
+			"name": d.Config.Name, "places": d.Config.Places, "seed": d.Config.Seed,
+		},
+		"runs": runs,
+		"go":   runtime.Version(),
+		"cpus": runtime.NumCPU(),
+	}
+	for k, v := range fields {
+		r[k] = v
+	}
+	return r, nil
+}
+
+// WriteReport writes the report as indented JSON (trailing newline, like
+// BENCH_engine.json).
+func WriteReport(path string, report map[string]any) error {
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchsuite: marshal %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,198 @@
+package benchsuite
+
+// The three bench-suite measurements, gated on BENCH_SUITE_DIR (the
+// directory the BENCH_*.json files are written into). `make bench-suite`
+// sets it; a plain `go test ./...` skips the timing work entirely.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/grid"
+	"repro/internal/textctx"
+)
+
+func suiteDir(t *testing.T) string {
+	dir := os.Getenv("BENCH_SUITE_DIR")
+	if dir == "" {
+		t.Skip("set BENCH_SUITE_DIR=<dir> to run the bench suite (make bench-suite)")
+	}
+	return dir
+}
+
+// TestBenchStep1 compares the Step-1 all-pairs contextual-similarity
+// engines (Section 4): the probing baseline, msJh (Algorithm 1), and the
+// minhash approximation. Writes BENCH_step1.json.
+func TestBenchStep1(t *testing.T) {
+	dir := suiteDir(t)
+	_, places, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := make([]textctx.Set, len(places))
+	for i := range places {
+		sets[i] = places[i].Context
+	}
+
+	const runs = 30
+	engines := []textctx.JaccardEngine{
+		textctx.BaselineEngine{},
+		textctx.MSJHEngine{},
+		textctx.MinHashEngine{T: 64, Seed: 1},
+	}
+	fields := map[string]any{"sets": len(sets)}
+	var baselineNs, msjhNs float64
+	for _, eng := range engines {
+		ns, err := TimeNs(runs, func() error { eng.AllPairs(sets); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch eng.Name() {
+		case "baseline":
+			baselineNs = ns
+			fields["baseline_ns_op"] = ns
+		case "msJh":
+			msjhNs = ns
+			fields["msjh_ns_op"] = ns
+		case "minhash":
+			fields["minhash_ns_op"] = ns
+		}
+		t.Logf("%-8s %12.0f ns/op", eng.Name(), ns)
+	}
+	fields["msjh_speedup"] = baselineNs / msjhNs
+
+	report, err := Report("step1_engines", map[string]any{"per_engine": runs}, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_step1.json")
+	if err := WriteReport(out, report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}
+
+// TestBenchSpatial compares the spatial proportionality methods (Section
+// 7): the exact O(K²) Ptolemy baseline against the squared and radial
+// grids (with their shared maximal tables pre-built, as the serving path
+// holds them), including each grid's sampled approximation error. Writes
+// BENCH_spatial.json.
+func TestBenchSpatial(t *testing.T) {
+	dir := suiteDir(t)
+	loc, places, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := make([]geo.Point, len(places))
+	for i := range places {
+		pts[i] = places[i].Loc
+	}
+	cells := len(pts) // the paper's |G| ≈ K rule
+
+	const runs = 50
+	fields := map[string]any{"points": len(pts), "cells": cells}
+
+	exactNs, err := TimeNs(runs, func() error { grid.AllPairsSpatial(loc, pts); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields["exact_ns_op"] = exactNs
+
+	stbl := grid.NewSquaredTable(grid.SideForCells(cells))
+	squaredNs, err := TimeNs(runs, func() error {
+		g, err := grid.NewSquared(loc, pts, cells)
+		if err != nil {
+			return err
+		}
+		g.ApproxAllPairs(stbl)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields["squared_ns_op"] = squaredNs
+
+	rtbl := grid.NewRadialTable()
+	radialNs, err := TimeNs(runs, func() error {
+		g, err := grid.NewRadial(loc, pts, cells)
+		if err != nil {
+			return err
+		}
+		g.ApproxAllPairs(rtbl)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields["radial_ns_op"] = radialNs
+
+	// Approximation quality rides along so a speedup can never silently
+	// trade away accuracy between commits.
+	if g, err := grid.NewSquared(loc, pts, cells); err == nil {
+		es := grid.SampleApproxError(loc, pts, g.ApproxAllPairs(stbl), 256)
+		fields["squared_mean_abs_err"] = es.MeanAbs
+	}
+	if g, err := grid.NewRadial(loc, pts, cells); err == nil {
+		es := grid.SampleApproxError(loc, pts, g.ApproxAllPairs(rtbl), 256)
+		fields["radial_mean_abs_err"] = es.MeanAbs
+	}
+	fields["squared_speedup"] = exactNs / squaredNs
+
+	report, err := Report("spatial_pss", map[string]any{"per_method": runs}, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_spatial.json")
+	if err := WriteReport(out, report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("exact %.0f, squared %.0f, radial %.0f ns/op -> %s", exactNs, squaredNs, radialNs, out)
+}
+
+// TestBenchSelect compares the Step-2 greedy algorithms (Section 5): IAdU
+// against ABP on one shared score set. Writes BENCH_select.json.
+func TestBenchSelect(t *testing.T) {
+	dir := suiteDir(t)
+	loc, places, err := Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.ComputeScoresCtx(context.Background(), loc, places,
+		core.ScoreOptions{Gamma: 0.5, Spatial: core.SpatialSquaredGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+
+	const runs = 50
+	fields := map[string]any{
+		"instance": len(places),
+		"k":        p.K,
+	}
+	for _, alg := range []core.Algorithm{core.AlgIAdU, core.AlgABP} {
+		alg := alg
+		ns, err := TimeNs(runs, func() error {
+			_, err := core.Select(alg, ss, p)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields[string(alg)+"_ns_op"] = ns
+		t.Logf("%-6s %12.0f ns/op", alg, ns)
+	}
+
+	report, err := Report("step2_select", map[string]any{"per_algorithm": runs}, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "BENCH_select.json")
+	if err := WriteReport(out, report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// The explain collector must be zero-overhead when disabled: every extra
+// scan (runner-up search, posting counters, error sampling) is gated on a
+// nil check of the context-carried collector. These benchmarks compare the
+// plain path against the collecting path; run with
+//
+//	go test ./internal/core -bench Explain -benchmem
+//
+// The *Off variants should match the pre-instrumentation numbers.
+
+func benchSelect(b *testing.B, alg Algorithm, ctx context.Context) {
+	b.Helper()
+	places := explainPlaces(200, 7)
+	ss, err := ComputeScores(geo.Pt(50, 50), places, ScoreOptions{Gamma: 0.5, Spatial: SpatialSquaredGrid})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := Params{K: 20, Lambda: 0.5, Gamma: 0.5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SelectCtx(ctx, alg, ss, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplainIAdUOff(b *testing.B) {
+	benchSelect(b, AlgIAdU, context.Background())
+}
+
+func BenchmarkExplainIAdUOn(b *testing.B) {
+	benchSelect(b, AlgIAdU, explain.WithCollector(context.Background(), explain.New()))
+}
+
+func BenchmarkExplainABPOff(b *testing.B) {
+	benchSelect(b, AlgABP, context.Background())
+}
+
+func BenchmarkExplainABPOn(b *testing.B) {
+	benchSelect(b, AlgABP, explain.WithCollector(context.Background(), explain.New()))
+}
+
+func benchMSJH(b *testing.B, ctx context.Context) {
+	b.Helper()
+	places := explainPlaces(200, 7)
+	sets := make([]textctx.Set, len(places))
+	for i := range places {
+		sets[i] = places[i].Context
+	}
+	eng := textctx.MSJHEngine{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AllPairsCtx(ctx, sets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExplainMSJHOff(b *testing.B) {
+	benchMSJH(b, context.Background())
+}
+
+func BenchmarkExplainMSJHOn(b *testing.B) {
+	benchMSJH(b, explain.WithCollector(context.Background(), explain.New()))
+}

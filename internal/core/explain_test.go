@@ -1,0 +1,211 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// explainPlaces builds a deterministic random instance large enough that
+// greedy rounds have real alternatives.
+func explainPlaces(n int, seed int64) []Place {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Place, n)
+	for i := range out {
+		items := make([]textctx.ItemID, 0, 8)
+		for j := 0; j < 8; j++ {
+			items = append(items, textctx.ItemID(rng.Intn(40)))
+		}
+		out[i] = Place{
+			ID:      string(rune('A' + i%26)),
+			Loc:     geo.Pt(rng.Float64()*100, rng.Float64()*100),
+			Rel:     rng.Float64(),
+			Context: textctx.NewSet(items...),
+		}
+	}
+	return out
+}
+
+func explainScoreSet(t testing.TB, n int, spatial SpatialMethod) (*ScoreSet, *explain.Collector) {
+	t.Helper()
+	places := explainPlaces(n, 11)
+	col := explain.New()
+	ctx := explain.WithCollector(context.Background(), col)
+	ss, err := ComputeScoresCtx(ctx, geo.Pt(50, 50), places, ScoreOptions{Gamma: 0.5, Spatial: spatial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss, col
+}
+
+// TestExplainStep1Collection checks that Step 1 under a collector records
+// msJh pruning counters and squared-grid statistics with a sampled error.
+func TestExplainStep1Collection(t *testing.T) {
+	_, col := explainScoreSet(t, 60, SpatialSquaredGrid)
+	rep := col.Report()
+
+	p := rep.Pruning
+	if p == nil {
+		t.Fatal("no pruning stats collected")
+	}
+	if p.Engine != "msJh" {
+		t.Errorf("Engine = %q, want msJh", p.Engine)
+	}
+	want := int64(60 * 59 / 2)
+	if p.CandidatePairs != want {
+		t.Errorf("CandidatePairs = %d, want %d", p.CandidatePairs, want)
+	}
+	if p.ComparedPairs <= 0 || p.ComparedPairs > want {
+		t.Errorf("ComparedPairs = %d outside (0, %d]", p.ComparedPairs, want)
+	}
+	if p.PrunedPairs != want-p.ComparedPairs {
+		t.Errorf("PrunedPairs = %d, want candidate − compared = %d", p.PrunedPairs, want-p.ComparedPairs)
+	}
+	if p.PostingsScanned <= 0 {
+		t.Errorf("PostingsScanned = %d, want > 0", p.PostingsScanned)
+	}
+
+	g := rep.Grid
+	if g == nil {
+		t.Fatal("no grid stats collected")
+	}
+	if g.Kind != "squared" || g.OccupiedCells <= 0 || g.OccupiedCells > g.Cells {
+		t.Errorf("grid stats implausible: %+v", g)
+	}
+	if g.SampledPairs <= 0 {
+		t.Errorf("SampledPairs = %d, want > 0", g.SampledPairs)
+	}
+	if g.MeanAbsError < 0 || g.MaxAbsError < g.MeanAbsError {
+		t.Errorf("error sample implausible: mean %v max %v", g.MeanAbsError, g.MaxAbsError)
+	}
+}
+
+// TestExplainExactMethodRecordsKind: the exact path records its kind with
+// no sampled error (there is no approximation to measure).
+func TestExplainExactMethodRecordsKind(t *testing.T) {
+	_, col := explainScoreSet(t, 30, SpatialExact)
+	g := col.Report().Grid
+	if g == nil || g.Kind != "exact" || g.SampledPairs != 0 {
+		t.Errorf("Grid = %+v, want kind exact with zero sampled pairs", g)
+	}
+}
+
+// TestExplainGreedyTrace checks the per-round traces of IAdU and ABP:
+// round numbering, chosen-set sizes, gains ordered against runner-ups,
+// and agreement with the returned selection.
+func TestExplainGreedyTrace(t *testing.T) {
+	ss, _ := explainScoreSet(t, 60, SpatialSquaredGrid)
+	p := Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+
+	t.Run("iadu", func(t *testing.T) {
+		col := explain.New()
+		ctx := explain.WithCollector(context.Background(), col)
+		sel, err := SelectCtx(ctx, AlgIAdU, ss, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := col.Report()
+		if rep.Algorithm != "iadu" {
+			t.Errorf("Algorithm = %q, want iadu", rep.Algorithm)
+		}
+		if len(rep.Rounds) != p.K {
+			t.Fatalf("IAdU recorded %d rounds, want %d", len(rep.Rounds), p.K)
+		}
+		var traced []int
+		for i, r := range rep.Rounds {
+			if r.Round != i+1 {
+				t.Errorf("round %d numbered %d", i, r.Round)
+			}
+			if len(r.Chosen) != 1 || len(r.ChosenIDs) != 1 {
+				t.Errorf("round %d chose %v (%v), want one place", i, r.Chosen, r.ChosenIDs)
+			}
+			if len(r.RunnerUp) == 1 && r.Gain < r.RunnerUpGain {
+				t.Errorf("round %d gain %v below runner-up %v", i, r.Gain, r.RunnerUpGain)
+			}
+			traced = append(traced, r.Chosen...)
+		}
+		for i := range traced {
+			if traced[i] != sel.Indices[i] {
+				t.Fatalf("trace %v disagrees with selection %v", traced, sel.Indices)
+			}
+		}
+	})
+
+	t.Run("abp", func(t *testing.T) {
+		col := explain.New()
+		ctx := explain.WithCollector(context.Background(), col)
+		sel, err := SelectCtx(ctx, AlgABP, ss, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := col.Report()
+		if rep.Algorithm != "abp" {
+			t.Errorf("Algorithm = %q, want abp", rep.Algorithm)
+		}
+		if len(rep.Rounds) != p.K/2 {
+			t.Fatalf("ABP recorded %d rounds for even k=%d, want %d", len(rep.Rounds), p.K, p.K/2)
+		}
+		var traced []int
+		for i, r := range rep.Rounds {
+			if len(r.Chosen) != 2 {
+				t.Errorf("round %d chose %v, want a pair", i, r.Chosen)
+			}
+			if len(r.RunnerUp) == 2 && r.Gain < r.RunnerUpGain {
+				t.Errorf("round %d pair gain %v below runner-up %v", i, r.Gain, r.RunnerUpGain)
+			}
+			traced = append(traced, r.Chosen...)
+		}
+		for i := range traced {
+			if traced[i] != sel.Indices[i] {
+				t.Fatalf("trace %v disagrees with selection %v", traced, sel.Indices)
+			}
+		}
+	})
+
+	t.Run("abp-odd-k", func(t *testing.T) {
+		col := explain.New()
+		ctx := explain.WithCollector(context.Background(), col)
+		sel, err := SelectCtx(ctx, AlgABP, ss, Params{K: 7, Lambda: 0.5, Gamma: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds := col.Report().Rounds
+		if len(rounds) != 4 { // 3 pairs + 1 single
+			t.Fatalf("recorded %d rounds for k=7, want 4", len(rounds))
+		}
+		last := rounds[len(rounds)-1]
+		if len(last.Chosen) != 1 || last.Chosen[0] != sel.Indices[6] {
+			t.Errorf("odd-k round = %+v, want the final single pick %d", last, sel.Indices[6])
+		}
+	})
+}
+
+// TestExplainCollectionDoesNotChangeResults: selections computed with and
+// without a collector are identical (introspection is read-only).
+func TestExplainCollectionDoesNotChangeResults(t *testing.T) {
+	ss, _ := explainScoreSet(t, 50, SpatialSquaredGrid)
+	p := Params{K: 9, Lambda: 0.5, Gamma: 0.5}
+	for _, alg := range []Algorithm{AlgIAdU, AlgABP} {
+		plain, err := Select(alg, ss, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := explain.WithCollector(context.Background(), explain.New())
+		collected, err := SelectCtx(ctx, alg, ss, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(plain.Indices) != len(collected.Indices) || plain.HPF != collected.HPF {
+			t.Errorf("%s: collector changed the result: %v vs %v", alg, plain, collected)
+		}
+		for i := range plain.Indices {
+			if plain.Indices[i] != collected.Indices[i] {
+				t.Errorf("%s: collector changed the selection order: %v vs %v", alg, plain.Indices, collected.Indices)
+			}
+		}
+	}
+}

@@ -3,7 +3,27 @@ package core
 import (
 	"context"
 	"sort"
+
+	"repro/internal/explain"
 )
+
+// explainRound records one greedy round on the context-carried collector,
+// resolving place IDs from the score set. Call sites gate the extra work
+// of finding runner-ups on ec != nil; this helper only shapes the event.
+func explainRound(ec *explain.Collector, ss *ScoreSet, round int, chosen []int, gain float64, runnerUp []int, runnerUpGain float64) {
+	r := explain.GreedyRound{Round: round, Chosen: chosen, Gain: gain}
+	for _, i := range chosen {
+		r.ChosenIDs = append(r.ChosenIDs, ss.Places[i].ID)
+	}
+	if len(runnerUp) > 0 {
+		r.RunnerUp = runnerUp
+		r.RunnerUpGain = runnerUpGain
+		for _, i := range runnerUp {
+			r.RunnerUpIDs = append(r.RunnerUpIDs, ss.Places[i].ID)
+		}
+	}
+	ec.Round(r)
+}
 
 // IAdU implements the Incremental Add and Update greedy algorithm
 // (Section 5, adapted from Cai et al.): it iteratively adds to R the place
@@ -24,6 +44,7 @@ func iaduCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	k := p.K
 	r := make([]int, 0, k)
 	used := make([]bool, n)
+	ec := explain.FromContext(ctx)
 
 	// First pick: R is empty, so cHPF(p_i) = rF(p_i).
 	best := 0
@@ -34,6 +55,20 @@ func iaduCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	}
 	r = append(r, best)
 	used[best] = true
+	if ec != nil {
+		// Runner-up of the first pick: the second-largest relevance.
+		ru := -1
+		for i := 0; i < n; i++ {
+			if i != best && (ru < 0 || ss.Places[i].Rel > ss.Places[ru].Rel) {
+				ru = i
+			}
+		}
+		if ru >= 0 {
+			explainRound(ec, ss, 1, []int{best}, ss.Places[best].Rel, []int{ru}, ss.Places[ru].Rel)
+		} else {
+			explainRound(ec, ss, 1, []int{best}, ss.Places[best].Rel, nil, 0)
+		}
+	}
 	if k == 1 {
 		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
 	}
@@ -57,6 +92,20 @@ func iaduCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 		for i := 0; i < n; i++ {
 			if !used[i] && (bi < 0 || contrib[i] > contrib[bi]) {
 				bi = i
+			}
+		}
+		if ec != nil {
+			// Runner-up: the second-largest contribution among candidates.
+			ru := -1
+			for i := 0; i < n; i++ {
+				if !used[i] && i != bi && (ru < 0 || contrib[i] > contrib[ru]) {
+					ru = i
+				}
+			}
+			if ru >= 0 {
+				explainRound(ec, ss, len(r)+1, []int{bi}, contrib[bi], []int{ru}, contrib[ru])
+			} else {
+				explainRound(ec, ss, len(r)+1, []int{bi}, contrib[bi], nil, 0)
 			}
 		}
 		r = append(r, bi)
@@ -90,6 +139,7 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 		return Selection{}, err
 	}
 	k := p.K
+	ec := explain.FromContext(ctx)
 	if k == 1 {
 		best := 0
 		for i := 1; i < n; i++ {
@@ -98,6 +148,9 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 			}
 		}
 		r := []int{best}
+		if ec != nil {
+			explainRound(ec, ss, 1, r, ss.Places[best].Rel, nil, 0)
+		}
 		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
 	}
 
@@ -122,7 +175,9 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 
 	r := make([]int, 0, k)
 	used := make([]bool, n)
-	for _, pr := range ps {
+	round := 0
+	for pi := range ps {
+		pr := ps[pi]
 		if len(r)+2 > k {
 			break
 		}
@@ -130,13 +185,33 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 		if used[pr.i] || used[pr.j] {
 			continue
 		}
+		round++
+		if ec != nil {
+			// Runner-up: the next pair in score order whose endpoints are
+			// both unused before this selection. The look-ahead scan runs
+			// only under an explain collector.
+			ru := -1
+			for t := pi + 1; t < len(ps); t++ {
+				q := ps[t]
+				if !used[q.i] && !used[q.j] {
+					ru = t
+					break
+				}
+			}
+			if ru >= 0 {
+				explainRound(ec, ss, round, []int{int(pr.i), int(pr.j)}, pr.score,
+					[]int{int(ps[ru].i), int(ps[ru].j)}, ps[ru].score)
+			} else {
+				explainRound(ec, ss, round, []int{int(pr.i), int(pr.j)}, pr.score, nil, 0)
+			}
+		}
 		used[pr.i], used[pr.j] = true, true
 		r = append(r, int(pr.i), int(pr.j))
 	}
 	if len(r) < k {
 		// Odd k: add the unused place contributing most to the current R.
-		bi := -1
-		var bc float64
+		bi, ri := -1, -1
+		var bc, rc float64
 		for i := 0; i < n; i++ {
 			if used[i] {
 				continue
@@ -146,7 +221,16 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 				c += ss.PairHPF(i, j, k, p.Lambda)
 			}
 			if bi < 0 || c > bc {
-				bi, bc = i, c
+				bi, bc, ri, rc = i, c, bi, bc
+			} else if ri < 0 || c > rc {
+				ri, rc = i, c
+			}
+		}
+		if ec != nil {
+			if ri >= 0 {
+				explainRound(ec, ss, round+1, []int{bi}, bc, []int{ri}, rc)
+			} else {
+				explainRound(ec, ss, round+1, []int{bi}, bc, nil, 0)
 			}
 		}
 		r = append(r, bi)

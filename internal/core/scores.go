@@ -4,12 +4,18 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/explain"
 	"repro/internal/geo"
 	"repro/internal/grid"
 	"repro/internal/pairs"
 	"repro/internal/telemetry"
 	"repro/internal/textctx"
 )
+
+// explainErrSamples is the number of random place pairs on which the grid
+// approximation error is estimated when an explain collector is attached
+// (exact sS recomputed and compared against the approximate matrix).
+const explainErrSamples = 64
 
 // SpatialMethod selects how Step 1 computes the spatial similarities.
 type SpatialMethod int
@@ -164,6 +170,11 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			}
 			return nil, err
 		}
+		if ec := explain.FromContext(ctx); ec != nil {
+			// Nothing is approximated; record the method so explain
+			// output still names the spatial path taken.
+			ec.SetGrid(explain.GridStats{Kind: "exact", Places: len(pts)})
+		}
 	case SpatialSquaredGrid:
 		// The grid approximations take no context (they are near-linear
 		// thanks to the precomputed tables), so the pSS span is recorded
@@ -178,6 +189,9 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 		pss = g.PSS(opt.SquaredTable)
 		sp = g.ApproxAllPairs(opt.SquaredTable)
 		endPSS()
+		if ec := explain.FromContext(ctx); ec != nil {
+			ec.SetGrid(gridStats("squared", g.Cells(), g.OccupiedCells(), q, pts, sp))
+		}
 	case SpatialRadialGrid:
 		endPSS := telemetry.StartSpan(ctx, telemetry.StagePSS)
 		g, err := grid.NewRadial(q, pts, cells)
@@ -188,6 +202,9 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 		pss = g.PSS(opt.RadialTable)
 		sp = g.ApproxAllPairs(opt.RadialTable)
 		endPSS()
+		if ec := explain.FromContext(ctx); ec != nil {
+			ec.SetGrid(gridStats("radial", g.Sectors(), g.OccupiedSectors(), q, pts, sp))
+		}
 	case SpatialCustom:
 		if opt.CustomSpatial == nil {
 			return nil, fmt.Errorf("core: SpatialCustom requires CustomSpatial")
@@ -203,6 +220,9 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			return nil, fmt.Errorf("core: CustomSpatial returned a matrix of wrong size")
 		}
 		pss = sp.RowSums()
+		if ec := explain.FromContext(ctx); ec != nil {
+			ec.SetGrid(explain.GridStats{Kind: "custom", Places: len(places)})
+		}
 	default:
 		return nil, fmt.Errorf("core: unknown spatial method %v", opt.Spatial)
 	}
@@ -226,6 +246,20 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 		SS:     sp,
 		SF:     pairs.Combine(sc, sp, 1-opt.Gamma, opt.Gamma),
 	}, nil
+}
+
+// gridStats assembles the explain grid statistics for an approximating
+// spatial method, including the sampled approximation error (exact sS
+// recomputed on explainErrSamples random pairs). Call only under an
+// explain collector: the sampling costs ~64 Ptolemy evaluations.
+func gridStats(kind string, cells, occupied int, q geo.Point, pts []geo.Point, approx *pairs.Matrix) explain.GridStats {
+	gs := explain.GridStats{Kind: kind, Cells: cells, OccupiedCells: occupied, Places: len(pts)}
+	if occupied > 0 {
+		gs.PlacesPerCell = float64(len(pts)) / float64(occupied)
+	}
+	es := grid.SampleApproxError(q, pts, approx, explainErrSamples)
+	gs.SampledPairs, gs.MeanAbsError, gs.MaxAbsError = es.Pairs, es.MeanAbs, es.MaxAbs
+	return gs
 }
 
 // SF returns the combined similarity sF(p_i, p_j) (Eq. 13).

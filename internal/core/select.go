@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/explain"
 	"repro/internal/telemetry"
 )
 
@@ -67,6 +68,7 @@ func SelectCtx(ctx context.Context, alg Algorithm, ss *ScoreSet, p Params) (Sele
 	if !ok {
 		return Selection{}, fmt.Errorf("core: unknown algorithm %q (have %v)", alg, Algorithms())
 	}
+	explain.FromContext(ctx).SetAlgorithm(string(alg))
 	defer telemetry.StartSpan(ctx, telemetry.StageSelect)()
 	return f(ctx, ss, p)
 }

@@ -107,6 +107,7 @@ type Engine struct {
 	coalesced   atomic.Uint64
 	builds      atomic.Uint64
 	buildErrors atomic.Uint64
+	explains    atomic.Uint64
 }
 
 // New registers d as the Engine's corpus. The dataset (places, dictionary
@@ -289,12 +290,24 @@ type Stats struct {
 	// Builds counts score-set builds started; BuildErrors the ones that
 	// failed (failures are never cached).
 	Builds, BuildErrors uint64
+	// Explains counts cache-bypassing Explain evaluations.
+	Explains uint64
 	// Entries and Capacity describe the LRU occupancy.
 	Entries, Capacity int
 	// SquaredTables and RadialResolutions count the memoised maximal
 	// grid tables per kind; TableBytes is their combined footprint.
 	SquaredTables, RadialResolutions int
 	TableBytes                       int
+}
+
+// HitRatio returns Hits over cache lookups (hits + misses + coalesced),
+// or 0 before any lookup has happened. Explain bypasses are not lookups.
+func (s Stats) HitRatio() float64 {
+	lookups := s.Hits + s.Misses + s.Coalesced
+	if lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(lookups)
 }
 
 // Stats returns a snapshot of the Engine's counters.
@@ -306,6 +319,7 @@ func (e *Engine) Stats() Stats {
 		Evictions:   e.cache.evicted(),
 		Builds:      e.builds.Load(),
 		BuildErrors: e.buildErrors.Load(),
+		Explains:    e.explains.Load(),
 		Entries:     e.cache.len(),
 		Capacity:    e.opt.CacheEntries,
 	}

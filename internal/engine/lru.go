@@ -65,6 +65,15 @@ func (c *lruCache) add(key string, v *entry) {
 	}
 }
 
+// contains reports whether key is resident without promoting it — a pure
+// peek for callers (Engine.Explain) that must not perturb recency order.
+func (c *lruCache) contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.items[key]
+	return ok
+}
+
 func (c *lruCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -267,6 +267,9 @@ type QueryResponse struct {
 	Breakdown   map[string]any `json:"breakdown"`
 	Diagnostics map[string]any `json:"diagnostics"`
 	Results     []PlaceResult  `json:"results"`
+	// Explain carries the *explain.Report of a /v1/explain evaluation;
+	// absent from every other endpoint's payload.
+	Explain any `json:"explain,omitempty"`
 }
 
 // BuildResponse renders a Result into the canonical response schema. tr,

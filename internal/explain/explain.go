@@ -1,0 +1,186 @@
+// Package explain collects algorithm-level introspection events from the
+// proportionality pipeline: the per-round decisions of the Step-2 greedy
+// algorithms, the pruning effectiveness of the msJh contextual engine
+// (Section 6), and the approximation behaviour of the Step-1 grids
+// (Section 7). It follows the same pattern as telemetry.Trace: a nil
+// *Collector is a valid no-op receiver, the collector travels through
+// context.Context, and instrumented code pays one context lookup plus a
+// nil check when collection is disabled — nothing else. Heavier
+// introspection work (runner-up scans, error sampling) must be gated on
+// FromContext(ctx) != nil so the serving hot path stays untouched.
+package explain
+
+import (
+	"context"
+	"sync"
+)
+
+// GreedyRound is one round of a Step-2 greedy selection: the place (or,
+// for ABP, the pair) added to R, its marginal HPF gain, and the runner-up
+// the algorithm would have chosen instead.
+type GreedyRound struct {
+	// Round numbers selection events from 1.
+	Round int `json:"round"`
+	// Chosen lists the score-set indices added this round (one place for
+	// IAdU, two for an ABP pair); ChosenIDs are the matching place IDs.
+	Chosen    []int    `json:"chosen"`
+	ChosenIDs []string `json:"chosen_ids,omitempty"`
+	// Gain is the marginal HPF contribution of the chosen place or pair
+	// (cHPF of Eq. 17 for IAdU, HPF(p_i, p_j) of Eq. 15 for ABP; the
+	// relevance score rF for a first pick over an empty R).
+	Gain float64 `json:"gain"`
+	// RunnerUp lists the indices of the best alternative the algorithm
+	// passed over this round (empty when no alternative remained), with
+	// RunnerUpGain its marginal gain. The gap Gain − RunnerUpGain measures
+	// how decisive the round was.
+	RunnerUp     []int    `json:"runner_up,omitempty"`
+	RunnerUpIDs  []string `json:"runner_up_ids,omitempty"`
+	RunnerUpGain float64  `json:"runner_up_gain,omitempty"`
+}
+
+// Pruning reports how much all-pairs contextual work the Step-1 engine
+// avoided. CandidatePairs is K(K−1)/2; ComparedPairs counts pairs whose
+// intersection was actually accumulated; PrunedPairs is the difference —
+// pairs dismissed without any per-pair work because they provably share
+// no element. For msJh, PostingsCut additionally counts inverted-list
+// entries skipped by the reverse-order j > i early cut-off (Algorithm 1),
+// against PostingsScanned entries actually visited.
+type Pruning struct {
+	Engine          string  `json:"engine"`
+	Sets            int     `json:"sets"`
+	CandidatePairs  int64   `json:"candidate_pairs"`
+	ComparedPairs   int64   `json:"compared_pairs"`
+	PrunedPairs     int64   `json:"pruned_pairs"`
+	PrunedRatio     float64 `json:"pruned_ratio"`
+	PostingsScanned int64   `json:"postings_scanned,omitempty"`
+	PostingsCut     int64   `json:"postings_cut,omitempty"`
+}
+
+// GridStats describes the Step-1 spatial approximation: the grid's
+// occupancy and a sampled estimate of the error the cell-centre (or
+// sector-representative) approximation introduced versus the exact sS.
+type GridStats struct {
+	// Kind is "squared", "radial", "exact" or "custom".
+	Kind string `json:"kind"`
+	// Cells is |G| (or |R|); OccupiedCells the non-empty ones; Places the
+	// number of assigned points; PlacesPerCell = Places / OccupiedCells.
+	Cells         int     `json:"cells,omitempty"`
+	OccupiedCells int     `json:"occupied_cells,omitempty"`
+	Places        int     `json:"places"`
+	PlacesPerCell float64 `json:"places_per_cell,omitempty"`
+	// SampledPairs counts the random place pairs on which exact sS was
+	// recomputed and compared against the approximate matrix;
+	// MeanAbsError and MaxAbsError summarise the differences. All zero
+	// for the exact method (nothing to approximate).
+	SampledPairs int     `json:"sampled_pairs,omitempty"`
+	MeanAbsError float64 `json:"mean_abs_error,omitempty"`
+	MaxAbsError  float64 `json:"max_abs_error,omitempty"`
+}
+
+// Report is a point-in-time snapshot of everything a collector gathered,
+// shaped for JSON responses and slow-query log lines.
+type Report struct {
+	Algorithm string        `json:"algorithm,omitempty"`
+	Rounds    []GreedyRound `json:"rounds,omitempty"`
+	Pruning   *Pruning      `json:"pruning,omitempty"`
+	Grid      *GridStats    `json:"grid,omitempty"`
+}
+
+// Collector accumulates introspection events for one query. A nil
+// *Collector is valid and records nothing, so instrumented code can call
+// its methods unconditionally; code that must do extra work to produce an
+// event (runner-up scans, error sampling) should skip that work when the
+// collector is nil. Safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	algo    string
+	rounds  []GreedyRound
+	pruning *Pruning
+	grid    *GridStats
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// SetAlgorithm records the Step-2 algorithm name the rounds belong to.
+func (c *Collector) SetAlgorithm(name string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.algo = name
+	c.mu.Unlock()
+}
+
+// Round appends one greedy round.
+func (c *Collector) Round(r GreedyRound) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.rounds = append(c.rounds, r)
+	c.mu.Unlock()
+}
+
+// SetPruning records the Step-1 contextual pruning counters, deriving
+// PrunedRatio from the pair counts.
+func (c *Collector) SetPruning(p Pruning) {
+	if c == nil {
+		return
+	}
+	if p.CandidatePairs > 0 {
+		p.PrunedRatio = float64(p.PrunedPairs) / float64(p.CandidatePairs)
+	}
+	c.mu.Lock()
+	c.pruning = &p
+	c.mu.Unlock()
+}
+
+// SetGrid records the Step-1 spatial grid statistics.
+func (c *Collector) SetGrid(g GridStats) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.grid = &g
+	c.mu.Unlock()
+}
+
+// Report snapshots the collected events. The returned value shares no
+// mutable state with the collector.
+func (c *Collector) Report() *Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Report{Algorithm: c.algo}
+	if len(c.rounds) > 0 {
+		r.Rounds = make([]GreedyRound, len(c.rounds))
+		copy(r.Rounds, c.rounds)
+	}
+	if c.pruning != nil {
+		p := *c.pruning
+		r.Pruning = &p
+	}
+	if c.grid != nil {
+		g := *c.grid
+		r.Grid = &g
+	}
+	return r
+}
+
+type collectorKey struct{}
+
+// WithCollector returns a context carrying c; the instrumented pipeline
+// stages retrieve it with FromContext.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+// FromContext returns the collector carried by ctx, or nil (a valid
+// no-op receiver) when there is none.
+func FromContext(ctx context.Context) *Collector {
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}

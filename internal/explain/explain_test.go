@@ -1,0 +1,87 @@
+package explain
+
+import (
+	"context"
+	"testing"
+)
+
+// TestNilCollectorIsNoOp pins the nil-safety contract: every method is
+// callable on a nil *Collector without panicking and reports nothing.
+func TestNilCollectorIsNoOp(t *testing.T) {
+	var c *Collector
+	c.SetAlgorithm("abp")
+	c.Round(GreedyRound{Round: 1, Chosen: []int{0}})
+	c.SetPruning(Pruning{Engine: "msJh", CandidatePairs: 10})
+	c.SetGrid(GridStats{Kind: "squared"})
+	if r := c.Report(); r != nil {
+		t.Fatalf("nil collector Report() = %+v, want nil", r)
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	if got := FromContext(context.Background()); got != nil {
+		t.Fatalf("FromContext(background) = %v, want nil", got)
+	}
+	c := New()
+	ctx := WithCollector(context.Background(), c)
+	if got := FromContext(ctx); got != c {
+		t.Fatalf("FromContext returned %v, want the installed collector", got)
+	}
+}
+
+func TestCollectAndReport(t *testing.T) {
+	c := New()
+	c.SetAlgorithm("iadu")
+	c.Round(GreedyRound{Round: 1, Chosen: []int{3}, Gain: 2.5})
+	c.Round(GreedyRound{Round: 2, Chosen: []int{7}, Gain: 1.25, RunnerUp: []int{4}, RunnerUpGain: 1.0})
+	c.SetPruning(Pruning{Engine: "msJh", Sets: 5, CandidatePairs: 10, ComparedPairs: 4, PrunedPairs: 6})
+	c.SetGrid(GridStats{Kind: "squared", Cells: 100, OccupiedCells: 20, Places: 50, SampledPairs: 64, MeanAbsError: 0.01, MaxAbsError: 0.05})
+
+	r := c.Report()
+	if r.Algorithm != "iadu" {
+		t.Errorf("Algorithm = %q, want iadu", r.Algorithm)
+	}
+	if len(r.Rounds) != 2 || r.Rounds[1].RunnerUpGain != 1.0 {
+		t.Errorf("Rounds = %+v, want 2 rounds with recorded runner-up", r.Rounds)
+	}
+	if r.Pruning == nil || r.Pruning.PrunedRatio != 0.6 {
+		t.Errorf("Pruning = %+v, want derived PrunedRatio 0.6", r.Pruning)
+	}
+	if r.Grid == nil || r.Grid.OccupiedCells != 20 {
+		t.Errorf("Grid = %+v, want recorded stats", r.Grid)
+	}
+
+	// The report must be a snapshot: later rounds do not leak into it.
+	c.Round(GreedyRound{Round: 3})
+	if len(r.Rounds) != 2 {
+		t.Errorf("report mutated by later collection: %d rounds", len(r.Rounds))
+	}
+}
+
+func TestPrunedRatioZeroWhenNoCandidates(t *testing.T) {
+	c := New()
+	c.SetPruning(Pruning{Engine: "baseline"})
+	if got := c.Report().Pruning.PrunedRatio; got != 0 {
+		t.Errorf("PrunedRatio = %v, want 0 for zero candidate pairs", got)
+	}
+}
+
+func TestConcurrentCollection(t *testing.T) {
+	c := New()
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				c.Round(GreedyRound{Round: i, Chosen: []int{g}})
+				_ = c.Report()
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if got := len(c.Report().Rounds); got != 400 {
+		t.Errorf("collected %d rounds, want 400", got)
+	}
+}

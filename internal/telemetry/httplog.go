@@ -137,6 +137,32 @@ type AccessEntry struct {
 	Bytes      int64   `json:"bytes"`
 	DurationMS float64 `json:"duration_ms"`
 	Remote     string  `json:"remote,omitempty"`
+	// Cache is the engine cache disposition (hit, miss, coalesced,
+	// bypass) noted by the handler via NoteCache; empty for requests that
+	// never consult the score-set cache.
+	Cache string `json:"cache,omitempty"`
+}
+
+// cacheNote is a per-request mutable slot the AccessLog middleware plants
+// in the context so the handler, deep in the call chain, can report the
+// cache disposition the log line should carry.
+type cacheNote struct {
+	mu sync.Mutex
+	v  string
+}
+
+type cacheNoteKey struct{}
+
+// NoteCache records the engine cache disposition for the current request's
+// access-log line. It is a no-op when AccessLog is not installed.
+func NoteCache(ctx context.Context, disposition string) {
+	n, _ := ctx.Value(cacheNoteKey{}).(*cacheNote)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.v = disposition
+	n.mu.Unlock()
 }
 
 // AccessLog is middleware that writes one JSON line per request to out,
@@ -148,7 +174,12 @@ func AccessLog(next http.Handler, out io.Writer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := NewStatusRecorder(w)
+		note := &cacheNote{}
+		r = r.WithContext(context.WithValue(r.Context(), cacheNoteKey{}, note))
 		next.ServeHTTP(sr, r)
+		note.mu.Lock()
+		cache := note.v
+		note.mu.Unlock()
 		e := AccessEntry{
 			Time:       start.UTC().Format(time.RFC3339Nano),
 			RequestID:  RequestIDFrom(r.Context()),
@@ -159,6 +190,7 @@ func AccessLog(next http.Handler, out io.Writer) http.Handler {
 			Bytes:      sr.BytesWritten(),
 			DurationMS: float64(time.Since(start).Microseconds()) / 1e3,
 			Remote:     r.RemoteAddr,
+			Cache:      cache,
 		}
 		line, err := json.Marshal(e)
 		if err != nil {

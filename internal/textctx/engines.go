@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 
+	"repro/internal/explain"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +56,16 @@ func (BaselineEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores,
 	defer telemetry.StartSpan(ctx, telemetry.StagePCS)()
 	n := len(sets)
 	ps := NewPairScores(n)
+	if ec := explain.FromContext(ctx); ec != nil {
+		// The baseline probes every pair unconditionally; it prunes
+		// nothing. Recording that makes engine comparisons explicit in
+		// /v1/explain output.
+		cand := int64(n) * int64(n-1) / 2
+		ec.SetPruning(explain.Pruning{
+			Engine: "baseline", Sets: n,
+			CandidatePairs: cand, ComparedPairs: cand,
+		})
+	}
 	// Hashing phase: one hash table per set.
 	tables := make([]map[ItemID]struct{}, n)
 	for i, s := range sets {
@@ -129,6 +140,11 @@ func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, err
 	// intersection size against every later set that shares at least one
 	// element, using a scratch counter array plus a touched list so the
 	// per-i cost is proportional to the actual number of collisions.
+	// Introspection (candidate vs compared pairs, postings cut by the
+	// reverse-order rule) is gated on the context-carried collector: the
+	// disabled path adds one per-set branch, never per-posting work.
+	ec := explain.FromContext(ctx)
+	var compared, postingsScanned, postingsCut int64
 	counts := make([]int32, n)
 	touched := make([]int32, 0, 64)
 	for i, s := range sets {
@@ -143,7 +159,8 @@ func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, err
 			// Reverse order: indices descend from the end of the list, so
 			// stop at the first j ≤ i (that prefix was already processed
 			// in earlier iterations, or is i itself).
-			for t := len(list) - 1; t >= 0; t-- {
+			t := len(list) - 1
+			for ; t >= 0; t-- {
 				j := list[t]
 				if int(j) <= i {
 					break
@@ -153,6 +170,15 @@ func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, err
 				}
 				counts[j]++
 			}
+			if ec != nil {
+				// The scan visited entries (t, len−1]; the prefix [0, t]
+				// is exactly what the j > i early cut-off skipped.
+				postingsScanned += int64(len(list) - 1 - t)
+				postingsCut += int64(t + 1)
+			}
+		}
+		if ec != nil {
+			compared += int64(len(touched))
 		}
 		li := s.Len()
 		for _, j := range touched {
@@ -161,6 +187,15 @@ func (MSJHEngine) AllPairsCtx(ctx context.Context, sets []Set) (*PairScores, err
 			union := li + sets[j].Len() - int(inter)
 			ps.Set(i, int(j), float64(inter)/float64(union))
 		}
+	}
+	if ec != nil {
+		cand := int64(n) * int64(n-1) / 2
+		ec.SetPruning(explain.Pruning{
+			Engine: "msJh", Sets: n,
+			CandidatePairs: cand, ComparedPairs: compared,
+			PrunedPairs:     cand - compared,
+			PostingsScanned: postingsScanned, PostingsCut: postingsCut,
+		})
 	}
 	return ps, nil
 }
