@@ -20,6 +20,9 @@ test:
 vet:
 	$(GO) vet ./...
 
+# internal/engine carries the epoch-snapshot concurrency tests (mutations
+# racing pinned queries, singleflight leader panic/cancellation) and
+# cmd/propserve the /v1/corpus surface — both must stay in this list.
 race:
 	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./cmd/propserve
 

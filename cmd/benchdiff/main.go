@@ -9,7 +9,9 @@
 // 1 when any regression is found, 0 otherwise, so CI can run it as a
 // non-blocking trend check against committed baselines. Fields present
 // in only one file are reported but never fail the comparison — reports
-// gain fields as the suite grows.
+// gain fields as the suite grows. A *_ns_op field holding a non-numeric
+// JSON value is a corrupted report, not a missing field: it is printed as
+// a "bad" line naming the offending file and fails the run with exit 2.
 package main
 
 import (
@@ -52,11 +54,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "benchdiff: no *_ns_op fields to compare")
 		return 2
 	}
-	regressions := 0
+	regressions, malformed := 0, 0
 	for _, k := range keys {
-		ov, oldHas := number(oldRep, k)
-		nv, newHas := number(newRep, k)
+		ov, oldHas, oldBad := number(oldRep, k)
+		nv, newHas, newBad := number(newRep, k)
 		switch {
+		case oldBad || newBad:
+			// A present-but-non-numeric timing is corruption, not absence:
+			// reporting it as "new"/"gone" would hide a broken baseline.
+			for _, f := range badFiles(fs.Arg(0), oldBad, fs.Arg(1), newBad) {
+				fmt.Fprintf(stdout, "  bad   %-24s non-numeric value in %s\n", k, f)
+			}
+			malformed++
 		case !oldHas:
 			fmt.Fprintf(stdout, "  new   %-24s %14.0f ns/op (no baseline)\n", k, nv)
 		case !newHas:
@@ -75,12 +84,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s%-24s %14.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, k, ov, nv, delta*100)
 		}
 	}
+	if malformed > 0 {
+		fmt.Fprintf(stdout, "benchdiff: %d malformed *_ns_op field(s); reports are not comparable\n", malformed)
+		return 2
+	}
 	if regressions > 0 {
 		fmt.Fprintf(stdout, "benchdiff: %d field(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
 		return 1
 	}
 	fmt.Fprintf(stdout, "benchdiff: no regression beyond %.0f%%\n", *threshold*100)
 	return 0
+}
+
+// badFiles names the report file(s) whose field was non-numeric.
+func badFiles(oldPath string, oldBad bool, newPath string, newBad bool) []string {
+	var out []string
+	if oldBad {
+		out = append(out, oldPath)
+	}
+	if newBad {
+		out = append(out, newPath)
+	}
+	return out
 }
 
 func load(path string) (map[string]any, error) {
@@ -95,12 +120,14 @@ func load(path string) (map[string]any, error) {
 	return m, nil
 }
 
-// timingKeys collects the union of *_ns_op field names, sorted.
+// timingKeys collects the union of *_ns_op field names, sorted. Values of
+// any JSON type are included: a non-numeric one must surface as a "bad"
+// line, not vanish from the comparison.
 func timingKeys(reports ...map[string]any) []string {
 	seen := map[string]bool{}
 	for _, r := range reports {
-		for k, v := range r {
-			if _, ok := v.(float64); ok && hasNsOpSuffix(k) {
+		for k := range r {
+			if hasNsOpSuffix(k) {
 				seen[k] = true
 			}
 		}
@@ -118,7 +145,16 @@ func hasNsOpSuffix(k string) bool {
 	return len(k) > len(suf) && k[len(k)-len(suf):] == suf
 }
 
-func number(m map[string]any, k string) (float64, bool) {
-	v, ok := m[k].(float64)
-	return v, ok
+// number reads field k: has reports a usable numeric value, bad a value
+// that is present but not a JSON number (a corrupted report).
+func number(m map[string]any, k string) (v float64, has, bad bool) {
+	raw, present := m[k]
+	if !present {
+		return 0, false, false
+	}
+	f, ok := raw.(float64)
+	if !ok {
+		return 0, false, true
+	}
+	return f, true, false
 }

@@ -116,3 +116,46 @@ func TestBadUsage(t *testing.T) {
 		t.Errorf("no timing fields: exit = %d, want 2", code)
 	}
 }
+
+// TestMalformedFieldFailsLoudly: a *_ns_op field holding a non-numeric
+// JSON value is a corrupted report — the run prints a "bad" line naming
+// the offending file and exits 2 instead of silently reporting the field
+// as new/gone.
+func TestMalformedFieldFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{
+		"miss_ns_op": 1000.0, "hit_ns_op": 100.0,
+	})
+	newP := writeReport(t, dir, "new.json", map[string]any{
+		"miss_ns_op": "fast", "hit_ns_op": 100.0,
+	})
+	code, out, _ := diff(t, oldP, newP)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a non-numeric timing\n%s", code, out)
+	}
+	if !strings.Contains(out, "bad") || !strings.Contains(out, "miss_ns_op") || !strings.Contains(out, newP) {
+		t.Errorf("output does not name the bad field and file:\n%s", out)
+	}
+	if !strings.Contains(out, "not comparable") {
+		t.Errorf("missing summary line:\n%s", out)
+	}
+
+	// Corruption in both files names both; a healthy field still prints.
+	oldBad := writeReport(t, dir, "old-bad.json", map[string]any{"miss_ns_op": nil, "hit_ns_op": 100.0})
+	code, out, _ = diff(t, oldBad, newP)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(out, oldBad) || !strings.Contains(out, newP) {
+		t.Errorf("both corrupted files should be named:\n%s", out)
+	}
+	if !strings.Contains(out, "ok") {
+		t.Errorf("healthy hit_ns_op row missing:\n%s", out)
+	}
+
+	// Malformed takes precedence over a concurrent regression: exit 2, not 1.
+	slow := writeReport(t, dir, "slow.json", map[string]any{"miss_ns_op": "fast", "hit_ns_op": 500.0})
+	if code, out, _ := diff(t, oldP, slow); code != 2 {
+		t.Errorf("exit = %d, want 2 when a report is malformed even with regressions\n%s", code, out)
+	}
+}

@@ -23,11 +23,20 @@
 //	                               introspection collector (greedy trace, msJh pruning
 //	                               counters, sampled grid error); requires
 //	                               -enable-explain and bypasses the score-set cache
+//	POST /v1/corpus              → {"upserts":[{"id","x","y","context":[...]}],
+//	                               "deletes":["id", ...]} applies one mutation batch
+//	                               atomically and publishes the next corpus epoch;
+//	                               requires -enable-mutation, capped by
+//	                               -max-mutation-batch
 //
 // Queries are served by a shared cross-query engine (internal/engine):
 // maximal grid tables are built once per resolution, score sets are
 // cached in an LRU (-cache-entries), and concurrent identical queries
-// are computed once and shared.
+// are computed once and shared. The corpus lives behind epoch-versioned
+// snapshots: every query reads the epoch published when it arrived, a
+// mutation batch swaps in the next epoch atomically and sweeps
+// stale-epoch cache entries, and responses report their epoch in
+// diagnostics.corpus_epoch.
 //
 // The serving path is guarded by per-request deadline budgets
 // (-query-timeout), bounded-concurrency admission control (-max-inflight,
@@ -72,6 +81,8 @@ func main() {
 	debugAddr := fs.String("debug-addr", "", "listen address for the net/http/pprof debug server (empty: disabled)")
 	accessLog := fs.Bool("access-log", true, "write one structured JSON line per request to stdout")
 	enableExplain := fs.Bool("enable-explain", false, "serve GET /v1/explain (cache-bypassing algorithm introspection; more expensive than the query it explains)")
+	enableMutation := fs.Bool("enable-mutation", false, "serve POST /v1/corpus (live corpus upsert/delete batches published as new epochs)")
+	maxMutationBatch := fs.Int("max-mutation-batch", 0, "max operations (upserts + deletes) accepted in one POST /v1/corpus request (0: 1024)")
 	slowQueryMS := fs.Int("slow-query-ms", 0, "latency threshold in milliseconds above which a query emits a slow-query JSON line (0: disabled)")
 	fs.Parse(os.Args[1:])
 
@@ -92,6 +103,9 @@ func main() {
 		DegradeBudget: *degradeBudget,
 		EnableExplain: *enableExplain,
 		SlowQuery:     time.Duration(*slowQueryMS) * time.Millisecond,
+
+		EnableMutation:   *enableMutation,
+		MaxMutationBatch: *maxMutationBatch,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stdout

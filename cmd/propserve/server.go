@@ -79,6 +79,13 @@ type Config struct {
 	// SlowQueryLog receives slow-query lines. Nil falls back to AccessLog's
 	// writer, then to Logf.
 	SlowQueryLog io.Writer
+	// EnableMutation opens POST /v1/corpus, which applies upsert/delete
+	// batches and publishes a new corpus epoch. Off by default: a mutable
+	// corpus is an operator decision, not a client one.
+	EnableMutation bool
+	// MaxMutationBatch caps the operations (upserts + deletes) accepted in
+	// one POST /v1/corpus request. Default 1024.
+	MaxMutationBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +119,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxMutationBatch <= 0 {
+		c.MaxMutationBatch = 1024
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -134,6 +144,7 @@ type serverMetrics struct {
 	batchQueries   *telemetry.Counter      // propserve_batch_queries_total
 	deprecated     *telemetry.CounterVec   // propserve_deprecated_requests_total{path}
 	slowQueries    *telemetry.Counter      // propserve_slow_queries_total
+	mutations      *telemetry.Counter      // propserve_corpus_mutation_requests_total
 	msjhPruned     *telemetry.Gauge        // propserve_msjh_pruned_ratio
 	gridErr        *telemetry.Gauge        // propserve_grid_err_sampled
 }
@@ -161,6 +172,8 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 			"Requests served through deprecated pre-/v1 routes, by path.", "path"),
 		slowQueries: reg.Counter("propserve_slow_queries_total",
 			"Queries whose end-to-end latency exceeded the slow-query threshold."),
+		mutations: reg.Counter("propserve_corpus_mutation_requests_total",
+			"POST /v1/corpus batches accepted by the handler."),
 		msjhPruned: reg.Gauge("propserve_msjh_pruned_ratio",
 			"Fraction of candidate pairs the msJh engine skipped in the most recent explain run."),
 		gridErr: reg.Gauge("propserve_grid_err_sampled",
@@ -220,6 +233,18 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 	reg.GaugeFunc("propserve_engine_table_bytes",
 		"Combined footprint of the shared maximal grid tables.",
 		func() float64 { return float64(eng.Stats().TableBytes) })
+	reg.GaugeFunc("propserve_corpus_epoch",
+		"Currently published corpus epoch (0 until the first mutation).",
+		func() float64 { return float64(eng.Epoch()) })
+	reg.GaugeFunc("propserve_corpus_places",
+		"Places in the currently published corpus epoch.",
+		func() float64 { return float64(eng.Stats().Places) })
+	reg.CounterFunc("propserve_corpus_mutations_total",
+		"Mutation batches applied and published as new corpus epochs.",
+		func() uint64 { return eng.Stats().Mutations })
+	reg.CounterFunc("propserve_corpus_swept_entries_total",
+		"Stale-epoch score sets proactively swept from the engine LRU after mutations.",
+		func() uint64 { return eng.Stats().SweptEntries })
 	return m
 }
 
@@ -268,6 +293,7 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
 	s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
@@ -373,24 +399,38 @@ func statusFor(err error) int {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":    "ok",
-		"places":    len(s.data.Places),
-		"inflight":  s.gate.InFlight(),
-		"queued":    s.gate.Queued(),
-		"capacity":  s.gate.Capacity(),
-		"max_K":     s.cfg.MaxK,
-		"timeout_s": s.cfg.QueryTimeout.Seconds(),
+		"status":       "ok",
+		"places":       len(s.eng.Corpus().Places),
+		"corpus_epoch": s.eng.Epoch(),
+		"inflight":     s.gate.InFlight(),
+		"queued":       s.gate.Queued(),
+		"capacity":     s.gate.Capacity(),
+		"max_K":        s.cfg.MaxK,
+		"timeout_s":    s.cfg.QueryTimeout.Seconds(),
 	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.gate.Stats()
 	es := s.eng.Stats()
+	// Corpus facts come from the engine's published snapshot, not the
+	// registration-time dataset: mutations move the former, never the
+	// latter.
+	cur := s.eng.Corpus()
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
-		"dataset":    s.data.Config.Name,
-		"places":     len(s.data.Places),
-		"vocabulary": s.data.Dict.Len(),
-		"extent":     s.data.Config.Extent,
+		"dataset":      cur.Config.Name,
+		"places":       len(cur.Places),
+		"vocabulary":   cur.Dict.Len(),
+		"extent":       cur.Config.Extent,
+		"corpus_epoch": es.Epoch,
+		"corpus": map[string]interface{}{
+			"epoch":           es.Epoch,
+			"mutations":       es.Mutations,
+			"places_upserted": es.PlacesUpserted,
+			"places_deleted":  es.PlacesDeleted,
+			"swept_entries":   es.SweptEntries,
+			"mutation_api":    s.cfg.EnableMutation,
+		},
 		"gate": map[string]interface{}{
 			"admitted":       gs.Admitted,
 			"shed":           gs.Shed,
@@ -778,6 +818,66 @@ func (s *Server) batchElement(parent context.Context, requestID string, idx int,
 	item.Response.RequestID = requestID
 	s.maybeLogSlow("/v1/batch", requestID, req, tr, res.Cache, nil)
 	return item
+}
+
+// corpusResponse is the POST /v1/corpus payload: the engine's mutation
+// report plus the request ID for log correlation.
+type corpusResponse struct {
+	RequestID string `json:"request_id,omitempty"`
+	engine.MutationResult
+}
+
+// handleCorpus serves POST /v1/corpus: one upsert/delete batch applied
+// atomically and published as the next corpus epoch. The endpoint is an
+// operator opt-in (-enable-mutation), size-capped (-max-mutation-batch),
+// and admitted through the same gate as queries — a mutation storm sheds
+// with 503 exactly like a query storm, and an index rebuild counts
+// against the shared compute bound. In-flight queries are never
+// disturbed: they finish on the epoch they pinned at parse time.
+func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableMutation {
+		s.writeError(w, http.StatusForbidden, "corpus mutation disabled: start the server with -enable-mutation")
+		return
+	}
+	var m engine.Mutation
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err := dec.Decode(&m); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
+		return
+	}
+	if m.Size() == 0 {
+		s.writeError(w, http.StatusBadRequest, "empty mutation: provide \"upserts\" and/or \"deletes\"")
+		return
+	}
+	if m.Size() > s.cfg.MaxMutationBatch {
+		s.writeError(w, http.StatusBadRequest, "mutation batch of %d operations exceeds the limit of %d",
+			m.Size(), s.cfg.MaxMutationBatch)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
+	defer cancel()
+	release, err := s.gate.Acquire(ctx)
+	if err != nil {
+		status := statusFor(err)
+		if status == http.StatusServiceUnavailable {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		}
+		s.writeError(w, status, "admission: %v", err)
+		return
+	}
+	defer release()
+
+	res, err := s.eng.Mutate(ctx, m)
+	if err != nil {
+		s.writeError(w, statusFor(err), "%v", err)
+		return
+	}
+	s.tel.mutations.Inc()
+	s.writeJSON(w, http.StatusOK, corpusResponse{
+		RequestID:      w.Header().Get(telemetry.RequestIDHeader),
+		MutationResult: *res,
+	})
 }
 
 func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }

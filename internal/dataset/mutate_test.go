@@ -1,0 +1,185 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+func applyTestData(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DBpediaLike(3)
+	cfg.Places = 200
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestApplyIsCopyOnWrite(t *testing.T) {
+	d := applyTestData(t)
+	beforePlaces := len(d.Places)
+	beforeVocab := d.Dict.Len()
+	victim := d.Places[0].Label
+
+	next, st, err := d.Apply(Batch{
+		Upserts: []Upsert{{ID: "poi:new", X: 12, Y: 34, Context: []string{"brand-new-word", "another-new-word"}}},
+		Deletes: []string{victim, "no-such-place"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Upserted != 1 || st.Deleted != 1 {
+		t.Errorf("stats = %+v, want 1 upserted, 1 deleted", st)
+	}
+	if len(st.Missing) != 1 || st.Missing[0] != "no-such-place" {
+		t.Errorf("missing = %v", st.Missing)
+	}
+	if st.NewWords != 2 {
+		t.Errorf("new words = %d, want 2", st.NewWords)
+	}
+
+	// The original dataset is untouched: same places, same vocabulary,
+	// the victim still retrievable through the old index.
+	if len(d.Places) != beforePlaces {
+		t.Errorf("original places mutated: %d -> %d", beforePlaces, len(d.Places))
+	}
+	if d.Dict.Len() != beforeVocab {
+		t.Errorf("original dictionary grew: %d -> %d", beforeVocab, d.Dict.Len())
+	}
+	if _, ok := d.Dict.Lookup("brand-new-word"); ok {
+		t.Error("new word leaked into the original dictionary")
+	}
+	if d.Places[0].Label != victim {
+		t.Error("original place slice mutated")
+	}
+
+	// The new dataset reflects the batch.
+	if len(next.Places) != beforePlaces { // -1 victim +1 new
+		t.Errorf("next places = %d, want %d", len(next.Places), beforePlaces)
+	}
+	if next.Index.Len() != len(next.Places) {
+		t.Errorf("index size %d != places %d", next.Index.Len(), len(next.Places))
+	}
+	id, ok := next.Dict.Lookup("brand-new-word")
+	if !ok {
+		t.Fatal("new word not interned in the next dictionary")
+	}
+	var found *PlaceRecord
+	for i := range next.Places {
+		if next.Places[i].Label == victim {
+			t.Errorf("deleted place %q survived", victim)
+		}
+		if next.Places[i].Label == "poi:new" {
+			found = &next.Places[i]
+		}
+	}
+	if found == nil {
+		t.Fatal("upserted place missing")
+	}
+	if found.Loc != geo.Pt(12, 34) || !found.Context.Contains(id) {
+		t.Errorf("upserted place = %+v", found)
+	}
+
+	// Identifiers the original assigned keep their meaning in the clone.
+	w := d.Places[1].Context.Words(d.Dict)[0]
+	oldID, _ := d.Dict.Lookup(w)
+	newID, ok := next.Dict.Lookup(w)
+	if !ok || newID != oldID {
+		t.Errorf("word %q: id %d in original, %d (%v) in clone", w, oldID, newID, ok)
+	}
+}
+
+func TestApplySharesDictWhenNoNewWords(t *testing.T) {
+	d := applyTestData(t)
+	w := d.Places[0].Context.Words(d.Dict)[0]
+	next, _, err := d.Apply(Batch{
+		Upserts: []Upsert{{ID: "poi:known", X: 1, Y: 2, Context: []string{w}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Dict != d.Dict {
+		t.Error("dictionary copied although the batch introduced no new words")
+	}
+}
+
+func TestApplyUpsertReplacesAndLastWins(t *testing.T) {
+	d := applyTestData(t)
+	target := d.Places[5].Label
+	next, st, err := d.Apply(Batch{
+		Upserts: []Upsert{
+			{ID: target, X: 1, Y: 1, Context: []string{"first"}},
+			{ID: target, X: 9, Y: 9, Context: []string{"second"}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Upserted != 2 {
+		t.Errorf("upserted = %d, want 2 (both applied, in order)", st.Upserted)
+	}
+	if len(next.Places) != len(d.Places) {
+		t.Errorf("places = %d, want unchanged %d", len(next.Places), len(d.Places))
+	}
+	id, _ := next.Dict.Lookup("second")
+	for i := range next.Places {
+		if next.Places[i].Label == target {
+			if next.Places[i].Loc != geo.Pt(9, 9) || !next.Places[i].Context.Contains(id) {
+				t.Errorf("last upsert did not win: %+v", next.Places[i])
+			}
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	d := applyTestData(t)
+	cases := []Batch{
+		{}, // empty
+		{Upserts: []Upsert{{ID: "", X: 1, Y: 1}}},
+		{Upserts: []Upsert{{ID: "p", X: math.NaN(), Y: 1}}},
+		{Upserts: []Upsert{{ID: "p", X: math.Inf(1), Y: 1}}},
+	}
+	for i, b := range cases {
+		if _, _, err := d.Apply(b); err == nil {
+			t.Errorf("case %d: Apply accepted invalid batch %+v", i, b)
+		}
+	}
+
+	// Deleting (almost) everything must fail rather than publish a
+	// degenerate corpus.
+	var del []string
+	for _, p := range d.Places {
+		del = append(del, p.Label)
+	}
+	if _, _, err := d.Apply(Batch{Deletes: del}); err == nil {
+		t.Error("Apply emptied the corpus without complaint")
+	}
+}
+
+func TestApplyRetrieveSeesMutation(t *testing.T) {
+	d := applyTestData(t)
+	next, _, err := d.Apply(Batch{
+		Upserts: []Upsert{{ID: "poi:beacon", X: 50, Y: 50, Context: []string{"beacon-word"}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kw, _ := next.Dict.Lookup("beacon-word")
+	res, err := next.Retrieve(Query{Loc: geo.Pt(50, 50), Keywords: textctx.NewSet(kw)}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res {
+		if p.ID == "poi:beacon" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("upserted place not retrievable from the new dataset")
+	}
+}

@@ -2,9 +2,14 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
+
+	"repro/internal/core"
 )
 
 // TestConcurrentQueriesBuildOncePerKey hammers the LRU + singleflight with
@@ -165,5 +170,77 @@ func TestWaiterSurvivesLeaderCancellation(t *testing.T) {
 	}
 	if res.Cache != CacheMiss {
 		t.Errorf("follow-up cache = %q, want miss (rebuild)", res.Cache)
+	}
+}
+
+// TestWaiterSurvivesLeaderPanic: a waiter whose flight leader panics
+// mid-build retries, becomes the new leader and succeeds. The panic stays
+// with the leader (where HTTP recovery middleware handles it) and the
+// errFlightPanic sentinel never escapes to a caller.
+func TestWaiterSurvivesLeaderPanic(t *testing.T) {
+	e := New(testData(t), Options{})
+	newReq := func() *QueryRequest {
+		req := e.NewRequest()
+		req.K, req.SmallK = 60, 5
+		return req
+	}
+
+	var once int32
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	restore := core.SetCheckpointHook(func(stage string) {
+		if stage == "scores:start" && atomic.CompareAndSwapInt32(&once, 0, 1) {
+			close(entered) // the leader is inside the build; waiters can join
+			<-release
+			panic("injected build panic")
+		}
+	})
+	defer restore()
+
+	leaderPanic := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanic <- recover() }()
+		_, err := e.Query(context.Background(), newReq())
+		t.Errorf("doomed leader returned without panicking (err = %v)", err)
+	}()
+
+	<-entered
+	waiterRes := make(chan error, 1)
+	var res *Result
+	go func() {
+		r, err := e.Query(context.Background(), newReq())
+		res = r
+		waiterRes <- err
+	}()
+	// Give the waiter time to join the flight before the leader blows up;
+	// if it joins late it simply leads a clean build, which the assertions
+	// below still accept.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	if p := <-leaderPanic; p == nil {
+		t.Fatal("leader did not panic")
+	}
+	if err := <-waiterRes; err != nil {
+		if errors.Is(err, errFlightPanic) {
+			t.Fatalf("errFlightPanic escaped to a caller: %v", err)
+		}
+		t.Fatalf("waiter after leader panic: %v", err)
+	}
+	if res == nil || len(res.Sel.Indices) != 5 {
+		t.Fatalf("waiter result = %+v, want a full selection", res)
+	}
+	if res.Cache != CacheMiss {
+		t.Errorf("waiter cache = %q, want miss (waiter became the new leader)", res.Cache)
+	}
+
+	// The panicked build neither cached an entry nor poisoned the key: a
+	// later identical request hits the waiter's rebuilt entry.
+	after, err := e.Query(context.Background(), newReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Cache != CacheHit {
+		t.Errorf("follow-up cache = %q, want hit", after.Cache)
 	}
 }

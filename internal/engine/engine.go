@@ -26,8 +26,16 @@
 // on the shared result. A waiter whose leader was cancelled retries and
 // becomes the new leader, so one impatient client cannot fail the herd.
 //
-// The Engine is safe for concurrent use; the registered corpus must not
-// be mutated after registration.
+// The Engine is safe for concurrent use. The corpus is held behind an
+// epoch-versioned, atomically swapped snapshot: Mutate builds the next
+// immutable epoch copy-on-write (dataset.Apply) and publishes it with one
+// pointer swap, while every request pins the snapshot current when it was
+// created and reads it for its whole lifetime — a query never observes a
+// half-applied batch. Score-set cache keys carry the epoch (stale-epoch
+// entries are proactively swept after each mutation), whereas the maximal
+// grid tables are deliberately epoch-free: by Theorem 7.1 they depend
+// only on cell geometry, never on corpus content, and so are shared
+// across every epoch forever.
 package engine
 
 import (
@@ -89,14 +97,27 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// corpusSnapshot is one immutable corpus epoch. Requests pin the snapshot
+// current when they were created (NewRequest) and read it — places, index
+// and dictionary — for their whole lifetime, so a mutation published
+// mid-query is invisible to them.
+type corpusSnapshot struct {
+	epoch uint64
+	data  *dataset.Dataset
+}
+
 // Engine serves proportionality queries over one registered corpus,
 // reusing grid tables, score sets and selections across requests.
 type Engine struct {
-	data *dataset.Dataset
+	snap atomic.Pointer[corpusSnapshot]
 	opt  Options
 
 	cache  *lruCache
 	flight group[*entry]
+
+	// mutMu serialises Mutate calls: each batch builds the next epoch off
+	// the published one, so concurrent batches must not interleave.
+	mutMu sync.Mutex
 
 	tblMu   sync.Mutex
 	squared map[int]*grid.SquaredTable // keyed by maximal side
@@ -108,23 +129,33 @@ type Engine struct {
 	builds      atomic.Uint64
 	buildErrors atomic.Uint64
 	explains    atomic.Uint64
+	mutations   atomic.Uint64
+	upserted    atomic.Uint64
+	deleted     atomic.Uint64
+	swept       atomic.Uint64
 }
 
-// New registers d as the Engine's corpus. The dataset (places, dictionary
-// and index) must be treated as read-only from now on; every cache key
-// assumes the corpus never changes.
+// New registers d as the Engine's epoch-0 corpus. The dataset (places,
+// dictionary and index) must be treated as read-only from now on; all
+// later change goes through Mutate, which publishes fresh epochs and
+// never touches d.
 func New(d *dataset.Dataset, opt Options) *Engine {
 	o := opt.withDefaults()
-	return &Engine{
-		data:    d,
+	e := &Engine{
 		opt:     o,
 		cache:   newLRU(o.CacheEntries),
 		squared: make(map[int]*grid.SquaredTable),
 	}
+	e.snap.Store(&corpusSnapshot{epoch: 0, data: d})
+	return e
 }
 
-// Corpus returns the registered dataset.
-func (e *Engine) Corpus() *dataset.Dataset { return e.data }
+// Corpus returns the currently published corpus epoch's dataset.
+func (e *Engine) Corpus() *dataset.Dataset { return e.snap.Load().data }
+
+// Epoch returns the currently published corpus epoch (0 until the first
+// mutation).
+func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
 
 // SquaredTable returns the shared maximal squared-grid table, building it
 // on first use (once per resolution; see Theorem 7.1 for why one table
@@ -244,14 +275,15 @@ func (e *Engine) scoreSet(ctx context.Context, req *QueryRequest, key string) (*
 	}
 }
 
-// build runs retrieval plus Step 1 for req on the caller's context. The
+// build runs retrieval plus Step 1 for req on the caller's context,
+// against the corpus epoch the request pinned when it was created. The
 // per-stage spans land on the caller's trace, and the caller's deadline
 // and cancellation govern the computation through the core checkpoints.
 func (e *Engine) build(ctx context.Context, req *QueryRequest) (*entry, error) {
 	e.builds.Add(1)
 	loc := geo.Pt(req.X, req.Y)
 	endRetrieve := telemetry.StartSpan(ctx, telemetry.StageRetrieve)
-	places, err := e.data.Retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
+	places, err := req.corpus(e).Retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
 	endRetrieve()
 	if err != nil {
 		return nil, fmt.Errorf("retrieve: %w", err)
@@ -292,6 +324,17 @@ type Stats struct {
 	Builds, BuildErrors uint64
 	// Explains counts cache-bypassing Explain evaluations.
 	Explains uint64
+	// Epoch is the currently published corpus epoch; Mutations counts the
+	// batches that advanced it.
+	Epoch, Mutations uint64
+	// PlacesUpserted and PlacesDeleted count individual mutation
+	// operations that took effect across all batches.
+	PlacesUpserted, PlacesDeleted uint64
+	// SweptEntries counts stale-epoch score sets proactively removed from
+	// the LRU after mutations (distinct from capacity Evictions).
+	SweptEntries uint64
+	// Places is the current corpus size.
+	Places int
 	// Entries and Capacity describe the LRU occupancy.
 	Entries, Capacity int
 	// SquaredTables and RadialResolutions count the memoised maximal
@@ -312,16 +355,23 @@ func (s Stats) HitRatio() float64 {
 
 // Stats returns a snapshot of the Engine's counters.
 func (e *Engine) Stats() Stats {
+	snap := e.snap.Load()
 	s := Stats{
-		Hits:        e.hits.Load(),
-		Misses:      e.misses.Load(),
-		Coalesced:   e.coalesced.Load(),
-		Evictions:   e.cache.evicted(),
-		Builds:      e.builds.Load(),
-		BuildErrors: e.buildErrors.Load(),
-		Explains:    e.explains.Load(),
-		Entries:     e.cache.len(),
-		Capacity:    e.opt.CacheEntries,
+		Hits:           e.hits.Load(),
+		Misses:         e.misses.Load(),
+		Coalesced:      e.coalesced.Load(),
+		Evictions:      e.cache.evicted(),
+		Builds:         e.builds.Load(),
+		BuildErrors:    e.buildErrors.Load(),
+		Explains:       e.explains.Load(),
+		Epoch:          snap.epoch,
+		Mutations:      e.mutations.Load(),
+		PlacesUpserted: e.upserted.Load(),
+		PlacesDeleted:  e.deleted.Load(),
+		SweptEntries:   e.swept.Load(),
+		Places:         len(snap.data.Places),
+		Entries:        e.cache.len(),
+		Capacity:       e.opt.CacheEntries,
 	}
 	e.tblMu.Lock()
 	s.SquaredTables = len(e.squared)

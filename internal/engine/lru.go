@@ -65,6 +65,27 @@ func (c *lruCache) add(key string, v *entry) {
 	}
 }
 
+// sweep removes every resident entry whose key stale reports true and
+// returns how many were removed. Swept entries are not counted as
+// evictions: eviction is capacity pressure, sweeping is invalidation
+// (stale corpus epochs after a mutation).
+func (c *lruCache) sweep(stale func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*lruItem)
+		if stale(it.key) {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // contains reports whether key is resident without promoting it — a pure
 // peek for callers (Engine.Explain) that must not perturb recency order.
 func (c *lruCache) contains(key string) bool {

@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Mutation is one corpus mutation batch: deletes apply first, then
+// upserts in order (dataset.Batch semantics).
+type Mutation struct {
+	Upserts []dataset.Upsert `json:"upserts,omitempty"`
+	Deletes []string         `json:"deletes,omitempty"`
+}
+
+// Size returns the number of individual operations in the batch.
+func (m Mutation) Size() int { return len(m.Upserts) + len(m.Deletes) }
+
+// MutationResult reports what one Mutate call published.
+type MutationResult struct {
+	// Epoch is the corpus epoch this batch published.
+	Epoch uint64 `json:"epoch"`
+	// Upserted and Deleted count the operations that took effect; Missing
+	// lists delete IDs that named no live place.
+	Upserted int      `json:"upserted"`
+	Deleted  int      `json:"deleted"`
+	Missing  []string `json:"missing,omitempty"`
+	// Swept is the number of stale-epoch score sets removed from the LRU.
+	Swept int `json:"swept_entries"`
+	// Places is the corpus size after the batch.
+	Places int `json:"places"`
+}
+
+// Mutate applies m as one atomic batch and publishes the next corpus
+// epoch. The new epoch is built copy-on-write off the current one
+// (dataset.Apply), so in-flight queries — pinned to the snapshot their
+// request was created on — keep reading their epoch undisturbed and no
+// query ever observes a half-applied batch. After the swap, every cached
+// score set of an older epoch is unreachable (cache keys carry the epoch)
+// and is proactively swept from the LRU; the singleflight key carries the
+// epoch too, so a herd racing the mutation can never be handed a
+// stale-epoch build under the new epoch's key. The shared grid tables are
+// untouched: they are corpus-independent (Theorem 7.1).
+//
+// Batches are serialised; each Mutate call costs one O(n) corpus copy
+// plus an index rebuild, which is the price of strict snapshot isolation
+// at this corpus scale. Validation failures wrap ErrBadRequest.
+func (e *Engine) Mutate(ctx context.Context, m Mutation) (*MutationResult, error) {
+	if m.Size() == 0 {
+		return nil, fmt.Errorf("%w: empty mutation batch", ErrBadRequest)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	cur := e.snap.Load()
+	next, st, err := cur.data.Apply(dataset.Batch{Upserts: m.Upserts, Deletes: m.Deletes})
+	if err != nil {
+		// Every Apply failure mode is a caller error (empty IDs, non-finite
+		// coordinates, emptying the corpus).
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	ns := &corpusSnapshot{epoch: cur.epoch + 1, data: next}
+	e.snap.Store(ns)
+
+	// Every cache key is prefixed with its epoch; after the swap nothing
+	// can look up an older epoch's key except requests already pinned to
+	// it, so sweep the stale entries rather than waiting for capacity
+	// pressure to push them out.
+	prefix := fmt.Sprintf("e=%d;", ns.epoch)
+	swept := e.cache.sweep(func(key string) bool { return !strings.HasPrefix(key, prefix) })
+
+	e.mutations.Add(1)
+	e.upserted.Add(uint64(st.Upserted))
+	e.deleted.Add(uint64(st.Deleted))
+	e.swept.Add(uint64(swept))
+	return &MutationResult{
+		Epoch:    ns.epoch,
+		Upserted: st.Upserted,
+		Deleted:  st.Deleted,
+		Missing:  st.Missing,
+		Swept:    swept,
+		Places:   len(next.Places),
+	}, nil
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dataset"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
 	"repro/internal/textctx"
@@ -30,7 +31,10 @@ type QueryRequest struct {
 	X float64 `json:"x"`
 	Y float64 `json:"y"`
 	// Keywords are resolved against the corpus dictionary during
-	// Normalize; unknown words match nothing and are dropped.
+	// Normalize; unknown words match nothing and are dropped from the
+	// retrieval set (DroppedKeywords lists them, and responses surface
+	// them as diagnostics.keywords_dropped so an all-unknown query is
+	// distinguishable from a keywordless one).
 	Keywords []string `json:"keywords,omitempty"`
 	// K is the retrieval size |S| (default 100); SmallK the result size
 	// k < K (default 10).
@@ -46,9 +50,10 @@ type QueryRequest struct {
 	Spatial string `json:"spatial"`
 
 	// Filled by NewRequest / Normalize.
-	eng         *Engine
+	snap        *corpusSnapshot
 	maxK        int
 	kwSet       textctx.Set
+	droppedKw   []string
 	spatial     core.SpatialMethod
 	clampedFrom int
 	normalized  bool
@@ -56,16 +61,37 @@ type QueryRequest struct {
 
 // NewRequest returns a request seeded with the corpus defaults (location
 // at the extent centre, K=100, k=10, λ=γ=0.5, abp over the squared grid)
-// and bound to the Engine's dictionary and K ceiling.
+// and pinned to the corpus epoch published at this moment: the request
+// resolves keywords, retrieves and renders against that snapshot for its
+// whole lifetime, regardless of mutations racing it.
 func (e *Engine) NewRequest() *QueryRequest {
-	center := e.data.Config.Extent / 2
+	snap := e.snap.Load()
+	center := snap.data.Config.Extent / 2
 	return &QueryRequest{
 		X: center, Y: center,
 		K: 100, SmallK: 10,
 		Lambda: 0.5, Gamma: 0.5,
 		Algo: string(core.AlgABP), Spatial: "squared",
-		eng: e, maxK: e.opt.MaxK,
+		snap: snap, maxK: e.opt.MaxK,
 	}
+}
+
+// corpus returns the dataset the request is pinned to, falling back to
+// the engine's current epoch for requests not built via NewRequest.
+func (r *QueryRequest) corpus(e *Engine) *dataset.Dataset {
+	if r.snap != nil {
+		return r.snap.data
+	}
+	return e.Corpus()
+}
+
+// Epoch returns the corpus epoch the request is pinned to (0 for requests
+// not built via NewRequest).
+func (r *QueryRequest) Epoch() uint64 {
+	if r.snap == nil {
+		return 0
+	}
+	return r.snap.epoch
 }
 
 // RequestFromValues builds a request from URL query parameters, replacing
@@ -201,15 +227,18 @@ func (r *QueryRequest) Normalize() (CacheKey, error) {
 			return bad("k = %d must be smaller than the server's K ceiling %d", r.SmallK, r.maxK)
 		}
 	}
-	if r.eng != nil {
+	if r.snap != nil {
 		var ids []textctx.ItemID
+		r.droppedKw = nil // recomputed each call, so Normalize stays idempotent
 		for _, w := range r.Keywords {
 			w = strings.TrimSpace(w)
 			if w == "" {
 				continue
 			}
-			if id, ok := r.eng.data.Dict.Lookup(w); ok {
+			if id, ok := r.snap.data.Dict.Lookup(w); ok {
 				ids = append(ids, id)
+			} else {
+				r.droppedKw = append(r.droppedKw, w)
 			}
 		}
 		r.kwSet = textctx.NewSet(ids...)
@@ -219,10 +248,14 @@ func (r *QueryRequest) Normalize() (CacheKey, error) {
 }
 
 // cacheKey encodes the Step-1 parameters exactly (float bit patterns, so
-// no two distinct parameter sets collide).
+// no two distinct parameter sets collide). The pinned corpus epoch leads
+// the key: a score set is only valid for the corpus it was computed on,
+// and the epoch prefix is what Engine.Mutate sweeps stale entries by. The
+// singleflight group uses the same string, so a herd racing a mutation
+// can never coalesce onto another epoch's build.
 func (r *QueryRequest) cacheKey() CacheKey {
-	return CacheKey{s: fmt.Sprintf("x=%016x;y=%016x;K=%d;g=%016x;s=%d;kw=%s",
-		math.Float64bits(r.X), math.Float64bits(r.Y), r.K,
+	return CacheKey{s: fmt.Sprintf("e=%d;x=%016x;y=%016x;K=%d;g=%016x;s=%d;kw=%s",
+		r.Epoch(), math.Float64bits(r.X), math.Float64bits(r.Y), r.K,
 		math.Float64bits(r.Gamma), int(r.spatial), r.kwSet.Fingerprint())}
 }
 
@@ -237,14 +270,28 @@ func (r *QueryRequest) ClampedFrom() int { return r.clampedFrom }
 // KeywordSet returns the interned keyword set (valid after Normalize).
 func (r *QueryRequest) KeywordSet() textctx.Set { return r.kwSet }
 
-// PlaceResult is one selected place in a QueryResponse.
+// DroppedKeywords returns the requested keywords that resolved to nothing
+// in the corpus dictionary (valid after Normalize). The returned slice
+// must not be modified.
+func (r *QueryRequest) DroppedKeywords() []string { return r.droppedKw }
+
+// maxContextWords bounds the context echo per place in responses; the
+// full size is always reported as context_total.
+const maxContextWords = 6
+
+// PlaceResult is one selected place in a QueryResponse. Context carries at
+// most maxContextWords words; ContextTotal is the true contextual-set size
+// and ContextTruncated marks places whose echo was cut, so clients judging
+// contextual proportionality know they are seeing a prefix.
 type PlaceResult struct {
-	Rank    int      `json:"rank"`
-	ID      string   `json:"id"`
-	X       float64  `json:"x"`
-	Y       float64  `json:"y"`
-	Rel     float64  `json:"rel"`
-	Context []string `json:"context"`
+	Rank             int      `json:"rank"`
+	ID               string   `json:"id"`
+	X                float64  `json:"x"`
+	Y                float64  `json:"y"`
+	Rel              float64  `json:"rel"`
+	Context          []string `json:"context"`
+	ContextTotal     int      `json:"context_total"`
+	ContextTruncated bool     `json:"context_truncated,omitempty"`
 }
 
 // QueryResponse is the canonical response schema, shared by /v1/search,
@@ -282,9 +329,9 @@ func (e *Engine) BuildResponse(req *QueryRequest, res *Result, tr *telemetry.Tra
 	resp.Query.K, resp.Query.SmallK = req.K, req.SmallK
 	resp.Query.Lambda, resp.Query.Gamma = req.Lambda, req.Gamma
 	resp.Query.Algo = req.Algo
-	for _, id := range req.kwSet.Items() {
-		resp.Query.Keywords = append(resp.Query.Keywords, e.data.Dict.Word(id))
-	}
+	// Echo the keywords as requested, not as resolved: a query whose words
+	// all missed the dictionary must not read back as keywordless.
+	resp.Query.Keywords = append([]string(nil), req.Keywords...)
 	resp.HPF = res.Breakdown.Total
 	resp.Breakdown = map[string]any{
 		"rel": res.Breakdown.Rel, "pC": res.Breakdown.PC, "pS": res.Breakdown.PS,
@@ -300,6 +347,10 @@ func (e *Engine) BuildResponse(req *QueryRequest, res *Result, tr *telemetry.Tra
 		"mean_relevance":       diag.MeanRelevance,
 		"spatial_method":       req.spatial.String(),
 		"cache":                res.Cache,
+		"corpus_epoch":         req.Epoch(),
+	}
+	if len(req.droppedKw) > 0 {
+		resp.Diagnostics["keywords_dropped"] = append([]string(nil), req.droppedKw...)
 	}
 	if tr != nil {
 		stages := map[string]any{}
@@ -309,14 +360,17 @@ func (e *Engine) BuildResponse(req *QueryRequest, res *Result, tr *telemetry.Tra
 		resp.Diagnostics["stage_ms"] = stages
 		resp.Diagnostics["elapsed_ms"] = round3(tr.Elapsed().Seconds() * 1e3)
 	}
+	dict := req.corpus(e).Dict
 	for rank, idx := range res.Sel.Indices {
 		p := res.SS.Places[idx]
-		ctxWords := p.Context.Words(e.data.Dict)
-		if len(ctxWords) > 6 {
-			ctxWords = ctxWords[:6]
+		ctxWords := p.Context.Words(dict)
+		total := len(ctxWords)
+		if total > maxContextWords {
+			ctxWords = ctxWords[:maxContextWords]
 		}
 		resp.Results = append(resp.Results, PlaceResult{
-			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel, Context: ctxWords,
+			Rank: rank + 1, ID: p.ID, X: p.Loc.X, Y: p.Loc.Y, Rel: p.Rel,
+			Context: ctxWords, ContextTotal: total, ContextTruncated: total > maxContextWords,
 		})
 	}
 	return &resp

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// TestNormalizeIdempotentAfterClamp: /v1/batch normalizes an element once
+// to admission-check it and the engine normalizes again inside Query, so a
+// second Normalize after the K-clamp fired must be a no-op — same cache
+// key, same clamp provenance — not a second clamp that forgets the
+// caller's original K.
+func TestNormalizeIdempotentAfterClamp(t *testing.T) {
+	e := New(testData(t), Options{MaxK: 50})
+	req := e.NewRequest()
+	req.K, req.SmallK = 400, 5
+
+	key1, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.K != 50 || req.ClampedFrom() != 400 {
+		t.Fatalf("after first Normalize: K = %d clampedFrom = %d", req.K, req.ClampedFrom())
+	}
+
+	key2, err := req.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key2.String() != key1.String() {
+		t.Errorf("repeated Normalize changed the key: %q -> %q", key1, key2)
+	}
+	if req.K != 50 || req.ClampedFrom() != 400 {
+		t.Errorf("after second Normalize: K = %d clampedFrom = %d, want 50 and 400", req.K, req.ClampedFrom())
+	}
+}
+
+// TestAllUnknownKeywordsAreVisible: a query whose every keyword missed the
+// dictionary resolves to the same score set as a keywordless one (unknown
+// words match nothing), but the response must not read back as
+// keywordless — the raw request is echoed and the dropped words named.
+func TestAllUnknownKeywordsAreVisible(t *testing.T) {
+	e := New(testData(t), Options{})
+	ctx := context.Background()
+
+	req := e.NewRequest()
+	req.K, req.SmallK = 60, 5
+	req.Keywords = []string{"zzz-unknown-1", "zzz-unknown-2"}
+	if _, err := req.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if req.KeywordSet().Len() != 0 {
+		t.Fatalf("keyword set = %d items, want 0 (all unknown)", req.KeywordSet().Len())
+	}
+	if got := req.DroppedKeywords(); !reflect.DeepEqual(got, []string{"zzz-unknown-1", "zzz-unknown-2"}) {
+		t.Fatalf("dropped = %v", got)
+	}
+
+	res, err := e.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := e.BuildResponse(req, res, nil)
+	if !reflect.DeepEqual(resp.Query.Keywords, []string{"zzz-unknown-1", "zzz-unknown-2"}) {
+		t.Errorf("query echo = %v, want the raw requested keywords", resp.Query.Keywords)
+	}
+	dropped, ok := resp.Diagnostics["keywords_dropped"].([]string)
+	if !ok || len(dropped) != 2 {
+		t.Errorf("diagnostics keywords_dropped = %v", resp.Diagnostics["keywords_dropped"])
+	}
+
+	// A genuinely keywordless query carries neither.
+	bare := e.NewRequest()
+	bare.K, bare.SmallK = 60, 5
+	bres, err := e.Query(ctx, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp := e.BuildResponse(bare, bres, nil)
+	if len(bresp.Query.Keywords) != 0 {
+		t.Errorf("keywordless echo = %v", bresp.Query.Keywords)
+	}
+	if _, ok := bresp.Diagnostics["keywords_dropped"]; ok {
+		t.Error("keywordless response reports dropped keywords")
+	}
+}
+
+// TestResponseReportsContextTruncation: the per-place context echo is
+// capped at maxContextWords, and places richer than the cap say so instead
+// of silently posing as six-word places.
+func TestResponseReportsContextTruncation(t *testing.T) {
+	e := New(testData(t), Options{})
+	ctx := context.Background()
+
+	// Plant a cluster of rich places (10 context words each) at one spot
+	// so the selection there must include truncated results.
+	m := Mutation{}
+	for i := 0; i < 30; i++ {
+		words := make([]string, 10)
+		for w := range words {
+			words[w] = fmt.Sprintf("rich:%d:%d", i, w)
+		}
+		m.Upserts = append(m.Upserts, dataset.Upsert{
+			ID: fmt.Sprintf("rich:%d", i), X: 7 + float64(i%6)*0.1, Y: 7 + float64(i/6)*0.1,
+			Context: words,
+		})
+	}
+	if _, err := e.Mutate(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+
+	req := e.NewRequest()
+	req.X, req.Y = 7.2, 7.2
+	req.K, req.SmallK = 25, 8
+	res, err := e.Query(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := e.BuildResponse(req, res, nil)
+
+	sawTruncated := false
+	for _, p := range resp.Results {
+		if len(p.Context) > maxContextWords {
+			t.Errorf("place %q echoes %d context words, cap is %d", p.ID, len(p.Context), maxContextWords)
+		}
+		if p.ContextTruncated {
+			sawTruncated = true
+			if p.ContextTotal <= maxContextWords || len(p.Context) != maxContextWords {
+				t.Errorf("place %q: truncated but total = %d echo = %d", p.ID, p.ContextTotal, len(p.Context))
+			}
+		} else if p.ContextTotal != len(p.Context) {
+			t.Errorf("place %q: total %d != echoed %d without truncation flag", p.ID, p.ContextTotal, len(p.Context))
+		}
+		if strings.HasPrefix(p.ID, "rich:") {
+			if p.ContextTotal != 10 || !p.ContextTruncated {
+				t.Errorf("rich place %q: total = %d truncated = %v, want 10 and true", p.ID, p.ContextTotal, p.ContextTruncated)
+			}
+		}
+	}
+	if !sawTruncated {
+		t.Error("no truncated place selected; test exercised nothing")
+	}
+}

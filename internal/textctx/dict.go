@@ -47,6 +47,23 @@ func (d *Dict) Intern(w string) ItemID {
 	return id
 }
 
+// Clone returns an independent copy of the dictionary: interning into the
+// clone never mutates the original, while every identifier the original
+// assigned keeps its meaning in the clone (interning is append-only, so a
+// clone is a superset-in-waiting of its source). Corpus snapshots lean on
+// this to share a dictionary across epochs until a mutation batch actually
+// introduces new words.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		ids:   make(map[string]ItemID, len(d.ids)),
+		words: append([]string(nil), d.words...),
+	}
+	for w, id := range d.ids {
+		c.ids[w] = id
+	}
+	return c
+}
+
 // Lookup returns the identifier of w and whether it is interned.
 func (d *Dict) Lookup(w string) (ItemID, bool) {
 	id, ok := d.ids[w]
