@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-diff check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-diff crash-test check profile report report-small examples clean
 
 all: check
 
@@ -21,10 +21,18 @@ vet:
 	$(GO) vet ./...
 
 # internal/engine carries the epoch-snapshot concurrency tests (mutations
-# racing pinned queries, singleflight leader panic/cancellation) and
-# cmd/propserve the /v1/corpus surface — both must stay in this list.
+# racing pinned queries, singleflight leader panic/cancellation),
+# internal/wal the durability layer's locking, and cmd/propserve the
+# /v1/corpus surface plus queries-during-replay — all must stay in this
+# list.
 race:
-	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./cmd/propserve
+
+# The kill-recovery suite: child processes SIGKILL themselves at injected
+# WAL fault points; the parent recovers each directory and verifies no
+# acknowledged mutation is lost and no torn batch survives.
+crash-test:
+	$(GO) test ./cmd/propserve -run 'TestCrashRecovery' -count=1 -v
 
 race-all:
 	$(GO) test -race ./...
@@ -50,11 +58,19 @@ bench-suite:
 	BENCH_SUITE_DIR=$(CURDIR) $(GO) test ./internal/benchsuite -run TestBench -count=1 -v
 	@ls -l BENCH_step1.json BENCH_spatial.json BENCH_select.json
 
+# Measure the durability overhead of mutations: no WAL vs sync=never vs
+# sync=always (one fsync per acknowledged batch). Writes BENCH_wal.json.
+bench-wal:
+	BENCH_WAL_OUT=$(CURDIR)/BENCH_wal.json $(GO) test ./cmd/propserve -run TestBenchWAL -count=1 -v
+	@cat BENCH_wal.json
+
 # Compare the working tree's fresh bench results against the committed
 # baselines (OLD=<dir> overrides where the baselines are read from).
+# benchdiff tolerates a missing baseline file (a new suite's first run
+# reports every field as "new" and passes).
 OLD ?= .
 bench-diff:
-	@for f in BENCH_step1 BENCH_spatial BENCH_select; do \
+	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal; do \
 		echo "--- $$f"; \
 		$(GO) run ./cmd/benchdiff $(OLD)/$$f.json $$f.json || true; \
 	done

@@ -9,7 +9,10 @@
 // 1 when any regression is found, 0 otherwise, so CI can run it as a
 // non-blocking trend check against committed baselines. Fields present
 // in only one file are reported but never fail the comparison — reports
-// gain fields as the suite grows. A *_ns_op field holding a non-numeric
+// gain fields as the suite grows. A missing OLD file is treated the same
+// way at file granularity: every field reports "new" and the run exits 0,
+// so a freshly added suite lands before its baseline is committed. A
+// missing NEW file is still an error. A *_ns_op field holding a non-numeric
 // JSON value is a corrupted report, not a missing field: it is printed as
 // a "bad" line naming the offending file and fails the run with exit 2.
 package main
@@ -39,6 +42,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	oldRep, err := load(fs.Arg(0))
+	if os.IsNotExist(err) {
+		// A brand-new benchmark suite has no committed baseline yet; its
+		// first run must land cleanly. Every field in the new report is
+		// reported as "new" and the comparison passes.
+		fmt.Fprintf(stdout, "benchdiff: no baseline %s; treating every field as new\n", fs.Arg(0))
+		oldRep, err = map[string]any{}, nil
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "benchdiff:", err)
 		return 2

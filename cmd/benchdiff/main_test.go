@@ -159,3 +159,27 @@ func TestMalformedFieldFailsLoudly(t *testing.T) {
 		t.Errorf("exit = %d, want 2 when a report is malformed even with regressions\n%s", code, out)
 	}
 }
+
+// TestMissingBaselineFileTolerated: a brand-new suite has no committed
+// baseline yet; its first benchdiff run reports every field as "new" and
+// exits 0 so the report can land. A missing NEW file stays an error.
+func TestMissingBaselineFileTolerated(t *testing.T) {
+	dir := t.TempDir()
+	newP := writeReport(t, dir, "new.json", map[string]any{"mutate_ns_op": 1000.0, "fsync_ns_op": 50.0})
+	code, out, _ := diff(t, filepath.Join(dir, "no-such-baseline.json"), newP)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 for a missing baseline file\n%s", code, out)
+	}
+	if !strings.Contains(out, "no baseline") {
+		t.Errorf("missing baseline not announced:\n%s", out)
+	}
+	for _, field := range []string{"mutate_ns_op", "fsync_ns_op"} {
+		if !strings.Contains(out, "new   "+field) {
+			t.Errorf("field %s not reported as new:\n%s", field, out)
+		}
+	}
+
+	if code, _, errOut := diff(t, newP, filepath.Join(dir, "no-such-new.json")); code != 2 {
+		t.Errorf("exit = %d, want 2 for a missing NEW report (%s)", code, errOut)
+	}
+}

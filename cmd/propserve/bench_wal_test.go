@@ -1,0 +1,85 @@
+package main
+
+// TestBenchWAL, gated on BENCH_WAL_OUT, measures what durability costs a
+// mutation: the same batch stream applied with no WAL, with the log on
+// SyncNever, and with SyncAlways (one fsync per acknowledged batch). The
+// report lands in BENCH_wal.json (`make bench-wal`); benchdiff compares
+// snapshots and tolerates the missing first baseline.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/wal"
+)
+
+func TestBenchWAL(t *testing.T) {
+	out := os.Getenv("BENCH_WAL_OUT")
+	if out == "" {
+		t.Skip("set BENCH_WAL_OUT=<path> to write BENCH_wal.json")
+	}
+	const runs = 60
+	d := durTestData(t, 9, 1000)
+
+	measure := func(w engine.MutationLog) float64 {
+		eng := engine.New(d, engine.Options{})
+		if w != nil {
+			eng.SetWAL(w)
+		}
+		start := time.Now()
+		for gen := 1; gen <= runs; gen++ {
+			if _, err := eng.Mutate(context.Background(), engine.Mutation{
+				Upserts: []dataset.Upsert{{
+					ID: fmt.Sprintf("bench:%d", gen), X: 10, Y: 10, Context: []string{"bench-word"},
+				}},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / runs
+	}
+
+	openLog := func(sync wal.SyncPolicy) *wal.Log {
+		l, _, err := wal.Open(t.TempDir(), wal.Options{Sync: sync, Logf: t.Logf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { l.Close() })
+		return l
+	}
+
+	noWALNs := measure(nil)
+	neverNs := measure(openLog(wal.SyncNever))
+	alwaysNs := measure(openLog(wal.SyncAlways))
+
+	report := map[string]any{
+		"benchmark": "wal_mutation_overhead",
+		"dataset":   map[string]any{"name": d.Config.Name, "places": len(d.Places), "seed": d.Config.Seed},
+		"runs":      runs,
+		// Mutation cost is dominated by the O(n) copy + index rebuild; the
+		// three variants isolate the log-append and fsync shares of it.
+		"mutate_nowal_ns_op":       noWALNs,
+		"mutate_sync_never_ns_op":  neverNs,
+		"mutate_sync_always_ns_op": alwaysNs,
+		"fsync_overhead_ns_op":     alwaysNs - neverNs,
+		"fsync_overhead_ratio":     alwaysNs/noWALNs - 1,
+		"go":                       runtime.Version(),
+		"cpus":                     runtime.NumCPU(),
+	}
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mutate: no-wal %.0f, sync=never %.0f, sync=always %.0f ns/op (fsync adds %.0f ns, %.1f%%) -> %s",
+		noWALNs, neverNs, alwaysNs, alwaysNs-neverNs, (alwaysNs/noWALNs-1)*100, out)
+}

@@ -6,7 +6,11 @@
 // Endpoints (versioned under /v1; the pre-versioning /search and /stats
 // aliases keep working and answer with a Deprecation header):
 //
-//	GET  /healthz                → {"status":"ok", ...} plus admission-gate occupancy
+//	GET  /healthz                → liveness: {"status":"ok", ...} plus admission-gate
+//	                               occupancy and the durability state; always 200 while
+//	                               the process can serve reads (including during recovery)
+//	GET  /readyz                 → readiness: 503 {"status":"recovering"} while startup
+//	                               WAL replay runs, 200 {"status":"ready"} afterwards
 //	GET  /v1/stats               → corpus statistics, gate counters, engine cache
 //	                               counters, recovered panics
 //	GET  /metrics                → Prometheus text-format metrics (requests, stage
@@ -28,6 +32,14 @@
 //	                               atomically and publishes the next corpus epoch;
 //	                               requires -enable-mutation, capped by
 //	                               -max-mutation-batch
+//
+// With -wal-dir set, mutations are durable: each batch is appended to a
+// checksummed write-ahead log (fsynced per -wal-sync) strictly before its
+// epoch is published, snapshots compact the log in the background
+// (-wal-compact-records), and startup recovers the newest valid snapshot
+// plus a log replay before /readyz flips ready. -wal-required=false turns
+// recovery failures into degraded read-mostly serving instead of a fatal
+// exit. See README.md "Durability".
 //
 // Queries are served by a shared cross-query engine (internal/engine):
 // maximal grid tables are built once per resolution, score sets are
@@ -63,6 +75,8 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -84,13 +98,13 @@ func main() {
 	enableMutation := fs.Bool("enable-mutation", false, "serve POST /v1/corpus (live corpus upsert/delete batches published as new epochs)")
 	maxMutationBatch := fs.Int("max-mutation-batch", 0, "max operations (upserts + deletes) accepted in one POST /v1/corpus request (0: 1024)")
 	slowQueryMS := fs.Int("slow-query-ms", 0, "latency threshold in milliseconds above which a query emits a slow-query JSON line (0: disabled)")
+	walDir := fs.String("wal-dir", "", "directory for the write-ahead log and corpus snapshots (empty: durability disabled, mutations are volatile)")
+	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (fsync every append), interval (background cadence), never (OS page cache only)")
+	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
+	walRequired := fs.Bool("wal-required", true, "treat WAL open/recovery failure as fatal; false degrades to serving reads and shedding mutations with 503")
+	walCompactRecords := fs.Int("wal-compact-records", 0, "log length in records beyond which a mutation triggers background snapshot compaction (0: 1024)")
 	fs.Parse(os.Args[1:])
 
-	d, err := loadOrGenerate(*data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "propserve:", err)
-		os.Exit(1)
-	}
 	cfg := Config{
 		QueryTimeout:  *queryTimeout,
 		MaxInFlight:   *maxInFlight,
@@ -106,6 +120,8 @@ func main() {
 
 		EnableMutation:   *enableMutation,
 		MaxMutationBatch: *maxMutationBatch,
+
+		WALCompactRecords: *walCompactRecords,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stdout
@@ -113,7 +129,60 @@ func main() {
 	if cfg.SlowQuery > 0 {
 		cfg.SlowQueryLog = os.Stderr
 	}
-	h := NewServer(d, cfg)
+	cfg = cfg.withDefaults()
+
+	// Durable boot, steps 1–3 (see durability.go): recover the newest
+	// valid snapshot, open the log (truncating any torn tail), and build
+	// the engine at the snapshot's epoch. Replay (steps 4–5) runs after
+	// the listener is up, so reads are served while the log is applied.
+	var (
+		d          *dataset.Dataset
+		bootEpoch  uint64
+		wlog       *wal.Log
+		walRecords []wal.Record
+		walErr     error
+	)
+	fatal := func(err error) {
+		fmt.Fprintln(os.Stderr, "propserve:", err)
+		os.Exit(1)
+	}
+	if *walDir != "" {
+		syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fatal(err)
+		}
+		if snap, epoch, ok := loadNewestSnapshot(*walDir, cfg.Logf); ok {
+			d, bootEpoch = snap, epoch
+			fmt.Printf("propserve: recovered snapshot at epoch %d (%d places)\n", epoch, len(d.Places))
+		} else {
+			if d, err = loadOrGenerate(*data); err != nil {
+				fatal(err)
+			}
+		}
+		wlog, walRecords, walErr = wal.Open(*walDir, wal.Options{
+			Sync:         syncPolicy,
+			SyncInterval: *walSyncInterval,
+			Logf:         cfg.Logf,
+		})
+		if walErr != nil {
+			if *walRequired {
+				fatal(fmt.Errorf("opening wal in %s: %w (start with -wal-required=false to serve reads anyway)", *walDir, walErr))
+			}
+			walErr = fmt.Errorf("opening wal in %s: %w", *walDir, walErr)
+		}
+	} else {
+		var err error
+		if d, err = loadOrGenerate(*data); err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := engineOptions(cfg)
+	opts.InitialEpoch = bootEpoch
+	h := NewServerWithEngine(engine.New(d, opts), cfg)
+	if *walDir != "" {
+		h.BeginRecovery()
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           h,
@@ -144,6 +213,22 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe() }()
+
+	// Steps 4–5: replay the log through the engine while the listener
+	// already serves reads (and answers /readyz with 503 "recovering"),
+	// then attach the WAL and flip ready. A recovery failure is fatal
+	// under -wal-required; otherwise the server degrades to read-mostly.
+	if *walDir != "" {
+		if walErr != nil {
+			h.DegradeWAL(walErr)
+		} else if err := h.Recover(context.Background(), wlog, walRecords); err != nil {
+			if *walRequired {
+				fatal(fmt.Errorf("wal recovery: %w", err))
+			}
+			h.DegradeWAL(err)
+		}
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -159,6 +244,14 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "propserve: shutdown:", err)
 			os.Exit(1)
+		}
+		if wlog != nil {
+			// The log is fsynced per policy on every append; Close fsyncs
+			// once more so an interval/never log loses nothing on a clean
+			// shutdown.
+			if err := wlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "propserve: closing wal:", err)
+			}
 		}
 	}
 }

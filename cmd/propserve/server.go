@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // searchResponse is the canonical query payload; the name survives from
@@ -86,6 +88,10 @@ type Config struct {
 	// MaxMutationBatch caps the operations (upserts + deletes) accepted in
 	// one POST /v1/corpus request. Default 1024.
 	MaxMutationBatch int
+	// WALCompactRecords is the log length (in records) beyond which a
+	// mutation triggers background snapshot compaction. Only meaningful
+	// with a WAL attached. Default 1024.
+	WALCompactRecords int
 }
 
 func (c Config) withDefaults() Config {
@@ -121,6 +127,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxMutationBatch <= 0 {
 		c.MaxMutationBatch = 1024
+	}
+	if c.WALCompactRecords <= 0 {
+		c.WALCompactRecords = 1024
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -273,23 +282,55 @@ type Server struct {
 	tel      *serverMetrics
 	warnOnce sync.Map // deprecated path → *sync.Once
 	slowMu   sync.Mutex
+
+	// Durability state. ready gates mutations (and /readyz) while WAL
+	// replay runs; walLog enables compaction and the wal metrics;
+	// walDegraded, when set, sheds every mutation with 503 because the
+	// server cannot log them (recovery failed under -wal-required=false).
+	ready           atomic.Bool
+	walLog          atomic.Pointer[wal.Log]
+	walDegraded     atomic.Pointer[string]
+	compacting      atomic.Bool
+	replayedRecords atomic.Uint64
+	recoveredEpoch  atomic.Uint64
+	recoveryNanos   atomic.Int64
 }
 
-// NewServer builds the handler tree over d with the given configuration
-// (zero values select defaults).
+// NewServer builds the handler tree over a fresh engine serving d with
+// the given configuration (zero values select defaults). Durability is
+// off on this path; the durable boot in main constructs the engine at
+// the recovered epoch and uses NewServerWithEngine.
 func NewServer(d *dataset.Dataset, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return NewServerWithEngine(engine.New(d, engineOptions(cfg)), cfg)
+}
+
+// engineOptions maps the serving configuration onto the engine knobs —
+// shared by the fresh-corpus and recovered-corpus constructors so the
+// two paths cannot drift.
+func engineOptions(cfg Config) engine.Options {
+	cfg = cfg.withDefaults()
+	return engine.Options{
+		MaxK:         cfg.MaxK,
+		CacheEntries: cfg.CacheEntries,
+	}
+}
+
+// NewServerWithEngine builds the handler tree over an existing engine.
+// The server starts ready; a durable boot calls BeginRecovery before
+// serving and Recover (replay + FinishRecovery) once the listener is up.
+func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		mux:  http.NewServeMux(),
-		data: d,
-		eng: engine.New(d, engine.Options{
-			MaxK:         cfg.MaxK,
-			CacheEntries: cfg.CacheEntries,
-		}),
+		data: eng.Corpus(),
+		eng:  eng,
 		cfg:  cfg,
 		gate: resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -299,6 +340,7 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 	s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
 	s.rec = resilience.NewRecoverer(s.mux, cfg.Logf)
 	s.tel = newServerMetrics(s.gate, s.rec, s.eng)
+	s.registerDurabilityMetrics()
 	s.mux.Handle("GET /metrics", s.tel.reg)
 
 	// Middleware, innermost first: panic recovery around the routes, the
@@ -317,6 +359,121 @@ func NewServer(d *dataset.Dataset, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// registerDurabilityMetrics exposes the WAL and recovery state. Every
+// instrument reads live state through the server (nil-safe when no WAL
+// is attached), so the same registration serves the volatile and the
+// durable boot paths.
+func (s *Server) registerDurabilityMetrics() {
+	reg := s.tel.reg
+	reg.GaugeFunc("propserve_ready",
+		"1 once startup recovery (if any) has completed, 0 while replaying.",
+		func() float64 { return boolGauge(s.ready.Load()) })
+	reg.CounterFunc("propserve_wal_appends_total",
+		"Mutation batches durably appended to the write-ahead log.",
+		func() uint64 { return s.walStats().Appends })
+	reg.CounterFunc("propserve_wal_fsyncs_total",
+		"Successful fsync calls on the write-ahead log.",
+		func() uint64 { return s.walStats().Fsyncs })
+	reg.CounterFunc("propserve_wal_errors_total",
+		"Failed write-ahead log I/O operations (before retry).",
+		func() uint64 { return s.walStats().Errors })
+	reg.CounterFunc("propserve_wal_retries_total",
+		"Write-ahead log appends re-attempted after a transient failure.",
+		func() uint64 { return s.walStats().Retries })
+	reg.CounterFunc("propserve_wal_compactions_total",
+		"Completed snapshot compactions (log prefix truncations).",
+		func() uint64 { return s.walStats().Compactions })
+	reg.CounterFunc("propserve_wal_torn_drops_total",
+		"Torn log tails repaired at open (unacknowledged final records dropped).",
+		func() uint64 { return s.walStats().TornDrops })
+	reg.GaugeFunc("propserve_wal_records",
+		"Records currently in the write-ahead log file.",
+		func() float64 { return float64(s.walStats().Records) })
+	reg.GaugeFunc("propserve_wal_bytes",
+		"Size of the write-ahead log file in bytes.",
+		func() float64 { return float64(s.walStats().Bytes) })
+	reg.GaugeFunc("propserve_wal_broken",
+		"1 when the write-ahead log has latched an unrecoverable failure and sheds mutations.",
+		func() float64 { return boolGauge(s.walStats().Broken) })
+	reg.GaugeFunc("propserve_wal_degraded",
+		"1 when durability is degraded (recovery failed; mutations shed, reads served).",
+		func() float64 { return boolGauge(s.walDegraded.Load() != nil) })
+	reg.GaugeFunc("propserve_wal_replayed_records",
+		"WAL records replayed during the last startup recovery.",
+		func() float64 { return float64(s.replayedRecords.Load()) })
+	reg.GaugeFunc("propserve_wal_recovery_seconds",
+		"Wall-clock duration of the last startup recovery's replay phase.",
+		func() float64 { return time.Duration(s.recoveryNanos.Load()).Seconds() })
+	reg.GaugeFunc("propserve_corpus_recovered_epoch",
+		"Corpus epoch re-established by the last startup recovery (snapshot plus replay).",
+		func() float64 { return float64(s.recoveredEpoch.Load()) })
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// walStats snapshots the attached log's counters, or zeros when the
+// server runs without durability.
+func (s *Server) walStats() wal.Stats {
+	if l := s.walLog.Load(); l != nil {
+		return l.Stats()
+	}
+	return wal.Stats{}
+}
+
+// BeginRecovery marks the server not ready: /readyz answers 503
+// "recovering" and mutations are shed until FinishRecovery. Reads keep
+// serving throughout — the engine always holds a complete epoch.
+func (s *Server) BeginRecovery() { s.ready.Store(false) }
+
+// FinishRecovery records the recovery outcome and flips the server
+// ready. Called by Recover after the WAL is replayed and attached.
+func (s *Server) FinishRecovery(replayed int, epoch uint64, dur time.Duration) {
+	s.replayedRecords.Store(uint64(replayed))
+	s.recoveredEpoch.Store(epoch)
+	s.recoveryNanos.Store(int64(dur))
+	s.ready.Store(true)
+	s.cfg.Logf("propserve: recovery complete: %d records replayed in %v, corpus at epoch %d",
+		replayed, dur.Round(time.Millisecond), epoch)
+}
+
+// AttachWAL hands the server the open log for compaction and metrics.
+// The engine's own WAL hookup (Engine.SetWAL) is separate: during
+// replay the engine must mutate without re-logging.
+func (s *Server) AttachWAL(l *wal.Log) { s.walLog.Store(l) }
+
+// DegradeWAL puts the server into the -wal-required=false failure mode:
+// reads keep serving whatever state recovery reached, every mutation is
+// shed with 503, and the degradation is visible in /healthz, /v1/stats
+// and propserve_wal_degraded. The server also flips ready — it is ready,
+// just read-mostly.
+func (s *Server) DegradeWAL(err error) {
+	msg := err.Error()
+	s.walDegraded.Store(&msg)
+	s.ready.Store(true)
+	s.cfg.Logf("propserve: DURABILITY DEGRADED, mutations disabled: %v", err)
+}
+
+// walState summarises the durability mode for /healthz and /v1/stats.
+func (s *Server) walState() string {
+	switch {
+	case s.walDegraded.Load() != nil:
+		return "degraded"
+	case !s.ready.Load():
+		return "recovering"
+	case s.walStats().Broken:
+		return "broken"
+	case s.walLog.Load() != nil:
+		return "active"
+	default:
+		return "disabled"
+	}
+}
 
 // deprecatedAlias serves old into the same handler as its /v1 successor,
 // marking the response with a Deprecation header (draft-ietf-httpapi-
@@ -388,6 +545,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, resilience.ErrShed):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, engine.ErrWAL):
+		// The batch was neither applied nor published; the server keeps
+		// serving reads and the client may retry once durability returns.
+		return http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrTooLarge):
 		return http.StatusBadRequest
 	case errors.Is(err, core.ErrBadParams) || errors.Is(err, engine.ErrBadRequest):
@@ -397,9 +558,16 @@ func statusFor(err error) int {
 	}
 }
 
+// handleHealthz is the liveness probe: it answers 200 whenever the
+// process can serve at all — including while WAL replay runs (reads work
+// throughout) and in degraded durability. Orchestrators that restart on
+// liveness failure must not restart a recovering server; gate traffic on
+// /readyz instead.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":       "ok",
+		"ready":        s.ready.Load(),
+		"wal":          s.walState(),
 		"places":       len(s.eng.Corpus().Places),
 		"corpus_epoch": s.eng.Epoch(),
 		"inflight":     s.gate.InFlight(),
@@ -410,9 +578,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleReadyz is the readiness probe: 503 with a "recovering" body
+// while startup WAL replay runs, 200 "ready" once the corpus is at its
+// recovered epoch and mutations are accepted.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
+			"status":       "recovering",
+			"corpus_epoch": s.eng.Epoch(),
+		})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":       "ready",
+		"wal":          s.walState(),
+		"corpus_epoch": s.eng.Epoch(),
+	})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.gate.Stats()
 	es := s.eng.Stats()
+	ws := s.walStats()
+	walSection := map[string]interface{}{
+		"state":            s.walState(),
+		"enabled":          s.walLog.Load() != nil,
+		"replayed_records": s.replayedRecords.Load(),
+		"recovery_seconds": round3(time.Duration(s.recoveryNanos.Load()).Seconds()),
+		"recovered_epoch":  s.recoveredEpoch.Load(),
+	}
+	if l := s.walLog.Load(); l != nil {
+		walSection["sync"] = l.SyncPolicy().String()
+		walSection["appends"] = ws.Appends
+		walSection["fsyncs"] = ws.Fsyncs
+		walSection["errors"] = ws.Errors
+		walSection["retries"] = ws.Retries
+		walSection["records"] = ws.Records
+		walSection["bytes"] = ws.Bytes
+		walSection["compactions"] = ws.Compactions
+		walSection["torn_drops"] = ws.TornDrops
+		walSection["last_epoch"] = ws.LastEpoch
+		walSection["broken"] = ws.Broken
+	}
+	if reason := s.walDegraded.Load(); reason != nil {
+		walSection["degraded_reason"] = *reason
+	}
 	// Corpus facts come from the engine's published snapshot, not the
 	// registration-time dataset: mutations move the former, never the
 	// latter.
@@ -431,6 +641,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"swept_entries":   es.SweptEntries,
 			"mutation_api":    s.cfg.EnableMutation,
 		},
+		"wal": walSection,
 		"gate": map[string]interface{}{
 			"admitted":       gs.Admitted,
 			"shed":           gs.Shed,
@@ -839,6 +1050,20 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusForbidden, "corpus mutation disabled: start the server with -enable-mutation")
 		return
 	}
+	// Durability gates, checked before the body is even read: mutations
+	// are shed while replay rebuilds the corpus (accepting one would fork
+	// history from a state that is still moving) and shed permanently in
+	// degraded mode (an unloggable mutation would be lost by the next
+	// restart, silently breaking the acknowledged-durability contract).
+	if !s.ready.Load() {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		s.writeError(w, http.StatusServiceUnavailable, "recovering: corpus mutations resume when WAL replay completes")
+		return
+	}
+	if reason := s.walDegraded.Load(); reason != nil {
+		s.writeError(w, http.StatusServiceUnavailable, "durability degraded, mutations disabled: %s", *reason)
+		return
+	}
 	var m engine.Mutation
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&m); err != nil {
@@ -870,10 +1095,15 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.eng.Mutate(ctx, m)
 	if err != nil {
-		s.writeError(w, statusFor(err), "%v", err)
+		status := statusFor(err)
+		if errors.Is(err, engine.ErrWAL) {
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		}
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	s.tel.mutations.Inc()
+	s.maybeCompactAsync()
 	s.writeJSON(w, http.StatusOK, corpusResponse{
 		RequestID:      w.Header().Get(telemetry.RequestIDHeader),
 		MutationResult: *res,

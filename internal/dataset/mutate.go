@@ -1,8 +1,10 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/irtree"
 	"repro/internal/textctx"
@@ -54,6 +56,16 @@ type ApplyStats struct {
 // Validation failures (empty IDs, non-finite coordinates, a batch that
 // would leave fewer than two places) return an error and no dataset.
 func (d *Dataset) Apply(b Batch) (*Dataset, ApplyStats, error) {
+	return d.ApplyCtx(context.Background(), b)
+}
+
+// ApplyCtx is Apply with cooperative cancellation: ctx is checked before
+// the O(n) place copy, periodically inside it, and before the index
+// rebuild, so a cancelled mutation request stops paying for the copy
+// instead of completing it. Termination surfaces as core.ErrCancelled /
+// core.ErrDeadline (wrapping the context error), mirroring the scoring
+// and selection loops.
+func (d *Dataset) ApplyCtx(ctx context.Context, b Batch) (*Dataset, ApplyStats, error) {
 	var st ApplyStats
 	if b.Size() == 0 {
 		return nil, st, fmt.Errorf("dataset: empty mutation batch")
@@ -85,6 +97,15 @@ scan:
 		dict = d.Dict.Clone()
 	}
 
+	// The copy below is the O(n) cost of snapshot isolation; check the
+	// context before starting and every checkpointStride places during
+	// it, so an abandoned request does not finish the copy it no longer
+	// wants.
+	const checkpointStride = 4096
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, st, err
+	}
+
 	byID := make(map[string]int, len(d.Places))
 	for i, p := range d.Places {
 		byID[p.Label] = i
@@ -102,6 +123,11 @@ scan:
 
 	places := make([]PlaceRecord, 0, len(d.Places)+len(b.Upserts))
 	for i, p := range d.Places {
+		if i%checkpointStride == 0 && i > 0 {
+			if err := core.CtxErr(ctx); err != nil {
+				return nil, st, err
+			}
+		}
 		if !drop[i] {
 			places = append(places, p)
 		}
@@ -131,6 +157,12 @@ scan:
 
 	if len(places) < 2 {
 		return nil, ApplyStats{}, fmt.Errorf("dataset: mutation would leave %d places; need at least 2", len(places))
+	}
+
+	// Last exit before the index rebuild, the other O(n log n) chunk of
+	// the batch cost.
+	if err := core.CtxErr(ctx); err != nil {
+		return nil, st, err
 	}
 
 	objs := make([]irtree.Object, len(places))

@@ -1,0 +1,39 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestApplyCtxCancellation: a terminated context abandons the batch with
+// the lifecycle error instead of paying for the copy and rebuild.
+func TestApplyCtxCancellation(t *testing.T) {
+	d := persistTestData(t)
+	batch := Batch{Upserts: []Upsert{{ID: "poi:new", X: 1, Y: 1, Context: []string{"w"}}}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := d.ApplyCtx(ctx, batch); !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), -time.Nanosecond)
+	defer dcancel()
+	if _, _, err := d.ApplyCtx(dctx, batch); !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+
+	// Apply (no context) still works, and the dataset was untouched by
+	// the abandoned attempts.
+	next, st, err := d.Apply(batch)
+	if err != nil || st.Upserted != 1 {
+		t.Fatalf("Apply after cancelled attempts: %v, %+v", err, st)
+	}
+	if len(next.Places) != len(d.Places)+1 {
+		t.Fatalf("places = %d, want %d", len(next.Places), len(d.Places)+1)
+	}
+}

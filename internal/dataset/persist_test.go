@@ -1,0 +1,84 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"strings"
+	"testing"
+)
+
+func persistTestData(t *testing.T) *Dataset {
+	t.Helper()
+	cfg := DBpediaLike(11)
+	cfg.Places = 200
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestLoadDetectsPayloadCorruption: a version-2 file whose content was
+// damaged after the checksum was recorded must fail at Load — a corrupt
+// snapshot can never silently become a serving corpus.
+func TestLoadDetectsPayloadCorruption(t *testing.T) {
+	d := persistTestData(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Re-encode with a flipped coordinate: the gob container stays valid,
+	// only the payload no longer matches the recorded CRC — exactly what
+	// bit rot inside a snapshot looks like.
+	var ff fileFormat
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Places[3].X += 1
+	var dam bytes.Buffer
+	if err := gob.NewEncoder(&dam).Encode(ff); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&dam); err == nil {
+		t.Fatal("damaged payload loaded without error")
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("err = %v, want a corrupt-file report", err)
+	}
+}
+
+// TestLoadVersion1Unverified: files written before the checksum existed
+// (Version 1, zero Checksum) still load.
+func TestLoadVersion1Unverified(t *testing.T) {
+	d := persistTestData(t)
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var ff fileFormat
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&ff); err != nil {
+		t.Fatal(err)
+	}
+	ff.Version = 1
+	ff.Checksum = 0
+	var v1 bytes.Buffer
+	if err := gob.NewEncoder(&v1).Encode(ff); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&v1)
+	if err != nil {
+		t.Fatalf("version-1 file failed to load: %v", err)
+	}
+	if len(got.Places) != len(d.Places) {
+		t.Errorf("loaded %d places, want %d", len(got.Places), len(d.Places))
+	}
+}
+
+func TestLoadRejectsUnknownVersion(t *testing.T) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fileFormat{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("err = %v, want an unsupported-version report", err)
+	}
+}

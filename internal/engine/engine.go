@@ -63,6 +63,15 @@ const (
 	CacheCoalesced = "coalesced"
 )
 
+// MutationLog is the durability hook Mutate writes through: Append must
+// durably record (epoch, payload) — or fail — before returning, because
+// the engine publishes the epoch and acknowledges the batch the moment
+// Append returns nil. internal/wal's Log satisfies it; the engine keeps
+// only this interface so the wal package stays free of engine types.
+type MutationLog interface {
+	Append(ctx context.Context, epoch uint64, payload []byte) error
+}
+
 // Options configures an Engine. Zero values select the documented
 // defaults.
 type Options struct {
@@ -82,6 +91,15 @@ type Options struct {
 	// SelectionMemo bounds the per-entry (algorithm, k, λ) selection
 	// memo. 0 means 64.
 	SelectionMemo int
+	// InitialEpoch is the corpus epoch the registered dataset represents.
+	// 0 for a fresh corpus; recovery passes the loaded snapshot's epoch so
+	// replayed and future mutations continue the numbering the WAL
+	// records carry.
+	InitialEpoch uint64
+	// WAL, when non-nil, receives every mutation batch before its epoch
+	// is published (see Mutate). Recovery attaches it after replay via
+	// SetWAL instead, so replayed batches are not re-logged.
+	WAL MutationLog
 }
 
 func (o Options) withDefaults() Options {
@@ -116,8 +134,10 @@ type Engine struct {
 	flight group[*entry]
 
 	// mutMu serialises Mutate calls: each batch builds the next epoch off
-	// the published one, so concurrent batches must not interleave.
+	// the published one, so concurrent batches must not interleave. It
+	// also guards wal, which recovery attaches after replay.
 	mutMu sync.Mutex
+	wal   MutationLog
 
 	tblMu   sync.Mutex
 	squared map[int]*grid.SquaredTable // keyed by maximal side
@@ -135,23 +155,42 @@ type Engine struct {
 	swept       atomic.Uint64
 }
 
-// New registers d as the Engine's epoch-0 corpus. The dataset (places,
-// dictionary and index) must be treated as read-only from now on; all
-// later change goes through Mutate, which publishes fresh epochs and
-// never touches d.
+// New registers d as the Engine's corpus at Options.InitialEpoch
+// (epoch 0 for a fresh corpus). The dataset (places, dictionary and
+// index) must be treated as read-only from now on; all later change
+// goes through Mutate, which publishes fresh epochs and never touches
+// d.
 func New(d *dataset.Dataset, opt Options) *Engine {
 	o := opt.withDefaults()
 	e := &Engine{
 		opt:     o,
 		cache:   newLRU(o.CacheEntries),
 		squared: make(map[int]*grid.SquaredTable),
+		wal:     o.WAL,
 	}
-	e.snap.Store(&corpusSnapshot{epoch: 0, data: d})
+	e.snap.Store(&corpusSnapshot{epoch: o.InitialEpoch, data: d})
 	return e
+}
+
+// SetWAL attaches (or detaches, with nil) the mutation log. Recovery
+// replays the log through Mutate with no WAL attached — the records are
+// already durable — and attaches it here before mutations are served.
+func (e *Engine) SetWAL(w MutationLog) {
+	e.mutMu.Lock()
+	e.wal = w
+	e.mutMu.Unlock()
 }
 
 // Corpus returns the currently published corpus epoch's dataset.
 func (e *Engine) Corpus() *dataset.Dataset { return e.snap.Load().data }
+
+// Snapshot returns the currently published corpus dataset and its epoch
+// as one consistent pair — what a compaction must read, since Corpus()
+// and Epoch() individually can straddle a concurrent mutation.
+func (e *Engine) Snapshot() (*dataset.Dataset, uint64) {
+	s := e.snap.Load()
+	return s.data, s.epoch
+}
 
 // Epoch returns the currently published corpus epoch (0 until the first
 // mutation).

@@ -1,0 +1,78 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// RetryPolicy bounds a retry loop: at most Attempts tries, sleeping Base
+// between the first two and doubling up to Max. The zero value means one
+// try (no retries) — Retry never silently spins forever.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first. Values
+	// below 1 are treated as 1.
+	Attempts int
+	// Base is the sleep before the first retry; it doubles each retry.
+	Base time.Duration
+	// Max caps the doubled sleep. 0 means no cap.
+	Max time.Duration
+}
+
+// permanentError marks an error Retry must not retry.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so Retry returns it immediately instead of
+// retrying; errors.Is/As still reach the wrapped error.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, exhausts
+// p.Attempts, or ctx terminates (during a backoff sleep; fn itself is
+// responsible for observing ctx). The last error is returned, unwrapped
+// from any Permanent marker. Retry is the shared shape for transient
+// I/O failures — WAL appends, snapshot writes — where a bounded number
+// of backed-off re-tries is cheaper than failing the request outright.
+func Retry(ctx context.Context, p RetryPolicy, fn func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := p.Base
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			if backoff > 0 {
+				t := time.NewTimer(backoff)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					return ctx.Err()
+				case <-t.C:
+				}
+				backoff *= 2
+				if p.Max > 0 && backoff > p.Max {
+					backoff = p.Max
+				}
+			} else if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+		}
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return perm.err
+		}
+	}
+	return err
+}

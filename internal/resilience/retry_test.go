@@ -1,0 +1,89 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 3}, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	boom := errors.New("always")
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 4}, func() error { calls++; return boom })
+	if !errors.Is(err, boom) || calls != 4 {
+		t.Fatalf("err = %v after %d calls, want the last error after 4", err, calls)
+	}
+}
+
+func TestRetryZeroPolicyMeansOneTry(t *testing.T) {
+	calls := 0
+	Retry(context.Background(), RetryPolicy{}, func() error { calls++; return errors.New("x") })
+	if calls != 1 {
+		t.Fatalf("calls = %d, want exactly 1 under the zero policy", calls)
+	}
+}
+
+func TestRetryPermanentShortCircuits(t *testing.T) {
+	boom := errors.New("fatal")
+	calls := 0
+	err := Retry(context.Background(), RetryPolicy{Attempts: 5}, func() error {
+		calls++
+		return Permanent(boom)
+	})
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1: Permanent must not be retried", calls)
+	}
+	// The marker is stripped: callers match the underlying error directly.
+	if !errors.Is(err, boom) || err != boom {
+		t.Fatalf("err = %v, want the unwrapped original", err)
+	}
+	if Permanent(nil) != nil {
+		t.Error("Permanent(nil) != nil")
+	}
+}
+
+func TestRetryContextCancelsBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := Retry(ctx, RetryPolicy{Attempts: 3, Base: time.Hour}, func() error { calls++; return errors.New("x") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1 (cancelled during the first backoff)", calls)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("cancellation did not interrupt the backoff sleep")
+	}
+}
+
+func TestRetryBackoffDoublesUpToMax(t *testing.T) {
+	// Observable behaviour, not internals: 4 attempts at Base=1ms,
+	// Max=2ms sleep 1+2+2 = 5ms at least.
+	start := time.Now()
+	Retry(context.Background(), RetryPolicy{Attempts: 4, Base: time.Millisecond, Max: 2 * time.Millisecond},
+		func() error { return errors.New("x") })
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Errorf("4 attempts finished in %v, want >= 5ms of backoff", d)
+	}
+}

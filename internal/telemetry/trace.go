@@ -21,6 +21,11 @@ const (
 	StagePSS       = "step1_pss"
 	StageSelect    = "step2_select"
 	StageEncode    = "encode"
+	// StageReplay is not part of the per-request pipeline: it labels the
+	// per-record apply latency of WAL replay during startup recovery, so
+	// recovery cost lands in the same propserve_stage_seconds histogram
+	// operators already watch.
+	StageReplay = "wal_replay"
 )
 
 // Span is one completed stage of a request, stored as offsets from the

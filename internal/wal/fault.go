@@ -1,0 +1,70 @@
+package wal
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Fault-point labels passed to the hook installed by SetFaultHook. Each
+// names one I/O operation the hook may fail (by returning an error) or
+// crash at (by killing the process) — the seams a real disk, filesystem
+// or power failure would hit.
+const (
+	// OpAppendWrite fires before an append's record write.
+	OpAppendWrite = "append:write"
+	// OpAppendMid fires between the two halves of a record write (the
+	// write is split only while a hook is installed), so a kill here
+	// leaves a genuinely torn record on disk.
+	OpAppendMid = "append:mid"
+	// OpAppendSync fires before an fsync (per-append or interval).
+	OpAppendSync = "append:sync"
+	// OpSnapshotWrite fires before a snapshot's temp-file write,
+	// OpSnapshotSync before its fsync, OpSnapshotRename before the
+	// rename that publishes it.
+	OpSnapshotWrite  = "snapshot:write"
+	OpSnapshotSync   = "snapshot:sync"
+	OpSnapshotRename = "snapshot:rename"
+	// OpCompactWrite fires before the log rewrite, OpCompactRename
+	// before the rename that replaces the log with its compacted form.
+	OpCompactWrite  = "compact:write"
+	OpCompactRename = "compact:rename"
+)
+
+// PartialWrite is a hook return value for OpAppendWrite that makes the
+// log write only the first N bytes of the record before failing — a
+// simulated torn write with the partial bytes really on disk.
+type PartialWrite struct{ N int }
+
+func (e *PartialWrite) Error() string {
+	return fmt.Sprintf("wal: injected partial write of %d bytes", e.N)
+}
+
+// faultHook mirrors core.SetCheckpointHook: a process-wide injection
+// point for tests. When nil (the default) every fault call is free
+// beyond one atomic load.
+var faultHook atomic.Pointer[func(op string) error]
+
+// SetFaultHook installs h at every WAL fault point, identified by the
+// Op* labels. Returning a non-nil error from h makes the operation fail
+// as if the underlying I/O had; returning a *PartialWrite from
+// OpAppendWrite leaves a torn record on disk; killing the process from
+// inside h simulates a crash at that exact point. It returns a restore
+// function that removes the hook. Passing nil removes any installed
+// hook. Safe for concurrent use; intended for tests only.
+func SetFaultHook(h func(op string) error) (restore func()) {
+	if h == nil {
+		faultHook.Store(nil)
+		return func() {}
+	}
+	faultHook.Store(&h)
+	return func() { faultHook.Store(nil) }
+}
+
+func hookInstalled() bool { return faultHook.Load() != nil }
+
+func fault(op string) error {
+	if h := faultHook.Load(); h != nil {
+		return (*h)(op)
+	}
+	return nil
+}

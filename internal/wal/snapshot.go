@@ -1,0 +1,118 @@
+package wal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	snapshotPrefix = "snapshot-"
+	snapshotSuffix = ".gob"
+)
+
+// SnapshotName returns the file name of the snapshot covering epoch.
+func SnapshotName(epoch uint64) string {
+	return fmt.Sprintf("%s%d%s", snapshotPrefix, epoch, snapshotSuffix)
+}
+
+// SnapshotInfo names one snapshot file in a WAL directory.
+type SnapshotInfo struct {
+	Epoch uint64
+	Path  string
+}
+
+// Snapshots lists the snapshot files in dir, newest epoch first.
+// Files that merely look snapshot-ish but do not parse are ignored.
+func Snapshots(dir string) ([]SnapshotInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []SnapshotInfo
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, snapshotPrefix) || !strings.HasSuffix(name, snapshotSuffix) {
+			continue
+		}
+		mid := name[len(snapshotPrefix) : len(name)-len(snapshotSuffix)]
+		epoch, err := strconv.ParseUint(mid, 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, SnapshotInfo{Epoch: epoch, Path: filepath.Join(dir, name)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch > out[j].Epoch })
+	return out, nil
+}
+
+// WriteSnapshot durably writes a snapshot of the corpus at epoch into
+// dir via save (normally dataset.Save): temp file, fsync, one rename,
+// directory fsync. A crash at any point leaves either no new snapshot
+// or a complete one — never a partial file under the snapshot name.
+func WriteSnapshot(dir string, epoch uint64, save func(io.Writer) error) (path string, err error) {
+	final := filepath.Join(dir, SnapshotName(epoch))
+	tmpPath := final + ".tmp"
+	if err := fault(OpSnapshotWrite); err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if ferr := fault(OpSnapshotSync); ferr != nil {
+		err = ferr
+	} else {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("wal: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("wal: snapshot: %w", err)
+	}
+	if err := fault(OpSnapshotRename); err != nil {
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	if err := os.Rename(tmpPath, final); err != nil {
+		os.Remove(tmpPath)
+		return "", fmt.Errorf("wal: snapshot rename: %w", err)
+	}
+	syncDir(dir)
+	return final, nil
+}
+
+// RemoveSnapshotsBefore deletes snapshots older than epoch, keeping the
+// one at epoch itself. Removal failures are logged, not fatal: a stale
+// snapshot is wasted disk, never wrong recovery (the newest valid one
+// wins).
+func RemoveSnapshotsBefore(dir string, epoch uint64, logf func(format string, args ...any)) {
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		return
+	}
+	for _, s := range snaps {
+		if s.Epoch >= epoch {
+			continue
+		}
+		if err := os.Remove(s.Path); err != nil && logf != nil {
+			logf("wal: removing old snapshot %s: %v", s.Path, err)
+		}
+	}
+}

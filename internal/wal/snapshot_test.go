@@ -1,0 +1,109 @@
+package wal
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir string, epoch uint64, body string) string {
+	t.Helper()
+	path, err := WriteSnapshot(dir, epoch, func(w io.Writer) error {
+		_, err := io.WriteString(w, body)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("WriteSnapshot(%d): %v", epoch, err)
+	}
+	return path
+}
+
+func TestSnapshotWriteListRemove(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 3, "three")
+	writeSnap(t, dir, 10, "ten")
+	writeSnap(t, dir, 7, "seven")
+
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 3 || snaps[0].Epoch != 10 || snaps[1].Epoch != 7 || snaps[2].Epoch != 3 {
+		t.Fatalf("snapshots = %+v, want epochs 10,7,3 newest-first", snaps)
+	}
+	b, err := os.ReadFile(snaps[0].Path)
+	if err != nil || string(b) != "ten" {
+		t.Fatalf("newest snapshot body = %q, %v", b, err)
+	}
+
+	RemoveSnapshotsBefore(dir, 7, t.Logf)
+	snaps, _ = Snapshots(dir)
+	if len(snaps) != 2 || snaps[1].Epoch != 7 {
+		t.Fatalf("after removal: %+v, want epochs 10 and 7 (the boundary is kept)", snaps)
+	}
+}
+
+// TestSnapshotWriteFailureLeavesNoTrace: a failure at any stage of the
+// write must leave neither a partial snapshot nor a temp file — the
+// previous snapshot generation stays the recovery source.
+func TestSnapshotWriteFailureLeavesNoTrace(t *testing.T) {
+	for _, op := range []string{OpSnapshotWrite, OpSnapshotSync, OpSnapshotRename} {
+		t.Run(op, func(t *testing.T) {
+			dir := t.TempDir()
+			writeSnap(t, dir, 1, "good")
+			restore := SetFaultHook(func(got string) error {
+				if got == op {
+					return errors.New("injected " + op)
+				}
+				return nil
+			})
+			_, err := WriteSnapshot(dir, 2, func(w io.Writer) error {
+				_, werr := io.WriteString(w, "doomed")
+				return werr
+			})
+			restore()
+			if err == nil {
+				t.Fatalf("WriteSnapshot succeeded through %s fault", op)
+			}
+			snaps, _ := Snapshots(dir)
+			if len(snaps) != 1 || snaps[0].Epoch != 1 {
+				t.Errorf("snapshots after failed write = %+v, want only epoch 1", snaps)
+			}
+			if tmps, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmps) != 0 {
+				t.Errorf("temp files left behind: %v", tmps)
+			}
+		})
+	}
+}
+
+// TestSnapshotSaveErrorPropagates: the save callback failing (e.g. a gob
+// encode error) aborts the snapshot cleanly.
+func TestSnapshotSaveErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("encode failed")
+	if _, err := WriteSnapshot(dir, 1, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the save error", err)
+	}
+	if snaps, _ := Snapshots(dir); len(snaps) != 0 {
+		t.Errorf("failed save produced snapshots: %+v", snaps)
+	}
+}
+
+func TestSnapshotsIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, 2, "two")
+	for _, name := range []string{"wal.log", "snapshot-x.gob", "snapshot-.gob", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("junk"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 || snaps[0].Epoch != 2 {
+		t.Fatalf("snapshots = %+v, want only epoch 2", snaps)
+	}
+}

@@ -1,0 +1,433 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, dir string, opt Options) (*Log, []Record) {
+	t.Helper()
+	if opt.Logf == nil {
+		opt.Logf = t.Logf
+	}
+	l, recs, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l, recs
+}
+
+func appendN(t *testing.T, l *Log, from, to uint64) {
+	t.Helper()
+	for e := from; e <= to; e++ {
+		if err := l.Append(context.Background(), e, []byte(fmt.Sprintf("batch-%d", e))); err != nil {
+			t.Fatalf("Append(%d): %v", e, err)
+		}
+	}
+}
+
+func TestAppendReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, recs := openT(t, dir, Options{})
+	if len(recs) != 0 {
+		t.Fatalf("fresh log returned %d records", len(recs))
+	}
+	appendN(t, l, 1, 5)
+	st := l.Stats()
+	if st.Appends != 5 || st.Records != 5 || st.LastEpoch != 5 || st.Fsyncs < 5 {
+		t.Errorf("stats after 5 appends = %+v", st)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, recs := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(recs) != 5 {
+		t.Fatalf("reopen returned %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		want := uint64(i + 1)
+		if r.Epoch != want || string(r.Payload) != fmt.Sprintf("batch-%d", want) {
+			t.Errorf("record %d = {%d, %q}", i, r.Epoch, r.Payload)
+		}
+	}
+	// Appends continue from the recovered tail; stale epochs are refused.
+	if err := l2.Append(context.Background(), 5, nil); err == nil {
+		t.Error("replayed epoch 5 accepted again")
+	}
+	if err := l2.Append(context.Background(), 6, []byte("x")); err != nil {
+		t.Errorf("Append(6) after reopen: %v", err)
+	}
+}
+
+// TestTornTailAtEveryOffset is the crash-safety property test: whatever
+// byte the final append was cut at, reopening recovers exactly the fully
+// written records — never an error, never a partial batch.
+func TestTornTailAtEveryOffset(t *testing.T) {
+	ref := t.TempDir()
+	l, _ := openT(t, ref, Options{Sync: SyncNever})
+	appendN(t, l, 1, 3)
+	full, err := os.ReadFile(filepath.Join(ref, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Offsets of the record boundaries: magic, then 3 records.
+	recs, _, _, err := scanLog(full, 64<<20)
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("reference log scan: %d records, err %v", len(recs), err)
+	}
+	boundaries := []int{len(fileMagic)}
+	off := len(fileMagic)
+	for _, r := range recs {
+		off += recHeader + 8 + len(r.Payload)
+		boundaries = append(boundaries, off)
+	}
+	wantComplete := func(cut int) int {
+		n := 0
+		for _, b := range boundaries[1:] {
+			if cut >= b {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, logName), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, got, err := Open(dir, Options{Sync: SyncNever, Logf: func(string, ...any) {}})
+		if err != nil {
+			t.Fatalf("cut at %d: Open failed: %v", cut, err)
+		}
+		if want := wantComplete(cut); len(got) != want {
+			t.Fatalf("cut at %d: recovered %d records, want %d", cut, len(got), want)
+		}
+		// The repaired log must accept the next epoch and survive reopening.
+		next := uint64(len(got)) + 1
+		if err := l.Append(context.Background(), next, []byte("after-crash")); err != nil {
+			t.Fatalf("cut at %d: append after repair: %v", cut, err)
+		}
+		l.Close()
+		l2, got2 := openT(t, dir, Options{Sync: SyncNever})
+		if len(got2) != len(got)+1 {
+			t.Fatalf("cut at %d: second reopen has %d records, want %d", cut, len(got2), len(got)+1)
+		}
+		l2.Close()
+	}
+}
+
+// TestChecksumFlip: a bit flip in the FINAL record is indistinguishable
+// from a torn write and is dropped with a warning; the same flip mid-log
+// is real damage and must refuse to open.
+func TestChecksumFlip(t *testing.T) {
+	build := func(t *testing.T, n uint64) (string, []byte) {
+		dir := t.TempDir()
+		l, _ := openT(t, dir, Options{Sync: SyncNever})
+		appendN(t, l, 1, n)
+		l.Close()
+		data, err := os.ReadFile(filepath.Join(dir, logName))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir, data
+	}
+
+	t.Run("final-record-dropped", func(t *testing.T) {
+		dir, data := build(t, 3)
+		data[len(data)-1] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var warned bool
+		l, recs, err := Open(dir, Options{Sync: SyncNever, Logf: func(format string, args ...any) {
+			if strings.Contains(fmt.Sprintf(format, args...), "torn tail") {
+				warned = true
+			}
+		}})
+		if err != nil {
+			t.Fatalf("flip in final record should repair, got %v", err)
+		}
+		defer l.Close()
+		if len(recs) != 2 {
+			t.Errorf("recovered %d records, want 2", len(recs))
+		}
+		if !warned {
+			t.Error("torn-tail drop not warned about")
+		}
+		if l.Stats().TornDrops != 1 {
+			t.Errorf("TornDrops = %d, want 1", l.Stats().TornDrops)
+		}
+	})
+
+	t.Run("mid-log-is-corrupt", func(t *testing.T) {
+		dir, data := build(t, 3)
+		// Flip a payload byte of the FIRST record: its checksum fails with
+		// more data following.
+		data[len(fileMagic)+recHeader+8] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err := Open(dir, Options{Sync: SyncNever, Logf: t.Logf})
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("mid-log flip opened with err = %v, want ErrCorrupt", err)
+		}
+	})
+
+	t.Run("bad-magic-is-corrupt", func(t *testing.T) {
+		dir, data := build(t, 1)
+		data[0] ^= 0xFF
+		if err := os.WriteFile(filepath.Join(dir, logName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Open(dir, Options{Sync: SyncNever, Logf: t.Logf}); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bad magic opened with err = %v, want ErrCorrupt", err)
+		}
+	})
+}
+
+// TestAppendRetriesTransientFailure: a write that fails once succeeds on
+// the bounded retry, with the failure and the retry both counted and no
+// garbage left in the file.
+func TestAppendRetriesTransientFailure(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 1, 1)
+
+	fails := 1
+	restore := SetFaultHook(func(op string) error {
+		if op == OpAppendWrite && fails > 0 {
+			fails--
+			return &PartialWrite{N: 3}
+		}
+		return nil
+	})
+	defer restore()
+
+	if err := l.Append(context.Background(), 2, []byte("retried")); err != nil {
+		t.Fatalf("append with one transient failure: %v", err)
+	}
+	st := l.Stats()
+	if st.Errors != 1 || st.Retries != 1 || st.Appends != 2 {
+		t.Errorf("stats = %+v, want 1 error, 1 retry, 2 appends", st)
+	}
+	restore()
+	l.Close()
+	_, recs := openT(t, dir, Options{})
+	if len(recs) != 2 || string(recs[1].Payload) != "retried" {
+		t.Fatalf("reopen after retried append: %d records", len(recs))
+	}
+}
+
+// TestAppendExhaustedRetriesFails: a persistent write failure returns an
+// error after the bounded attempts, and the file holds no partial bytes.
+func TestAppendExhaustedRetriesFails(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 1, 1)
+	sizeBefore := l.Stats().Bytes
+
+	restore := SetFaultHook(func(op string) error {
+		if op == OpAppendWrite {
+			return &PartialWrite{N: 5}
+		}
+		return nil
+	})
+	if err := l.Append(context.Background(), 2, []byte("doomed")); err == nil {
+		t.Fatal("append succeeded despite persistent write failure")
+	}
+	restore()
+
+	st := l.Stats()
+	if st.Broken {
+		t.Errorf("exhausted retries latched broken: %+v", st)
+	}
+	if st.Bytes != sizeBefore || st.Records != 1 {
+		t.Errorf("partial bytes left behind: %+v", st)
+	}
+	// The log still works once the fault clears.
+	if err := l.Append(context.Background(), 2, []byte("recovered")); err != nil {
+		t.Fatalf("append after fault cleared: %v", err)
+	}
+}
+
+// TestFsyncFailureLatchesBroken is the fsyncgate rule: after a failed
+// fsync the tail state is unknowable, so the log sheds every later
+// append until restart.
+func TestFsyncFailureLatchesBroken(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 1, 1)
+
+	boom := errors.New("simulated fsync failure")
+	restore := SetFaultHook(func(op string) error {
+		if op == OpAppendSync {
+			return boom
+		}
+		return nil
+	})
+	err := l.Append(context.Background(), 2, []byte("x"))
+	restore()
+	if !errors.Is(err, ErrBroken) {
+		t.Fatalf("append with failed fsync = %v, want ErrBroken", err)
+	}
+	st := l.Stats()
+	if !st.Broken || !strings.Contains(st.BrokenReason, "fsync") {
+		t.Errorf("stats = %+v, want broken with an fsync reason", st)
+	}
+	// Latched: even with the fault gone, appends are refused.
+	if err := l.Append(context.Background(), 3, []byte("y")); !errors.Is(err, ErrBroken) {
+		t.Fatalf("append on broken log = %v, want ErrBroken", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrBroken) {
+		t.Fatalf("sync on broken log = %v, want ErrBroken", err)
+	}
+}
+
+func TestCompactThrough(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendN(t, l, 1, 10)
+	if err := l.CompactThrough(7); err != nil {
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Records != 3 || st.LastEpoch != 10 || st.Compactions != 1 {
+		t.Errorf("stats after compaction = %+v", st)
+	}
+	// The live fd is the new file: appends keep working and land in it.
+	appendN(t, l, 11, 12)
+	l.Close()
+	_, recs := openT(t, dir, Options{})
+	if len(recs) != 5 || recs[0].Epoch != 8 || recs[4].Epoch != 12 {
+		t.Fatalf("reopen after compaction: %d records, first %d", len(recs), recs[0].Epoch)
+	}
+}
+
+// TestCompactAllRecords: compacting through the last epoch empties the
+// log but keeps the epoch watermark, so the next append continues the
+// sequence rather than restarting it.
+func TestCompactAllRecords(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 1, 4)
+	if err := l.CompactThrough(4); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Records != 0 || st.LastEpoch != 4 {
+		t.Errorf("stats = %+v, want 0 records with watermark 4", st)
+	}
+	if err := l.Append(context.Background(), 4, nil); err == nil {
+		t.Error("compaction forgot the epoch watermark: epoch 4 re-accepted")
+	}
+	appendN(t, l, 5, 5)
+}
+
+// TestCompactionCrashMidRename: a fault at the rename leaves the old log
+// intact plus a stray temp file; the next Open removes the temp and
+// replays the full log.
+func TestCompactionCrashMidRename(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	appendN(t, l, 1, 6)
+
+	restore := SetFaultHook(func(op string) error {
+		if op == OpCompactRename {
+			return errors.New("killed before rename")
+		}
+		return nil
+	})
+	err := l.CompactThrough(4)
+	restore()
+	if err == nil {
+		t.Fatal("compaction succeeded through the rename fault")
+	}
+	l.Close()
+
+	l2, recs := openT(t, dir, Options{})
+	defer l2.Close()
+	if len(recs) != 6 {
+		t.Fatalf("recovered %d records, want all 6 (old log intact)", len(recs))
+	}
+	if ents, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(ents) != 0 {
+		t.Errorf("stray temp files survived reopen: %v", ents)
+	}
+}
+
+func TestMaxRecordBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{MaxRecordBytes: 64})
+	defer l.Close()
+	if err := l.Append(context.Background(), 1, bytes.Repeat([]byte("x"), 64)); err == nil {
+		t.Error("oversized record accepted")
+	}
+	if err := l.Append(context.Background(), 1, bytes.Repeat([]byte("x"), 32)); err != nil {
+		t.Errorf("record within the limit rejected: %v", err)
+	}
+}
+
+func TestSyncIntervalPolicy(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Sync: SyncInterval, SyncInterval: 5 * time.Millisecond})
+	appendN(t, l, 1, 3)
+	deadline := time.Now().Add(2 * time.Second)
+	for l.Stats().Fsyncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sync never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs := openT(t, dir, Options{})
+	if len(recs) != 3 {
+		t.Fatalf("reopen after interval-synced close: %d records", len(recs))
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for s, want := range map[string]SyncPolicy{"always": SyncAlways, "interval": SyncInterval, "never": SyncNever} {
+		got, err := ParseSyncPolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() round-trip broken for %q: %q", s, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestEpochMonotonicityEnforced(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{})
+	defer l.Close()
+	appendN(t, l, 1, 2)
+	if err := l.Append(context.Background(), 2, nil); err == nil {
+		t.Error("duplicate epoch accepted")
+	}
+	if err := l.Append(context.Background(), 1, nil); err == nil {
+		t.Error("regressing epoch accepted")
+	}
+	if err := l.Append(context.Background(), 4, nil); err != nil {
+		t.Errorf("epoch gaps are the caller's business, append refused: %v", err)
+	}
+}
