@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-diff crash-test check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-load bench-diff crash-test check profile report report-small examples clean
 
 all: check
 
@@ -26,7 +26,7 @@ vet:
 # /v1/corpus surface plus queries-during-replay — all must stay in this
 # list.
 race:
-	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
 
 # The kill-recovery suite: child processes SIGKILL themselves at injected
 # WAL fault points; the parent recovers each directory and verifies no
@@ -64,13 +64,21 @@ bench-wal:
 	BENCH_WAL_OUT=$(CURDIR)/BENCH_wal.json $(GO) test ./cmd/propserve -run TestBenchWAL -count=1 -v
 	@cat BENCH_wal.json
 
+# Drive sustained open-loop load through an in-process server — one run
+# per traffic mix (hit-heavy, miss-heavy, mutation-interleaved) — and
+# write tail-latency/throughput/shed figures to BENCH_serve_load.json.
+# benchdiff gates the *_p99_ms and *_shed_rate fields between snapshots.
+bench-load:
+	BENCH_LOAD_OUT=$(CURDIR)/BENCH_serve_load.json $(GO) test ./cmd/propserve -run TestBenchServeLoad -count=1 -v -timeout 300s
+	@cat BENCH_serve_load.json
+
 # Compare the working tree's fresh bench results against the committed
 # baselines (OLD=<dir> overrides where the baselines are read from).
 # benchdiff tolerates a missing baseline file (a new suite's first run
 # reports every field as "new" and passes).
 OLD ?= .
 bench-diff:
-	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal; do \
+	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal BENCH_serve_load; do \
 		echo "--- $$f"; \
 		$(GO) run ./cmd/benchdiff $(OLD)/$$f.json $$f.json || true; \
 	done

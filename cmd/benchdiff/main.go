@@ -1,18 +1,30 @@
 // Command benchdiff compares two BENCH_*.json reports (written by `make
-// bench-serve` or `make bench-suite`) and flags timing regressions.
+// bench-serve`, `make bench-suite` or `make bench-load`) and flags
+// performance regressions.
 //
-//	benchdiff [-threshold 0.15] old.json new.json
+//	benchdiff [-threshold 0.15] [-tail-threshold 0.25] [-shed-threshold 0.02] old.json new.json
 //
-// Every top-level numeric field whose name ends in "_ns_op" and appears
-// in both files is compared; a field whose new value exceeds the old by
-// more than the threshold (default 15%) is a regression. benchdiff exits
-// 1 when any regression is found, 0 otherwise, so CI can run it as a
-// non-blocking trend check against committed baselines. Fields present
+// Three field families are gated, each keyed by suffix:
+//
+//   - *_ns_op: per-op timings; a relative slowdown beyond -threshold
+//     (default 15%) is a regression.
+//   - *_p99_ms: tail latencies from the sustained-load harness; gated
+//     like timings but under the looser -tail-threshold (default 25%),
+//     because p99 over a few hundred load samples is noisier than a
+//     ns/op mean over thousands of iterations.
+//   - *_shed_rate: the fraction of load-test requests the admission gate
+//     rejected; gated on the ABSOLUTE increase (-shed-threshold, default
+//     0.02) — a relative gate is useless against a 0.000 baseline, and
+//     any shedding on a previously clean mix is the signal that matters.
+//
+// A field whose new value exceeds its gate is a regression. benchdiff
+// exits 1 when any regression is found, 0 otherwise, so CI can run it as
+// a non-blocking trend check against committed baselines. Fields present
 // in only one file are reported but never fail the comparison — reports
 // gain fields as the suite grows. A missing OLD file is treated the same
 // way at file granularity: every field reports "new" and the run exits 0,
 // so a freshly added suite lands before its baseline is committed. A
-// missing NEW file is still an error. A *_ns_op field holding a non-numeric
+// missing NEW file is still an error. A gated field holding a non-numeric
 // JSON value is a corrupted report, not a missing field: it is printed as
 // a "bad" line naming the offending file and fails the run with exit 2.
 package main
@@ -24,7 +36,18 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
 )
+
+// gate describes one comparable field family: which suffix selects it,
+// how its values print, and when a change counts as a regression.
+type gate struct {
+	suffix    string
+	unit      string
+	format    string  // value format, e.g. "%14.0f"
+	threshold float64 // relative slowdown, or absolute delta when absolute
+	absolute  bool
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -34,12 +57,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 0.15, "relative slowdown above which a *_ns_op field is a regression")
+	tailThreshold := fs.Float64("tail-threshold", 0.25, "relative slowdown above which a *_p99_ms field is a regression")
+	shedThreshold := fs.Float64("shed-threshold", 0.02, "absolute increase above which a *_shed_rate field is a regression")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.15] old.json new.json")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold 0.15] [-tail-threshold 0.25] [-shed-threshold 0.02] old.json new.json")
 		return 2
+	}
+	gates := []gate{
+		{suffix: "_ns_op", unit: "ns/op", format: "%14.0f", threshold: *threshold},
+		{suffix: "_p99_ms", unit: "ms", format: "%14.3f", threshold: *tailThreshold},
+		{suffix: "_shed_rate", unit: "shed", format: "%14.3f", threshold: *shedThreshold, absolute: true},
 	}
 	oldRep, err := load(fs.Arg(0))
 	if os.IsNotExist(err) {
@@ -59,50 +89,64 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	keys := timingKeys(oldRep, newRep)
+	keys := gatedKeys(gates, oldRep, newRep)
 	if len(keys) == 0 {
-		fmt.Fprintln(stderr, "benchdiff: no *_ns_op fields to compare")
+		fmt.Fprintln(stderr, "benchdiff: no gated fields (*_ns_op, *_p99_ms, *_shed_rate) to compare")
 		return 2
 	}
 	regressions, malformed := 0, 0
 	for _, k := range keys {
+		g := gateFor(gates, k)
 		ov, oldHas, oldBad := number(oldRep, k)
 		nv, newHas, newBad := number(newRep, k)
+		val := func(v float64) string { return fmt.Sprintf(g.format, v) }
 		switch {
 		case oldBad || newBad:
-			// A present-but-non-numeric timing is corruption, not absence:
+			// A present-but-non-numeric value is corruption, not absence:
 			// reporting it as "new"/"gone" would hide a broken baseline.
 			for _, f := range badFiles(fs.Arg(0), oldBad, fs.Arg(1), newBad) {
 				fmt.Fprintf(stdout, "  bad   %-24s non-numeric value in %s\n", k, f)
 			}
 			malformed++
 		case !oldHas:
-			fmt.Fprintf(stdout, "  new   %-24s %14.0f ns/op (no baseline)\n", k, nv)
+			fmt.Fprintf(stdout, "  new   %-24s %s %s (no baseline)\n", k, val(nv), g.unit)
 		case !newHas:
-			fmt.Fprintf(stdout, "  gone  %-24s %14.0f ns/op (not in new report)\n", k, ov)
-		case ov <= 0:
-			fmt.Fprintf(stdout, "  skip  %-24s baseline %.0f is not a usable timing\n", k, ov)
+			fmt.Fprintf(stdout, "  gone  %-24s %s %s (not in new report)\n", k, val(ov), g.unit)
+		case !g.absolute && ov <= 0:
+			fmt.Fprintf(stdout, "  skip  %-24s baseline %s is not a usable value\n", k, strings.TrimSpace(val(ov)))
+		case g.absolute:
+			// Absolute gate: the delta itself is the signal (shed rates
+			// start at 0.000, where ratios are meaningless).
+			delta := nv - ov
+			mark := "  ok   "
+			if delta > g.threshold {
+				mark = "  SLOW "
+				regressions++
+			} else if delta < -g.threshold {
+				mark = "  fast "
+			}
+			fmt.Fprintf(stdout, "%s%-24s %s -> %s %s  (%+.3f)\n", mark, k, val(ov), strings.TrimSpace(val(nv)), g.unit, delta)
 		default:
 			delta := nv/ov - 1
 			mark := "  ok   "
-			if delta > *threshold {
+			if delta > g.threshold {
 				mark = "  SLOW "
 				regressions++
-			} else if delta < -*threshold {
+			} else if delta < -g.threshold {
 				mark = "  fast "
 			}
-			fmt.Fprintf(stdout, "%s%-24s %14.0f -> %12.0f ns/op  (%+.1f%%)\n", mark, k, ov, nv, delta*100)
+			fmt.Fprintf(stdout, "%s%-24s %s -> %s %s  (%+.1f%%)\n", mark, k, val(ov), strings.TrimSpace(val(nv)), g.unit, delta*100)
 		}
 	}
 	if malformed > 0 {
-		fmt.Fprintf(stdout, "benchdiff: %d malformed *_ns_op field(s); reports are not comparable\n", malformed)
+		fmt.Fprintf(stdout, "benchdiff: %d malformed field(s); reports are not comparable\n", malformed)
 		return 2
 	}
 	if regressions > 0 {
-		fmt.Fprintf(stdout, "benchdiff: %d field(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
+		fmt.Fprintf(stdout, "benchdiff: %d field(s) regressed\n", regressions)
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchdiff: no regression beyond %.0f%%\n", *threshold*100)
+	fmt.Fprintln(stdout, "benchdiff: no regression beyond thresholds")
 	return 0
 }
 
@@ -130,14 +174,14 @@ func load(path string) (map[string]any, error) {
 	return m, nil
 }
 
-// timingKeys collects the union of *_ns_op field names, sorted. Values of
-// any JSON type are included: a non-numeric one must surface as a "bad"
-// line, not vanish from the comparison.
-func timingKeys(reports ...map[string]any) []string {
+// gatedKeys collects the union of field names matching any gate suffix,
+// sorted. Values of any JSON type are included: a non-numeric one must
+// surface as a "bad" line, not vanish from the comparison.
+func gatedKeys(gates []gate, reports ...map[string]any) []string {
 	seen := map[string]bool{}
 	for _, r := range reports {
 		for k := range r {
-			if hasNsOpSuffix(k) {
+			if gateFor(gates, k) != nil {
 				seen[k] = true
 			}
 		}
@@ -150,9 +194,15 @@ func timingKeys(reports ...map[string]any) []string {
 	return out
 }
 
-func hasNsOpSuffix(k string) bool {
-	const suf = "_ns_op"
-	return len(k) > len(suf) && k[len(k)-len(suf):] == suf
+// gateFor returns the gate whose suffix matches k, or nil. A key that is
+// nothing but the suffix itself (no benchmark name) matches no gate.
+func gateFor(gates []gate, k string) *gate {
+	for i := range gates {
+		if s := gates[i].suffix; len(k) > len(s) && strings.HasSuffix(k, s) {
+			return &gates[i]
+		}
+	}
+	return nil
 }
 
 // number reads field k: has reports a usable numeric value, bad a value

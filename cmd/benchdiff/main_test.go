@@ -46,7 +46,7 @@ func TestRegressionFails(t *testing.T) {
 	if !strings.Contains(out, "SLOW") || !strings.Contains(out, "miss_ns_op") {
 		t.Errorf("output does not flag miss_ns_op as SLOW:\n%s", out)
 	}
-	if strings.Contains(out, "SLOW  hit_ns_op") {
+	if strings.Contains(out, "SLOW hit_ns_op") {
 		t.Errorf("unchanged hit_ns_op flagged:\n%s", out)
 	}
 }
@@ -181,5 +181,91 @@ func TestMissingBaselineFileTolerated(t *testing.T) {
 
 	if code, _, errOut := diff(t, newP, filepath.Join(dir, "no-such-new.json")); code != 2 {
 		t.Errorf("exit = %d, want 2 for a missing NEW report (%s)", code, errOut)
+	}
+}
+
+// TestTailLatencyGate: *_p99_ms fields from the load harness are gated
+// relatively under -tail-threshold (default 25%): a 50% p99 regression
+// fails, a 20% one passes, and the threshold is tunable.
+func TestTailLatencyGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{
+		"hit_heavy_p99_ms": 2.0, "miss_heavy_p99_ms": 6.0,
+	})
+	badP := writeReport(t, dir, "bad.json", map[string]any{
+		"hit_heavy_p99_ms": 3.0, "miss_heavy_p99_ms": 6.0,
+	})
+	code, out, _ := diff(t, oldP, badP)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 for a 50%% p99 regression\n%s", code, out)
+	}
+	if !strings.Contains(out, "SLOW") || !strings.Contains(out, "hit_heavy_p99_ms") {
+		t.Errorf("p99 regression not flagged:\n%s", out)
+	}
+
+	okP := writeReport(t, dir, "ok.json", map[string]any{
+		"hit_heavy_p99_ms": 2.4, "miss_heavy_p99_ms": 6.0,
+	})
+	if code, out, _ := diff(t, oldP, okP); code != 0 {
+		t.Fatalf("exit = %d, want 0 for a 20%% p99 wobble inside the default tail threshold\n%s", code, out)
+	}
+	if code, out, _ := diff(t, "-tail-threshold", "0.1", oldP, okP); code != 1 {
+		t.Fatalf("exit = %d, want 1 for 20%% under -tail-threshold 0.1\n%s", code, out)
+	}
+}
+
+// TestShedRateGate: *_shed_rate fields are gated on absolute increase —
+// a jump from 0.000 to 0.05 fails even though the ratio is infinite, and
+// a wobble under the default 0.02 passes.
+func TestShedRateGate(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{
+		"hit_heavy_shed_rate": 0.0, "hit_heavy_p99_ms": 2.0,
+	})
+	badP := writeReport(t, dir, "bad.json", map[string]any{
+		"hit_heavy_shed_rate": 0.05, "hit_heavy_p99_ms": 2.0,
+	})
+	code, out, _ := diff(t, oldP, badP)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 when a clean mix starts shedding\n%s", code, out)
+	}
+	if !strings.Contains(out, "SLOW") || !strings.Contains(out, "hit_heavy_shed_rate") {
+		t.Errorf("shed regression not flagged:\n%s", out)
+	}
+
+	okP := writeReport(t, dir, "ok.json", map[string]any{
+		"hit_heavy_shed_rate": 0.01, "hit_heavy_p99_ms": 2.0,
+	})
+	if code, out, _ := diff(t, oldP, okP); code != 0 {
+		t.Fatalf("exit = %d, want 0 for shed within the absolute threshold\n%s", code, out)
+	}
+	if code, out, _ := diff(t, "-shed-threshold", "0.005", oldP, okP); code != 1 {
+		t.Fatalf("exit = %d, want 1 for +0.01 shed under -shed-threshold 0.005\n%s", code, out)
+	}
+}
+
+// TestMixedFamiliesOneReport: ns/op, p99 and shed fields coexist in one
+// comparison, each judged by its own gate.
+func TestMixedFamiliesOneReport(t *testing.T) {
+	dir := t.TempDir()
+	oldP := writeReport(t, dir, "old.json", map[string]any{
+		"hit_ns_op": 1000.0, "miss_heavy_p99_ms": 5.0, "miss_heavy_shed_rate": 0.0,
+	})
+	newP := writeReport(t, dir, "new.json", map[string]any{
+		// 10% ns/op and 20% p99 are inside their gates; the shed jump is not.
+		"hit_ns_op": 1100.0, "miss_heavy_p99_ms": 6.0, "miss_heavy_shed_rate": 0.08,
+	})
+	code, out, _ := diff(t, oldP, newP)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (only the shed field regressed)\n%s", code, out)
+	}
+	if !strings.Contains(out, "SLOW miss_heavy_shed_rate") {
+		t.Errorf("shed not the flagged field:\n%s", out)
+	}
+	if strings.Contains(out, "SLOW hit_ns_op") || strings.Contains(out, "SLOW miss_heavy_p99_ms") {
+		t.Errorf("in-threshold fields flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "1 field(s) regressed") {
+		t.Errorf("summary should count exactly one regression:\n%s", out)
 	}
 }

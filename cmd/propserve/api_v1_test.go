@@ -167,12 +167,12 @@ func TestBatchMixedResults(t *testing.T) {
 	word := s.data.Places[0].Context.Words(s.data.Dict)[0]
 	body := map[string]any{
 		"queries": []map[string]any{
-			{"K": 60, "k": 5},                                   // defaults for the rest
-			{"K": 60, "k": 5},                                   // identical: served from cache
+			{"K": 60, "k": 5}, // defaults for the rest
+			{"K": 60, "k": 5}, // identical: served from cache
 			{"x": 50, "y": 50, "K": 80, "k": 8, "algo": "iadu"}, // distinct
 			{"K": 60, "k": 5, "keywords": []string{word}},       // with a resolvable keyword
-			{"K": 5, "k": 10},                                   // invalid: k ≥ K
-			{"K": 60, "k": 5, "algo": "sorcery"},                // invalid: unknown algorithm
+			{"K": 5, "k": 10},                    // invalid: k ≥ K
+			{"K": 60, "k": 5, "algo": "sorcery"}, // invalid: unknown algorithm
 		},
 	}
 	rec := postJSON(t, s, "/v1/batch", body)

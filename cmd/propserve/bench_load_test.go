@@ -1,0 +1,99 @@
+package main
+
+// TestBenchServeLoad, gated on BENCH_LOAD_OUT, drives sustained
+// open-loop load through the loadgen harness against an in-process
+// server — one run per traffic mix — and writes tail-latency,
+// throughput and shed-rate figures to BENCH_serve_load.json
+// (`make bench-load`). The flattened keys (`hit_heavy_p99_ms`,
+// `miss_heavy_shed_rate`, ...) are what the extended benchdiff gates
+// on: a p99 or shed-rate regression between two snapshots fails the
+// comparison just like an ns/op regression does.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/loadgen"
+)
+
+func TestBenchServeLoad(t *testing.T) {
+	out := os.Getenv("BENCH_LOAD_OUT")
+	if out == "" {
+		t.Skip("set BENCH_LOAD_OUT=<path> to write BENCH_serve_load.json")
+	}
+	dcfg := dataset.DBpediaLike(7)
+	dcfg.Places = 1500
+	d, err := dataset.Generate(dcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hit-heavy stresses the cached fast path at high rate; miss-heavy
+	// the compute path at a rate it can sustain; mutation-interleaved
+	// adds epoch churn that repeatedly flushes the cache under load.
+	mixes := []struct {
+		mix string
+		rps float64
+		cfg Config
+	}{
+		{loadgen.MixHitHeavy, 200, Config{}},
+		{loadgen.MixMissHeavy, 50, Config{}},
+		{loadgen.MixMutationInterleaved, 150, Config{EnableMutation: true}},
+	}
+
+	report := map[string]any{
+		"benchmark": "serve_sustained_load",
+		"dataset":   map[string]any{"name": d.Config.Name, "places": len(d.Places), "seed": d.Config.Seed},
+		"go":        runtime.Version(),
+		"cpus":      runtime.NumCPU(),
+	}
+	for _, m := range mixes {
+		cfg := m.cfg
+		cfg.Logf = t.Logf
+		s := NewServer(d, cfg)
+		ts := httptest.NewServer(s)
+		r, err := loadgen.Run(context.Background(), loadgen.Options{
+			BaseURL:  ts.URL,
+			RPS:      m.rps,
+			Duration: 3 * time.Second,
+			Warmup:   time.Second,
+			Mix:      m.mix,
+			Data:     d,
+			Seed:     1,
+		})
+		ts.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TransportErrors > 0 {
+			t.Fatalf("%s: %d transport errors", m.mix, r.TransportErrors)
+		}
+		prefix := strings.ReplaceAll(m.mix, "-", "_")
+		report[prefix+"_p50_ms"] = r.Server.P50MS
+		report[prefix+"_p95_ms"] = r.Server.P95MS
+		report[prefix+"_p99_ms"] = r.Server.P99MS
+		report[prefix+"_max_ms"] = r.Server.MaxMS
+		report[prefix+"_rps"] = r.ThroughputRPS
+		report[prefix+"_shed_rate"] = r.ShedRate
+		report[prefix+"_sent"] = r.Sent
+		report[prefix+"_errors_5xx"] = r.Errors5xx
+		t.Logf("%s: sent %d at %.0f rps, server p50 %.3f p95 %.3f p99 %.3f ms, shed %.3f",
+			m.mix, r.Sent, r.ThroughputRPS, r.Server.P50MS, r.Server.P95MS, r.Server.P99MS, r.ShedRate)
+	}
+
+	b, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -12,7 +12,12 @@
 //	GET  /readyz                 → readiness: 503 {"status":"recovering"} while startup
 //	                               WAL replay runs, 200 {"status":"ready"} afterwards
 //	GET  /v1/stats               → corpus statistics, gate counters, engine cache
-//	                               counters, recovered panics
+//	                               counters, recovered panics, server identity
+//	                               (uptime, go version, build revision)
+//	GET  /v1/slo                 → per-class service-level state: rolling-window
+//	                               (1m/5m/1h) latency quantiles, availability and
+//	                               latency error-budget burn rates, budget remaining;
+//	                               on by default, -slo=false disables
 //	GET  /metrics                → Prometheus text-format metrics (requests, stage
 //	                               latencies, gate gauges/counters, engine cache
 //	                               hit/miss/coalesced/eviction counters, degradations)
@@ -98,6 +103,12 @@ func main() {
 	enableMutation := fs.Bool("enable-mutation", false, "serve POST /v1/corpus (live corpus upsert/delete batches published as new epochs)")
 	maxMutationBatch := fs.Int("max-mutation-batch", 0, "max operations (upserts + deletes) accepted in one POST /v1/corpus request (0: 1024)")
 	slowQueryMS := fs.Int("slow-query-ms", 0, "latency threshold in milliseconds above which a query emits a slow-query JSON line (0: disabled)")
+	sloEnabled := fs.Bool("slo", true, "track per-class SLOs and serve GET /v1/slo (rolling-window quantiles, error-budget burn rates)")
+	sloHitP99 := fs.Duration("slo-hit-p99", 10*time.Millisecond, "p99 latency objective for cache-hit searches")
+	sloMissP99 := fs.Duration("slo-miss-p99", 250*time.Millisecond, "p99 latency objective for computed (cache-miss) searches")
+	sloBatchP99 := fs.Duration("slo-batch-p99", 500*time.Millisecond, "p99 latency objective for individual batch elements")
+	sloMutateP99 := fs.Duration("slo-mutate-p99", time.Second, "p99 latency objective for corpus mutations")
+	sloAvailability := fs.Float64("slo-availability", 0.999, "success-ratio objective shared by every request class")
 	walDir := fs.String("wal-dir", "", "directory for the write-ahead log and corpus snapshots (empty: durability disabled, mutations are volatile)")
 	walSync := fs.String("wal-sync", "always", "WAL fsync policy: always (fsync every append), interval (background cadence), never (OS page cache only)")
 	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
@@ -117,6 +128,13 @@ func main() {
 		DegradeBudget: *degradeBudget,
 		EnableExplain: *enableExplain,
 		SlowQuery:     time.Duration(*slowQueryMS) * time.Millisecond,
+
+		DisableSLO:      !*sloEnabled,
+		SLOHitP99:       *sloHitP99,
+		SLOMissP99:      *sloMissP99,
+		SLOBatchP99:     *sloBatchP99,
+		SLOMutateP99:    *sloMutateP99,
+		SLOAvailability: *sloAvailability,
 
 		EnableMutation:   *enableMutation,
 		MaxMutationBatch: *maxMutationBatch,

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/resilience"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
@@ -92,6 +94,27 @@ type Config struct {
 	// mutation triggers background snapshot compaction. Only meaningful
 	// with a WAL attached. Default 1024.
 	WALCompactRecords int
+	// DisableSLO turns off the per-class SLO tracker: GET /v1/slo answers
+	// 403 and the propserve_slo_* metrics vanish. The tracker costs a few
+	// atomic operations per request, so it is on by default.
+	DisableSLO bool
+	// SLOHitP99 is the p99 latency threshold for the search_hit class
+	// (cache-served queries). Default 10ms.
+	SLOHitP99 time.Duration
+	// SLOMissP99 is the p99 latency threshold for the search_miss class
+	// (computed and coalesced queries, plus requests that never reached a
+	// cache verdict). Default 250ms.
+	SLOMissP99 time.Duration
+	// SLOBatchP99 is the p99 latency threshold for individual batch
+	// elements. Default 500ms.
+	SLOBatchP99 time.Duration
+	// SLOMutateP99 is the p99 latency threshold for corpus mutations.
+	// Default 1s.
+	SLOMutateP99 time.Duration
+	// SLOAvailability is the success-ratio target shared by every class:
+	// the fraction of requests that are neither 5xx errors nor shed must
+	// stay above it. Default 0.999.
+	SLOAvailability float64
 }
 
 func (c Config) withDefaults() Config {
@@ -131,6 +154,21 @@ func (c Config) withDefaults() Config {
 	if c.WALCompactRecords <= 0 {
 		c.WALCompactRecords = 1024
 	}
+	if c.SLOHitP99 <= 0 {
+		c.SLOHitP99 = 10 * time.Millisecond
+	}
+	if c.SLOMissP99 <= 0 {
+		c.SLOMissP99 = 250 * time.Millisecond
+	}
+	if c.SLOBatchP99 <= 0 {
+		c.SLOBatchP99 = 500 * time.Millisecond
+	}
+	if c.SLOMutateP99 <= 0 {
+		c.SLOMutateP99 = time.Second
+	}
+	if c.SLOAvailability <= 0 {
+		c.SLOAvailability = 0.999
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -164,13 +202,18 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 		reg: reg,
 		requests: reg.CounterVec("propserve_requests_total",
 			"HTTP requests served, by status code.", "code"),
+		// The serving distribution is bimodal — cache hits answer in
+		// microseconds, computed misses in milliseconds — so the request,
+		// stage and queue-wait histograms use the microsecond-floor layout;
+		// DefBuckets would collapse the whole hit mode into its first
+		// bucket.
 		requestSeconds: reg.Histogram("propserve_request_seconds",
-			"End-to-end request latency in seconds.", telemetry.DefBuckets),
+			"End-to-end request latency in seconds.", telemetry.LatencyBuckets),
 		stageSeconds: reg.HistogramVec("propserve_stage_seconds",
 			"Per-stage pipeline latency in seconds (parse, admission_wait, retrieve, step1_pcs, step1_pss, step2_select, encode).",
-			"stage", telemetry.DefBuckets),
+			"stage", telemetry.LatencyBuckets),
 		queueWait: reg.Histogram("propserve_gate_queue_wait_seconds",
-			"Time spent waiting for admission at the gate, in seconds.", telemetry.DefBuckets),
+			"Time spent waiting for admission at the gate, in seconds.", telemetry.LatencyBuckets),
 		degraded: reg.CounterVec("propserve_degraded_total",
 			"Graceful-degradation decisions applied, by reason.", "reason"),
 		batches: reg.Counter("propserve_batch_requests_total",
@@ -280,6 +323,8 @@ type Server struct {
 	gate     *resilience.Gate
 	rec      *resilience.Recoverer
 	tel      *serverMetrics
+	slo      *slo.Tracker // nil when Config.DisableSLO
+	start    time.Time
 	warnOnce sync.Map // deprecated path → *sync.Once
 	slowMu   sync.Mutex
 
@@ -322,11 +367,17 @@ func engineOptions(cfg Config) engine.Options {
 func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		mux:  http.NewServeMux(),
-		data: eng.Corpus(),
-		eng:  eng,
-		cfg:  cfg,
-		gate: resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		mux:   http.NewServeMux(),
+		data:  eng.Corpus(),
+		eng:   eng,
+		cfg:   cfg,
+		gate:  resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		start: time.Now(),
+	}
+	if !cfg.DisableSLO {
+		s.slo = slo.NewTracker(slo.DefaultObjectives(
+			cfg.SLOHitP99, cfg.SLOMissP99, cfg.SLOBatchP99, cfg.SLOMutateP99,
+			cfg.SLOAvailability), slo.Options{})
 	}
 	s.ready.Store(true)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -336,11 +387,13 @@ func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
 	s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
 	s.rec = resilience.NewRecoverer(s.mux, cfg.Logf)
 	s.tel = newServerMetrics(s.gate, s.rec, s.eng)
 	s.registerDurabilityMetrics()
+	s.registerSLOMetrics()
 	s.mux.Handle("GET /metrics", s.tel.reg)
 
 	// Middleware, innermost first: panic recovery around the routes, the
@@ -424,6 +477,168 @@ func (s *Server) walStats() wal.Stats {
 		return l.Stats()
 	}
 	return wal.Stats{}
+}
+
+// registerSLOMetrics exposes the SLO tracker on /metrics through the
+// read-at-scrape pattern: each family snapshots the tracker when scraped,
+// so the request path pays nothing for the exposition. The label sets
+// (class × window × quantile/kind) are only known from the snapshot,
+// hence the series-func collectors.
+func (s *Server) registerSLOMetrics() {
+	if s.slo == nil {
+		return
+	}
+	reg := s.tel.reg
+	label := func(name, value string) telemetry.Label { return telemetry.Label{Name: name, Value: value} }
+	reg.GaugeSeriesFunc("propserve_slo_latency_seconds",
+		"Rolling-window latency quantile estimates per request class (one-bucket sketch error).",
+		func() []telemetry.Series {
+			var out []telemetry.Series
+			for _, c := range s.slo.Snapshot().Classes {
+				for _, ws := range c.Windows {
+					win := slo.WindowLabel(ws.Window)
+					for _, q := range []struct {
+						name string
+						d    time.Duration
+					}{{"0.5", ws.P50}, {"0.95", ws.P95}, {"0.99", ws.P99}} {
+						out = append(out, telemetry.Series{
+							Labels: []telemetry.Label{label("class", c.Class), label("window", win), label("quantile", q.name)},
+							Value:  q.d.Seconds(),
+						})
+					}
+				}
+			}
+			return out
+		})
+	reg.GaugeSeriesFunc("propserve_slo_burn_rate",
+		"Error-budget burn rate per class and window; sustained 1.0 exactly exhausts the budget.",
+		func() []telemetry.Series {
+			var out []telemetry.Series
+			for _, c := range s.slo.Snapshot().Classes {
+				for _, ws := range c.Windows {
+					win := slo.WindowLabel(ws.Window)
+					out = append(out,
+						telemetry.Series{Labels: []telemetry.Label{label("class", c.Class), label("window", win), label("kind", "availability")}, Value: ws.AvailabilityBurn},
+						telemetry.Series{Labels: []telemetry.Label{label("class", c.Class), label("window", win), label("kind", "latency")}, Value: ws.LatencyBurn})
+				}
+			}
+			return out
+		})
+	reg.GaugeSeriesFunc("propserve_slo_budget_remaining",
+		"Fraction of the error budget left per class and window (negative when overspent).",
+		func() []telemetry.Series {
+			var out []telemetry.Series
+			for _, c := range s.slo.Snapshot().Classes {
+				for _, ws := range c.Windows {
+					out = append(out, telemetry.Series{
+						Labels: []telemetry.Label{label("class", c.Class), label("window", slo.WindowLabel(ws.Window))},
+						Value:  ws.BudgetRemaining,
+					})
+				}
+			}
+			return out
+		})
+	reg.CounterSeriesFunc("propserve_slo_requests_total",
+		"Requests recorded by the SLO tracker since start, per class and outcome.",
+		func() []telemetry.Series {
+			var out []telemetry.Series
+			for _, c := range s.slo.Snapshot().Classes {
+				for _, o := range []struct {
+					name string
+					n    uint64
+				}{{"ok", c.Total.OK}, {"error", c.Total.Errors}, {"shed", c.Total.Shed}} {
+					out = append(out, telemetry.Series{
+						Labels: []telemetry.Label{label("class", c.Class), label("outcome", o.name)},
+						Value:  float64(o.n),
+					})
+				}
+			}
+			return out
+		})
+}
+
+// recordSLO stores one request's latency and outcome into its SLO class
+// and, when h is non-nil, stamps the exact recorded latency onto the
+// response as a Server-Timing header (so load generators can compare
+// client-observed latencies against the server's own samples without
+// network skew). Call it before the first body write — headers are
+// frozen after that — and pass a nil header on paths that share a
+// response with other work (batch elements).
+func (s *Server) recordSLO(h http.Header, class string, start time.Time, status int) {
+	d := time.Since(start)
+	if h != nil && s.slo != nil {
+		h.Set("Server-Timing", fmt.Sprintf("app;dur=%.4f", float64(d.Nanoseconds())/1e6))
+	}
+	s.slo.Record(class, d, slo.OutcomeForStatus(status))
+}
+
+// searchClass maps the engine's cache verdict onto the SLO class: only a
+// straight LRU hit counts as the hit class; computed and coalesced
+// queries — and requests that failed before a verdict — count as misses,
+// the class with the looser objective.
+func searchClass(cache string) string {
+	if cache == engine.CacheHit {
+		return slo.ClassSearchHit
+	}
+	return slo.ClassSearchMiss
+}
+
+// sloStatsJSON renders one WindowStats as the /v1/slo JSON object.
+func sloStatsJSON(ws slo.WindowStats) map[string]any {
+	return map[string]any{
+		"count":             ws.Count,
+		"ok":                ws.OK,
+		"errors":            ws.Errors,
+		"shed":              ws.Shed,
+		"slow":              ws.Slow,
+		"p50_ms":            slo.FormatDurationMS(ws.P50),
+		"p95_ms":            slo.FormatDurationMS(ws.P95),
+		"p99_ms":            slo.FormatDurationMS(ws.P99),
+		"max_ms":            slo.FormatDurationMS(ws.Max),
+		"mean_ms":           slo.FormatDurationMS(ws.Mean),
+		"availability_burn": round3(ws.AvailabilityBurn),
+		"latency_burn":      round3(ws.LatencyBurn),
+		"budget_remaining":  round3(ws.BudgetRemaining),
+	}
+}
+
+// handleSLO serves GET /v1/slo: every class's objective, lifetime totals,
+// and per-window quantile/burn-rate stats. Quantiles carry the sketch's
+// one-bucket error bound (a factor of 1.2); burn rates follow the
+// multi-window error-budget convention — the 1m window answers "is it
+// burning right now", the 1h window "has it burned too much lately".
+func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
+	if s.slo == nil {
+		s.writeError(w, http.StatusForbidden, "slo tracking disabled: start the server without -slo=false")
+		return
+	}
+	snap := s.slo.Snapshot()
+	windows := make([]string, 0, len(snap.Windows))
+	for _, d := range snap.Windows {
+		windows = append(windows, slo.WindowLabel(d))
+	}
+	classes := map[string]any{}
+	for _, c := range snap.Classes {
+		wins := map[string]any{}
+		for _, ws := range c.Windows {
+			wins[slo.WindowLabel(ws.Window)] = sloStatsJSON(ws)
+		}
+		classes[c.Class] = map[string]any{
+			"objective": map[string]any{
+				"quantile":     c.Objective.Quantile,
+				"threshold_ms": slo.FormatDurationMS(c.Objective.Threshold),
+				"availability": c.Objective.Availability,
+			},
+			"total":   sloStatsJSON(c.Total),
+			"windows": wins,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"start_time": snap.Start.UTC().Format(time.RFC3339),
+		"uptime_s":   round3(time.Since(snap.Start).Seconds()),
+		"windows":    windows,
+		"classes":    classes,
+	})
 }
 
 // BeginRecovery marks the server not ready: /readyz answers 503
@@ -628,6 +843,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	// latter.
 	cur := s.eng.Corpus()
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"server":       s.serverSection(),
 		"dataset":      cur.Config.Name,
 		"places":       len(cur.Places),
 		"vocabulary":   cur.Dict.Len(),
@@ -675,6 +891,27 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// serverSection is the /v1/stats process-identity block: how long this
+// instance has been up, what built it, and when it started — the facts a
+// load report needs to stamp which server produced its numbers.
+func (s *Server) serverSection() map[string]interface{} {
+	sec := map[string]interface{}{
+		"uptime_s":    round3(time.Since(s.start).Seconds()),
+		"start_time":  s.start.UTC().Format(time.RFC3339),
+		"start_epoch": s.start.Unix(),
+		"go_version":  runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				sec["build"] = kv.Value
+				break
+			}
+		}
+	}
+	return sec
+}
+
 // flushSpans records a request trace's spans on the per-stage histogram.
 func (s *Server) flushSpans(tr *telemetry.Trace) {
 	for _, sp := range tr.Spans() {
@@ -683,6 +920,7 @@ func (s *Server) flushSpans(tr *telemetry.Trace) {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	// One trace per request; the pipeline stages (engine, core, textctx,
 	// grid) find it through the context and record their spans on it.
 	tr := telemetry.NewTrace()
@@ -696,6 +934,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	endParse()
 	if err != nil {
+		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, http.StatusBadRequest)
 		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
 		return
 	}
@@ -724,6 +963,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
+		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, status)
 		s.writeError(w, status, "admission: %v", err)
 		return
 	}
@@ -737,6 +977,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
 			req.Spatial = "squared"
 			if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
+				s.recordSLO(w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError)
 				s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
 				return
 			}
@@ -748,16 +989,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	res, err := s.eng.Query(ctx, req)
 	if err != nil {
+		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, statusFor(err))
 		s.writeError(w, statusFor(err), "%v", err)
 		return
 	}
 	telemetry.NoteCache(r.Context(), res.Cache)
+	telemetry.NoteEpoch(r.Context(), req.Epoch())
 
 	resp := s.eng.BuildResponse(req, res, tr)
 	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
 	if len(degraded) > 0 {
 		resp.Diagnostics["degraded"] = degraded
 	}
+	// Recorded before the body write so the Server-Timing header makes it
+	// out; the excluded JSON encode is observed separately in the encode
+	// stage histogram.
+	s.recordSLO(w.Header(), searchClass(res.Cache), start, http.StatusOK)
 	endEncode := tr.StartSpan(telemetry.StageEncode)
 	s.writeJSON(w, http.StatusOK, resp)
 	endEncode()
@@ -815,6 +1062,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	telemetry.NoteCache(r.Context(), res.Cache)
+	telemetry.NoteEpoch(r.Context(), req.Epoch())
 	if rep.Pruning != nil {
 		s.tel.msjhPruned.Set(rep.Pruning.PrunedRatio)
 	}
@@ -843,6 +1091,7 @@ type slowQueryEntry struct {
 	Query       map[string]any `json:"query"`
 	StageMS     map[string]any `json:"stage_ms"`
 	Cache       string         `json:"cache,omitempty"`
+	CorpusEpoch uint64         `json:"corpus_epoch"`
 	Explain     any            `json:"explain,omitempty"`
 }
 
@@ -875,9 +1124,10 @@ func (s *Server) maybeLogSlow(endpoint, requestID string, req *engine.QueryReque
 			"lambda": req.Lambda, "gamma": req.Gamma,
 			"algo": req.Algo, "spatial": req.Spatial,
 		},
-		StageMS: stages,
-		Cache:   cache,
-		Explain: explainRep,
+		StageMS:     stages,
+		Cache:       cache,
+		CorpusEpoch: req.Epoch(),
+		Explain:     explainRep,
 	}
 	line, err := json.Marshal(e)
 	if err != nil {
@@ -978,12 +1228,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // spans never bleed across elements — while requestID ties every element's
 // response and slow-query line back to the parent batch request.
 func (s *Server) batchElement(parent context.Context, requestID string, idx int, raw json.RawMessage) (item batchItem) {
+	start := time.Now()
 	item.Index = idx
 	defer func() {
 		if v := recover(); v != nil {
 			s.cfg.Logf("propserve: panic in batch element %d: %v", idx, v)
 			item = batchItem{Index: idx, Status: http.StatusInternalServerError, Error: "internal server error"}
 		}
+		// Each element is one unit of the batch SLO class; the shared
+		// response envelope means no per-element Server-Timing header.
+		s.recordSLO(nil, slo.ClassBatch, start, item.Status)
 	}()
 
 	tr := telemetry.NewTrace()
@@ -1050,6 +1304,16 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusForbidden, "corpus mutation disabled: start the server with -enable-mutation")
 		return
 	}
+	// Everything past the enablement gate is mutation-class load; done
+	// stamps the exit status exactly once per request.
+	start := time.Now()
+	recorded := false
+	done := func(code int) {
+		if !recorded {
+			recorded = true
+			s.recordSLO(w.Header(), slo.ClassMutate, start, code)
+		}
+	}
 	// Durability gates, checked before the body is even read: mutations
 	// are shed while replay rebuilds the corpus (accepting one would fork
 	// history from a state that is still moving) and shed permanently in
@@ -1057,24 +1321,29 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	// restart, silently breaking the acknowledged-durability contract).
 	if !s.ready.Load() {
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+		done(http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, "recovering: corpus mutations resume when WAL replay completes")
 		return
 	}
 	if reason := s.walDegraded.Load(); reason != nil {
+		done(http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, "durability degraded, mutations disabled: %s", *reason)
 		return
 	}
 	var m engine.Mutation
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&m); err != nil {
+		done(http.StatusBadRequest)
 		s.writeError(w, http.StatusBadRequest, "bad mutation body: %v", err)
 		return
 	}
 	if m.Size() == 0 {
+		done(http.StatusBadRequest)
 		s.writeError(w, http.StatusBadRequest, "empty mutation: provide \"upserts\" and/or \"deletes\"")
 		return
 	}
 	if m.Size() > s.cfg.MaxMutationBatch {
+		done(http.StatusBadRequest)
 		s.writeError(w, http.StatusBadRequest, "mutation batch of %d operations exceeds the limit of %d",
 			m.Size(), s.cfg.MaxMutationBatch)
 		return
@@ -1088,6 +1357,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
+		done(status)
 		s.writeError(w, status, "admission: %v", err)
 		return
 	}
@@ -1099,11 +1369,14 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, engine.ErrWAL) {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
+		done(status)
 		s.writeError(w, status, "%v", err)
 		return
 	}
 	s.tel.mutations.Inc()
 	s.maybeCompactAsync()
+	telemetry.NoteEpoch(r.Context(), res.Epoch)
+	done(http.StatusOK)
 	s.writeJSON(w, http.StatusOK, corpusResponse{
 		RequestID:      w.Header().Get(telemetry.RequestIDHeader),
 		MutationResult: *res,

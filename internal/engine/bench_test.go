@@ -109,10 +109,10 @@ func TestBenchServe(t *testing.T) {
 	speedup := missNs / hitNs
 	st := e.Stats()
 	report := map[string]any{
-		"benchmark": "engine_repeated_query",
-		"dataset":   map[string]any{"name": d.Config.Name, "places": d.Config.Places, "seed": d.Config.Seed},
-		"query":     map[string]any{"K": 200, "k": 10, "spatial": "squared", "algo": "abp"},
-		"runs":      map[string]any{"miss": missRuns, "hit": hitRuns},
+		"benchmark":  "engine_repeated_query",
+		"dataset":    map[string]any{"name": d.Config.Name, "places": d.Config.Places, "seed": d.Config.Seed},
+		"query":      map[string]any{"K": 200, "k": 10, "spatial": "squared", "algo": "abp"},
+		"runs":       map[string]any{"miss": missRuns, "hit": hitRuns},
 		"miss_ns_op": missNs,
 		"hit_ns_op":  hitNs,
 		"speedup":    speedup,

@@ -1,0 +1,455 @@
+// Package loadgen drives sustained HTTP load against a propserve
+// instance and reports latency quantiles, throughput and shed rate.
+//
+// The generator is open-loop: arrivals follow a Poisson process at the
+// target rate, independent of how fast responses come back. A closed
+// loop (fixed worker pool issuing the next request when the previous
+// one answers) slows its own arrival rate exactly when the server slows
+// down, hiding the queueing collapse a tail-latency harness exists to
+// measure; the open loop keeps pushing and lets the admission gate shed,
+// which is the behaviour production overload shows.
+//
+// Latency is measured twice per request: the client-observed wall time
+// (what a caller experiences, including HTTP overhead) and the
+// server-side duration stamped in the response's Server-Timing header
+// (the exact value the server recorded into its SLO tracker). The second
+// series lets harnesses check /v1/slo quantile estimates against exact
+// sample quantiles without network skew drowning the microsecond hit
+// path.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// Traffic mixes.
+const (
+	// MixHitHeavy samples a small query pool with Zipf skew: after the
+	// first computation nearly every request is a cache hit.
+	MixHitHeavy = "hit-heavy"
+	// MixMissHeavy perturbs every query location so each request carries
+	// a unique cache key and must compute.
+	MixMissHeavy = "miss-heavy"
+	// MixMutationInterleaved is hit-heavy search traffic with a fraction
+	// of corpus mutations interleaved (requires -enable-mutation); each
+	// mutation publishes a new epoch and invalidates the cache, so hits
+	// and misses alternate in waves.
+	MixMutationInterleaved = "mutation-interleaved"
+)
+
+// Options configures one load run. Zero values select the noted
+// defaults.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// RPS is the target arrival rate. Default 50.
+	RPS float64
+	// Duration is the measured phase length. Default 5s.
+	Duration time.Duration
+	// Warmup runs load without recording first — cache fill, connection
+	// setup, scheduler warm-up. Default 0 (no warmup).
+	Warmup time.Duration
+	// Mix selects the traffic shape. Default MixHitHeavy.
+	Mix string
+	// Data generates the query workload (dataset.GenQueries); required.
+	Data *dataset.Dataset
+	// Seed makes the workload reproducible. Default 1.
+	Seed int64
+	// PoolSize is the distinct-query pool for the Zipf-skewed mixes.
+	// Default 32.
+	PoolSize int
+	// ZipfS is the Zipf skew parameter (>1; larger = more repetition).
+	// Default 1.3.
+	ZipfS float64
+	// K and SmallK are the retrieval and result sizes sent with every
+	// search. Defaults 100 and 10.
+	K, SmallK int
+	// MutationFraction is the share of arrivals that POST /v1/corpus
+	// under MixMutationInterleaved. Default 0.02.
+	MutationFraction float64
+	// MaxInFlight caps concurrently outstanding requests; an arrival past
+	// the cap blocks until a slot frees (bounding client memory while
+	// staying effectively open-loop at sane rates). Default 512.
+	MaxInFlight int
+	// Client is the HTTP client. Default: 10s timeout.
+	Client *http.Client
+	// Logf receives progress lines. Default: discard.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RPS <= 0 {
+		o.RPS = 50
+	}
+	if o.Duration <= 0 {
+		o.Duration = 5 * time.Second
+	}
+	if o.Mix == "" {
+		o.Mix = MixHitHeavy
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 32
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.K <= 0 {
+		o.K = 100
+	}
+	if o.SmallK <= 0 {
+		o.SmallK = 10
+	}
+	if o.MutationFraction <= 0 {
+		o.MutationFraction = 0.02
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 512
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Quantiles summarises one latency series with exact sorted-sample
+// quantiles in fractional milliseconds.
+type Quantiles struct {
+	Samples int     `json:"samples"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	MaxMS   float64 `json:"max_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
+// Report is the outcome of one measured load phase.
+type Report struct {
+	Mix             string  `json:"mix"`
+	TargetRPS       float64 `json:"target_rps"`
+	MeasuredSeconds float64 `json:"measured_seconds"`
+	Sent            int     `json:"sent"`
+	OK              int     `json:"ok"`
+	Shed            int     `json:"shed"`
+	Errors5xx       int     `json:"errors_5xx"`
+	Client4xx       int     `json:"client_4xx"`
+	TransportErrors int     `json:"transport_errors"`
+	Searches        int     `json:"searches"`
+	Mutations       int     `json:"mutations"`
+	// ThroughputRPS counts completed (any status) requests per measured
+	// second; ShedRate is shed / sent.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ShedRate      float64 `json:"shed_rate"`
+	// Client is the caller-experienced latency; Server the server-side
+	// latency parsed from Server-Timing headers.
+	Client Quantiles `json:"client"`
+	Server Quantiles `json:"server"`
+
+	// ServerDurations holds the raw server-side samples for agreement
+	// checks against /v1/slo; omitted from JSON reports.
+	ServerDurations []time.Duration `json:"-"`
+}
+
+// sample is one completed request.
+type sample struct {
+	client   time.Duration
+	server   time.Duration
+	hasSrv   bool
+	status   int // 0 for transport errors
+	mutation bool
+}
+
+// Run executes warmup then the measured phase and reports. It returns an
+// error only for unusable options or a fully unreachable server; request
+// failures are counted, not fatal.
+func Run(ctx context.Context, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	if opts.Data == nil {
+		return nil, fmt.Errorf("loadgen: Data is required")
+	}
+	base := strings.TrimRight(opts.BaseURL, "/")
+	queries, err := opts.Data.GenQueries(opts.PoolSize, opts.SmallK, opts.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: generating query pool: %w", err)
+	}
+	searchURL := func(i int, jitter float64) string {
+		q := queries[i%len(queries)]
+		v := url.Values{}
+		v.Set("x", strconv.FormatFloat(q.Loc.X+jitter, 'g', -1, 64))
+		v.Set("y", strconv.FormatFloat(q.Loc.Y, 'g', -1, 64))
+		v.Set("keywords", strings.Join(q.Keywords.Words(opts.Data.Dict), ","))
+		v.Set("K", strconv.Itoa(opts.K))
+		v.Set("k", strconv.Itoa(opts.SmallK))
+		return base + "/v1/search?" + v.Encode()
+	}
+	pool := make([]string, len(queries))
+	for i := range queries {
+		pool[i] = searchURL(i, 0)
+	}
+	words := opts.Data.Dict.Words()
+	if len(words) == 0 {
+		return nil, fmt.Errorf("loadgen: dataset dictionary is empty")
+	}
+
+	// target builds one arrival's request. The x perturbation in the
+	// miss-heavy mix makes each cache key unique: keys hash exact float
+	// bits, so even a nanoscale jitter forces a fresh computation.
+	target := func(rng *rand.Rand, zipf *rand.Zipf, reqID int) (string, string) {
+		if opts.Mix == MixMutationInterleaved && rng.Float64() < opts.MutationFraction {
+			return base + "/v1/corpus", mutationBody(rng, words, reqID)
+		}
+		if opts.Mix == MixMissHeavy {
+			return searchURL(reqID, float64(reqID+1)*1e-9), ""
+		}
+		return pool[zipf.Uint64()], ""
+	}
+
+	if opts.Warmup > 0 {
+		opts.Logf("loadgen: warmup %v at %.0f rps (%s)", opts.Warmup, opts.RPS, opts.Mix)
+		runPhase(ctx, opts, target, opts.Warmup, nil)
+	}
+	opts.Logf("loadgen: measuring %v at %.0f rps (%s)", opts.Duration, opts.RPS, opts.Mix)
+	var (
+		mu      sync.Mutex
+		samples []sample
+	)
+	start := time.Now()
+	runPhase(ctx, opts, target, opts.Duration, func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	})
+	measured := time.Since(start)
+	return summarize(opts, samples, measured), nil
+}
+
+// runPhase issues open-loop Poisson arrivals for dur; record receives
+// every completed sample (nil during warmup).
+func runPhase(ctx context.Context, opts Options, target func(*rand.Rand, *rand.Zipf, int) (string, string), dur time.Duration, record func(sample)) {
+	rng := rand.New(rand.NewSource(opts.Seed + int64(dur)))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1, uint64(opts.PoolSize-1))
+	sem := make(chan struct{}, opts.MaxInFlight)
+	var wg sync.WaitGroup
+	deadline := time.Now().Add(dur)
+	next := time.Now()
+	for reqID := 0; ; reqID++ {
+		// Poisson process: exponentially distributed inter-arrival gaps.
+		next = next.Add(time.Duration(rng.ExpFloat64() / opts.RPS * float64(time.Second)))
+		if next.After(deadline) {
+			break
+		}
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		}
+		reqURL, body := target(rng, zipf, reqID)
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			s := issue(ctx, opts.Client, reqURL, body)
+			s.mutation = body != ""
+			if record != nil {
+				record(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mutationBody builds one single-upsert /v1/corpus payload with a
+// workload-owned ID (so repeated runs overwrite their own places rather
+// than growing the corpus without bound) and dictionary words the live
+// queries actually search for.
+func mutationBody(rng *rand.Rand, words []string, reqID int) string {
+	w1 := words[rng.Intn(len(words))]
+	w2 := words[rng.Intn(len(words))]
+	return fmt.Sprintf(`{"upserts":[{"id":"load-%d","x":%.4f,"y":%.4f,"context":[%q,%q]}]}`,
+		reqID%64, rng.Float64()*10, rng.Float64()*10, w1, w2)
+}
+
+// issue performs one request and extracts the sample.
+func issue(ctx context.Context, client *http.Client, target, body string) sample {
+	var (
+		req *http.Request
+		err error
+	)
+	if body != "" {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, target, strings.NewReader(body))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	}
+	if err != nil {
+		return sample{}
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return sample{client: time.Since(start)}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	s := sample{client: time.Since(start), status: resp.StatusCode}
+	if d, ok := parseServerTiming(resp.Header.Get("Server-Timing")); ok {
+		s.server, s.hasSrv = d, true
+	}
+	return s
+}
+
+// parseServerTiming extracts the app;dur=<ms> value propserve stamps on
+// SLO-tracked responses.
+func parseServerTiming(h string) (time.Duration, bool) {
+	for _, part := range strings.Split(h, ",") {
+		part = strings.TrimSpace(part)
+		if !strings.HasPrefix(part, "app;") {
+			continue
+		}
+		for _, field := range strings.Split(part, ";") {
+			if v, ok := strings.CutPrefix(field, "dur="); ok {
+				ms, err := strconv.ParseFloat(v, 64)
+				if err != nil || ms < 0 {
+					return 0, false
+				}
+				return time.Duration(ms * float64(time.Millisecond)), true
+			}
+		}
+	}
+	return 0, false
+}
+
+func summarize(opts Options, samples []sample, measured time.Duration) *Report {
+	r := &Report{
+		Mix:             opts.Mix,
+		TargetRPS:       opts.RPS,
+		MeasuredSeconds: round3(measured.Seconds()),
+		Sent:            len(samples),
+	}
+	var clientDur, serverDur []time.Duration
+	for _, s := range samples {
+		switch {
+		case s.status == 0:
+			r.TransportErrors++
+		case s.status == http.StatusServiceUnavailable:
+			r.Shed++
+		case s.status >= 500:
+			r.Errors5xx++
+		case s.status >= 400:
+			r.Client4xx++
+		default:
+			r.OK++
+		}
+		if s.mutation {
+			r.Mutations++
+		} else {
+			r.Searches++
+		}
+		if s.status != 0 {
+			clientDur = append(clientDur, s.client)
+		}
+		if s.hasSrv {
+			serverDur = append(serverDur, s.server)
+		}
+	}
+	if measured > 0 {
+		r.ThroughputRPS = round3(float64(len(samples)) / measured.Seconds())
+	}
+	if r.Sent > 0 {
+		r.ShedRate = round3(float64(r.Shed) / float64(r.Sent))
+	}
+	r.Client = quantiles(clientDur)
+	r.Server = quantiles(serverDur)
+	r.ServerDurations = serverDur
+	return r
+}
+
+// quantiles computes exact order statistics over one latency series.
+func quantiles(durs []time.Duration) Quantiles {
+	q := Quantiles{Samples: len(durs)}
+	if len(durs) == 0 {
+		return q
+	}
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	// ⌈p·n⌉-th smallest, matching ExactQuantile and the slo sketch.
+	at := func(p float64) time.Duration {
+		rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		if rank >= len(sorted) {
+			rank = len(sorted) - 1
+		}
+		return sorted[rank]
+	}
+	q.P50MS = ms(at(0.50))
+	q.P95MS = ms(at(0.95))
+	q.P99MS = ms(at(0.99))
+	q.MaxMS = ms(sorted[len(sorted)-1])
+	q.MeanMS = ms(sum / time.Duration(len(sorted)))
+	return q
+}
+
+// ExactQuantile returns the p-quantile of the report's server-side
+// samples (the ⌈p·n⌉-th smallest), for agreement checks against the
+// sketch estimates /v1/slo reports.
+func (r *Report) ExactQuantile(p float64) time.Duration {
+	if len(r.ServerDurations) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), r.ServerDurations...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Same rank convention as slo.Counts.Quantile, so agreement checks
+	// compare the same order statistic.
+	rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func ms(d time.Duration) float64 { return round3(d.Seconds() * 1e3) }
+
+func round3(v float64) float64 {
+	return float64(int64(v*1e3+0.5)) / 1e3
+}

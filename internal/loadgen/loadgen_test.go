@@ -1,0 +1,118 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+func TestParseServerTiming(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"app;dur=1.5", 1500 * time.Microsecond, true},
+		{"app;dur=0.0420", 42 * time.Microsecond, true},
+		{`cache;desc="hit", app;dur=2`, 2 * time.Millisecond, true},
+		{"app;desc=x;dur=3", 3 * time.Millisecond, true},
+		{"db;dur=9", 0, false},
+		{"app;dur=banana", 0, false},
+		{"app;dur=-1", 0, false},
+		{"", 0, false},
+	} {
+		got, ok := parseServerTiming(tc.in)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseServerTiming(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestQuantilesExact(t *testing.T) {
+	var durs []time.Duration
+	for i := 1; i <= 100; i++ {
+		durs = append(durs, time.Duration(i)*time.Millisecond)
+	}
+	q := quantiles(durs)
+	if q.Samples != 100 || q.P50MS != 50 || q.P95MS != 95 || q.P99MS != 99 || q.MaxMS != 100 {
+		t.Errorf("quantiles over 1..100ms = %+v", q)
+	}
+	r := &Report{ServerDurations: durs}
+	// ⌈p·n⌉-th smallest: the sketch's rank convention.
+	if got := r.ExactQuantile(0.50); got != 50*time.Millisecond {
+		t.Errorf("ExactQuantile(0.50) = %v", got)
+	}
+	if got := r.ExactQuantile(0.999); got != 100*time.Millisecond {
+		t.Errorf("ExactQuantile(0.999) = %v", got)
+	}
+	if got := (&Report{}).ExactQuantile(0.5); got != 0 {
+		t.Errorf("empty ExactQuantile = %v", got)
+	}
+}
+
+// TestRunCountsOutcomes exercises the full loop against a stub server
+// that sheds every third request, checking arrival accounting, status
+// classification and Server-Timing extraction without a real engine.
+func TestRunCountsOutcomes(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasPrefix(r.URL.Path, "/v1/search") {
+			t.Errorf("unexpected path %q", r.URL.Path)
+		}
+		w.Header().Set("Server-Timing", "app;dur=1.25")
+		if n.Add(1)%3 == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	d, err := dataset.Generate(dataset.DBpediaLike(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Run(context.Background(), Options{
+		BaseURL:  ts.URL,
+		RPS:      200,
+		Duration: 500 * time.Millisecond,
+		Mix:      MixHitHeavy,
+		Data:     d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Sent == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	if report.Sent != report.OK+report.Shed {
+		t.Errorf("sent %d != ok %d + shed %d", report.Sent, report.OK, report.Shed)
+	}
+	if report.Shed == 0 || report.ShedRate <= 0 {
+		t.Errorf("shedding server produced shed=%d rate=%v", report.Shed, report.ShedRate)
+	}
+	if report.Server.Samples != report.Sent {
+		t.Errorf("Server-Timing parsed on %d of %d", report.Server.Samples, report.Sent)
+	}
+	if report.Server.P99MS != 1.25 {
+		t.Errorf("server p99 = %v, want the stubbed 1.25ms", report.Server.P99MS)
+	}
+	if report.Mutations != 0 || report.Searches != report.Sent {
+		t.Errorf("hit-heavy mix sent %d mutations", report.Mutations)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	if _, err := Run(context.Background(), Options{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Options{BaseURL: "http://x"}); err == nil {
+		t.Error("missing Data accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package slo
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar: a disabled (nil) tracker must cost nothing beyond
+// a branch, and an enabled tracker a binary search plus a bounded run of
+// atomic adds per window — no locks, no allocations.
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var tr *Tracker
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(ClassSearchHit, 2*time.Microsecond, OutcomeOK)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	tr := NewTracker(DefaultObjectives(10*time.Millisecond, 250*time.Millisecond, 500*time.Millisecond, time.Second, 0.999), Options{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Record(ClassSearchHit, 2*time.Microsecond, OutcomeOK)
+	}
+}
+
+func BenchmarkRecordParallel(b *testing.B) {
+	tr := NewTracker(DefaultObjectives(10*time.Millisecond, 250*time.Millisecond, 500*time.Millisecond, time.Second, 0.999), Options{})
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			tr.Record(ClassSearchMiss, 5*time.Millisecond, OutcomeOK)
+		}
+	})
+}
+
+func BenchmarkSketchObserve(b *testing.B) {
+	var s Sketch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	tr := NewTracker(DefaultObjectives(10*time.Millisecond, 250*time.Millisecond, 500*time.Millisecond, time.Second, 0.999), Options{})
+	for i := 0; i < 10000; i++ {
+		tr.Record(ClassSearchHit, time.Duration(i)*time.Microsecond, OutcomeOK)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Snapshot()
+	}
+}

@@ -1,0 +1,270 @@
+package slo
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Canonical request classes tracked by propserve. Classes are fixed at
+// tracker construction — per-class storage is preallocated, so Record
+// never allocates or locks on the hot path.
+const (
+	ClassSearchHit  = "search_hit"
+	ClassSearchMiss = "search_miss"
+	ClassBatch      = "batch"
+	ClassMutate     = "mutate"
+)
+
+// Objective is one class's service-level objective: the target quantile
+// must stay under Threshold, and the fraction of non-OK outcomes must
+// stay under 1−Availability. Both define an error budget; burn rates
+// report how fast each budget is being consumed.
+type Objective struct {
+	// Quantile is the latency target quantile, e.g. 0.99. Defaults to
+	// 0.99 when zero.
+	Quantile float64
+	// Threshold is the latency bound the quantile must stay under.
+	Threshold time.Duration
+	// Availability is the success-ratio target, e.g. 0.999. Defaults to
+	// 0.999 when zero.
+	Availability float64
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.Quantile <= 0 {
+		o.Quantile = 0.99
+	}
+	if o.Quantile >= 1 {
+		o.Quantile = 0.9999
+	}
+	if o.Availability <= 0 {
+		o.Availability = 0.999
+	}
+	if o.Availability >= 1 {
+		o.Availability = 0.9999
+	}
+	if o.Threshold <= 0 {
+		o.Threshold = time.Second
+	}
+	return o
+}
+
+// Options configures a Tracker.
+type Options struct {
+	// Windows are the rolling spans reported per class; default
+	// 1m, 5m, 1h — the multi-window layout burn-rate alerting expects.
+	Windows []time.Duration
+	// SubWindows is the ring size per window (rotation granularity =
+	// window/SubWindows). Default 12.
+	SubWindows int
+	// Now is the clock; default time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Windows) == 0 {
+		o.Windows = []time.Duration{time.Minute, 5 * time.Minute, time.Hour}
+	}
+	if o.SubWindows <= 0 {
+		o.SubWindows = 12
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Tracker records request latency and outcome per class into a lifetime
+// record plus one rolling window per configured span. All methods are
+// safe for concurrent use; a nil *Tracker ignores Record calls and
+// snapshots empty, so callers need no "is SLO enabled" branches.
+type Tracker struct {
+	opt     Options
+	start   time.Time
+	names   []string // sorted
+	classes map[string]*classState
+}
+
+type classState struct {
+	obj     Objective
+	total   record
+	windows []*Window
+}
+
+// NewTracker builds a tracker for exactly the given classes.
+func NewTracker(objectives map[string]Objective, opt Options) *Tracker {
+	opt = opt.withDefaults()
+	t := &Tracker{opt: opt, start: opt.Now(), classes: make(map[string]*classState, len(objectives))}
+	for name, obj := range objectives {
+		cs := &classState{obj: obj.withDefaults()}
+		for _, dur := range opt.Windows {
+			cs.windows = append(cs.windows, NewWindow(dur, opt.SubWindows, opt.Now))
+		}
+		t.classes[name] = cs
+		t.names = append(t.names, name)
+	}
+	sort.Strings(t.names)
+	return t
+}
+
+// Record stores one request's latency and outcome into its class. An
+// unknown class (or a nil tracker) is ignored: Record sits on every
+// request path and must never panic or allocate.
+func (t *Tracker) Record(class string, d time.Duration, o Outcome) {
+	if t == nil {
+		return
+	}
+	cs := t.classes[class]
+	if cs == nil {
+		return
+	}
+	slow := d > cs.obj.Threshold
+	cs.total.observe(d, o, slow)
+	for _, w := range cs.windows {
+		w.Observe(d, o, slow)
+	}
+}
+
+// Windows returns the configured rolling spans.
+func (t *Tracker) Windows() []time.Duration {
+	if t == nil {
+		return nil
+	}
+	return t.opt.Windows
+}
+
+// Objective returns the objective of class (zero value when unknown).
+func (t *Tracker) Objective(class string) Objective {
+	if t == nil {
+		return Objective{}
+	}
+	if cs := t.classes[class]; cs != nil {
+		return cs.obj
+	}
+	return Objective{}
+}
+
+// WindowStats is one window's view of one class: counts, quantile
+// estimates, and error-budget burn rates against the class objective.
+type WindowStats struct {
+	// Window is the rolling span (0 for the lifetime record).
+	Window time.Duration
+	// Count is the number of requests observed in the window; OK/Errors/
+	// Shed partition it by outcome, Slow counts threshold breaches.
+	Count, OK, Errors, Shed, Slow uint64
+	// Quantile estimates over the window's merged sketch.
+	P50, P95, P99, Max, Mean time.Duration
+	// AvailabilityBurn is the availability budget burn rate:
+	// (errors+shed)/count scaled by 1/(1−availability). Sustained at 1.0
+	// it exactly exhausts the budget; above 1.0 the budget shrinks.
+	AvailabilityBurn float64
+	// LatencyBurn is the latency budget burn rate: the fraction of
+	// requests over Threshold scaled by 1/(1−quantile target).
+	LatencyBurn float64
+	// BudgetRemaining is 1 − max(AvailabilityBurn, LatencyBurn): the
+	// fraction of this window's error budget left, negative when the
+	// window has overspent.
+	BudgetRemaining float64
+}
+
+// ClassSnapshot is one class's full SLO view.
+type ClassSnapshot struct {
+	Class     string
+	Objective Objective
+	// Total aggregates since tracker start (Window = 0).
+	Total WindowStats
+	// Windows parallels Tracker.Windows().
+	Windows []WindowStats
+}
+
+// Snapshot is a point-in-time view of every class.
+type Snapshot struct {
+	Start   time.Time
+	Windows []time.Duration
+	Classes []ClassSnapshot // sorted by class name
+}
+
+// Snapshot merges every class's sub-windows and computes quantiles and
+// burn rates. It is read-only and never blocks writers; scrape-time cost
+// is proportional to classes × windows × NumBuckets.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{Start: t.start, Windows: t.opt.Windows}
+	for _, name := range t.names {
+		cs := t.classes[name]
+		var totals WindowCounts
+		cs.total.addTo(&totals)
+		c := ClassSnapshot{
+			Class:     name,
+			Objective: cs.obj,
+			Total:     windowStats(0, totals, cs.obj),
+		}
+		for i, w := range cs.windows {
+			c.Windows = append(c.Windows, windowStats(t.opt.Windows[i], w.Snapshot(), cs.obj))
+		}
+		snap.Classes = append(snap.Classes, c)
+	}
+	return snap
+}
+
+// Class returns the snapshot of one class, or false when untracked.
+func (s Snapshot) Class(name string) (ClassSnapshot, bool) {
+	for _, c := range s.Classes {
+		if c.Class == name {
+			return c, true
+		}
+	}
+	return ClassSnapshot{}, false
+}
+
+func windowStats(dur time.Duration, c WindowCounts, obj Objective) WindowStats {
+	ws := WindowStats{
+		Window: dur,
+		Count:  c.Total,
+		OK:     c.Outcomes[OutcomeOK],
+		Errors: c.Outcomes[OutcomeError],
+		Shed:   c.Outcomes[OutcomeShed],
+		Slow:   c.Slow,
+		P50:    c.Quantile(0.50),
+		P95:    c.Quantile(0.95),
+		P99:    c.Quantile(0.99),
+		Max:    c.Max(),
+		Mean:   c.Mean(),
+	}
+	if c.Total > 0 {
+		n := float64(c.Total)
+		ws.AvailabilityBurn = (float64(ws.Errors+ws.Shed) / n) / (1 - obj.Availability)
+		ws.LatencyBurn = (float64(ws.Slow) / n) / (1 - obj.Quantile)
+	}
+	burn := ws.AvailabilityBurn
+	if ws.LatencyBurn > burn {
+		burn = ws.LatencyBurn
+	}
+	ws.BudgetRemaining = 1 - burn
+	return ws
+}
+
+// DefaultObjectives returns propserve's stock per-class objectives: the
+// cache-hit path promises single-digit milliseconds, the miss path a
+// Step-2-dominated bound, batches and mutations looser ones. Callers
+// override thresholds per deployment.
+func DefaultObjectives(hit, miss, batch, mutate time.Duration, availability float64) map[string]Objective {
+	mk := func(th time.Duration) Objective {
+		return Objective{Quantile: 0.99, Threshold: th, Availability: availability}.withDefaults()
+	}
+	return map[string]Objective{
+		ClassSearchHit:  mk(hit),
+		ClassSearchMiss: mk(miss),
+		ClassBatch:      mk(batch),
+		ClassMutate:     mk(mutate),
+	}
+}
+
+// FormatDurationMS renders a duration as fractional milliseconds rounded
+// to 3 decimals — the JSON convention responses use elsewhere.
+func FormatDurationMS(d time.Duration) float64 {
+	return math.Round(d.Seconds()*1e6) / 1e3
+}

@@ -1,0 +1,169 @@
+package slo
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testTracker(clk *fakeClock) *Tracker {
+	return NewTracker(DefaultObjectives(10*time.Millisecond, 250*time.Millisecond, 500*time.Millisecond, time.Second, 0.999),
+		Options{Now: clk.now})
+}
+
+func TestTrackerSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	tr := testTracker(clk)
+
+	for i := 0; i < 97; i++ {
+		tr.Record(ClassSearchHit, 2*time.Microsecond, OutcomeOK)
+	}
+	tr.Record(ClassSearchHit, 50*time.Millisecond, OutcomeOK) // breaches the 10ms threshold
+	tr.Record(ClassSearchHit, 3*time.Microsecond, OutcomeError)
+	tr.Record(ClassSearchHit, time.Microsecond, OutcomeShed)
+	tr.Record(ClassMutate, 20*time.Millisecond, OutcomeOK)
+	tr.Record("unknown-class", time.Second, OutcomeError) // silently ignored
+
+	snap := tr.Snapshot()
+	if len(snap.Classes) != 4 {
+		t.Fatalf("classes = %d, want 4", len(snap.Classes))
+	}
+	hit, ok := snap.Class(ClassSearchHit)
+	if !ok {
+		t.Fatal("no search_hit class")
+	}
+	tot := hit.Total
+	if tot.Count != 100 || tot.OK != 98 || tot.Errors != 1 || tot.Shed != 1 || tot.Slow != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	// Burn rates: 2/100 bad over a 0.1% availability budget burns at 20x;
+	// 1/100 slow over a 1% latency budget burns at 1x.
+	if got, want := tot.AvailabilityBurn, (2.0/100)/0.001; math.Abs(got-want) > 1e-9 {
+		t.Errorf("availability burn = %g, want %g", got, want)
+	}
+	if got, want := tot.LatencyBurn, (1.0/100)/0.01; math.Abs(got-want) > 1e-9 {
+		t.Errorf("latency burn = %g, want %g", got, want)
+	}
+	if got, want := tot.BudgetRemaining, 1-20.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("budget remaining = %g, want %g (overspent)", got, want)
+	}
+	if tot.P50 > 10*time.Microsecond {
+		t.Errorf("p50 = %v, want fast mode", tot.P50)
+	}
+	if tot.Max != 50*time.Millisecond {
+		t.Errorf("max = %v", tot.Max)
+	}
+	// The three rolling windows carry the same young observations.
+	if len(hit.Windows) != 3 {
+		t.Fatalf("windows = %d", len(hit.Windows))
+	}
+	for i, ws := range hit.Windows {
+		if ws.Count != 100 {
+			t.Errorf("window %v count = %d, want 100", snap.Windows[i], ws.Count)
+		}
+	}
+
+	// Rolling expiry: an hour later the windows are empty but the
+	// lifetime totals remain.
+	clk.advance(2 * time.Hour)
+	snap = tr.Snapshot()
+	hit, _ = snap.Class(ClassSearchHit)
+	if hit.Total.Count != 100 {
+		t.Errorf("lifetime count after expiry = %d, want 100", hit.Total.Count)
+	}
+	for i, ws := range hit.Windows {
+		if ws.Count != 0 {
+			t.Errorf("window %v count after expiry = %d, want 0", snap.Windows[i], ws.Count)
+		}
+	}
+	if hit.Windows[0].BudgetRemaining != 1 {
+		t.Errorf("empty window budget = %g, want 1", hit.Windows[0].BudgetRemaining)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Record(ClassSearchHit, time.Millisecond, OutcomeOK) // must not panic
+	if snap := tr.Snapshot(); len(snap.Classes) != 0 {
+		t.Errorf("nil snapshot = %+v", snap)
+	}
+	if w := tr.Windows(); w != nil {
+		t.Errorf("nil windows = %v", w)
+	}
+	if o := tr.Objective(ClassBatch); o != (Objective{}) {
+		t.Errorf("nil objective = %+v", o)
+	}
+}
+
+func TestObjectiveDefaults(t *testing.T) {
+	o := Objective{}.withDefaults()
+	if o.Quantile != 0.99 || o.Availability != 0.999 || o.Threshold != time.Second {
+		t.Errorf("defaults = %+v", o)
+	}
+	// Degenerate targets are clamped so burn-rate denominators stay
+	// positive and finite.
+	o = Objective{Quantile: 1, Availability: 1, Threshold: time.Millisecond}.withDefaults()
+	if o.Quantile >= 1 || o.Availability >= 1 {
+		t.Errorf("clamped = %+v", o)
+	}
+}
+
+func TestOutcomeForStatus(t *testing.T) {
+	for _, tc := range []struct {
+		status int
+		want   Outcome
+	}{{200, OutcomeOK}, {400, OutcomeOK}, {404, OutcomeOK}, {503, OutcomeShed}, {500, OutcomeError}, {504, OutcomeError}} {
+		if got := OutcomeForStatus(tc.status); got != tc.want {
+			t.Errorf("OutcomeForStatus(%d) = %v, want %v", tc.status, got, tc.want)
+		}
+	}
+}
+
+// TestTrackerConcurrent exercises Record racing Snapshot across classes
+// under -race (see `make race`).
+func TestTrackerConcurrent(t *testing.T) {
+	clk := newFakeClock()
+	tr := testTracker(clk)
+	classes := []string{ClassSearchHit, ClassSearchMiss, ClassBatch, ClassMutate}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = tr.Snapshot()
+			}
+		}
+	}()
+	var obs sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		obs.Add(1)
+		go func(g int) {
+			defer obs.Done()
+			for i := 0; i < 5000; i++ {
+				tr.Record(classes[(g+i)%len(classes)], time.Duration(i%1000)*time.Microsecond, Outcome(i%3))
+			}
+		}(g)
+	}
+	obs.Wait()
+	close(stop)
+	wg.Wait()
+	var total uint64
+	for _, c := range tr.Snapshot().Classes {
+		total += c.Total.Count
+	}
+	if want := uint64(8 * 5000); total != want {
+		t.Fatalf("lifetime total = %d, want %d", total, want)
+	}
+}
+
+func TestFormatDurationMS(t *testing.T) {
+	if got := FormatDurationMS(1234567 * time.Nanosecond); got != 1.235 {
+		t.Errorf("FormatDurationMS = %v, want 1.235", got)
+	}
+}

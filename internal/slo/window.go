@@ -1,0 +1,198 @@
+package slo
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome classifies how a request ended for availability accounting.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the request was served (2xx–4xx; client errors are a
+	// correctly delivered answer, not unavailability).
+	OutcomeOK Outcome = iota
+	// OutcomeError: the server failed the request (5xx other than shed).
+	OutcomeError
+	// OutcomeShed: the request was deliberately rejected under overload
+	// or durability degradation (503). Shed burns availability budget —
+	// the client did not get an answer — but is tracked separately so
+	// overload is distinguishable from breakage.
+	OutcomeShed
+
+	numOutcomes = 3
+)
+
+// String returns the outcome's stable lower-case name.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeError:
+		return "error"
+	case OutcomeShed:
+		return "shed"
+	}
+	return "unknown"
+}
+
+// OutcomeForStatus maps an HTTP status code onto the outcome taxonomy:
+// 503 is shed, any other 5xx an error, everything else OK.
+func OutcomeForStatus(status int) Outcome {
+	switch {
+	case status == 503:
+		return OutcomeShed
+	case status >= 500:
+		return OutcomeError
+	default:
+		return OutcomeOK
+	}
+}
+
+// record couples a latency sketch with outcome and threshold-breach
+// counters — the unit stored per sub-window and per class total.
+type record struct {
+	sketch   Sketch
+	outcomes [numOutcomes]atomic.Uint64
+	slow     atomic.Uint64
+}
+
+func (r *record) observe(d time.Duration, o Outcome, slow bool) {
+	r.sketch.Observe(d)
+	r.outcomes[o].Add(1)
+	if slow {
+		r.slow.Add(1)
+	}
+}
+
+func (r *record) reset() {
+	r.sketch.reset()
+	for i := range r.outcomes {
+		r.outcomes[i].Store(0)
+	}
+	r.slow.Store(0)
+}
+
+func (r *record) addTo(c *WindowCounts) {
+	r.sketch.AddTo(&c.Counts)
+	for i := range r.outcomes {
+		c.Outcomes[i] += r.outcomes[i].Load()
+	}
+	c.Slow += r.slow.Load()
+}
+
+// WindowCounts is the merged read-side snapshot of a window (or of a
+// class's lifetime record): latency buckets plus outcome and slow
+// counts.
+type WindowCounts struct {
+	Counts
+	Outcomes [numOutcomes]uint64
+	Slow     uint64
+}
+
+// Window is a rolling time window of observations, implemented as a ring
+// of sub-window records stamped with the coarse-clock period they
+// accumulate. Observing costs the sketch's atomic ops plus one atomic
+// period check; the rotation mutex is contended only by the first
+// observers of a fresh period. Reads merge the slots whose period is
+// still within the window, so expiry is a comparison, not a deletion.
+// The effective span at read time is between dur−dur/len(subs) and dur
+// (the current sub-window is partially filled).
+type Window struct {
+	dur    time.Duration
+	subDur time.Duration
+	subs   []windowSub
+	mu     sync.Mutex // serialises slot recycling only
+	now    func() time.Time
+}
+
+type windowSub struct {
+	period atomic.Int64
+	rec    record
+}
+
+// NewWindow builds a window covering dur with subs ring slots (rotation
+// granularity dur/subs). now is the clock (nil: time.Now) — injectable
+// so tests can drive rotation deterministically.
+func NewWindow(dur time.Duration, subs int, now func() time.Time) *Window {
+	if dur <= 0 || subs <= 0 {
+		panic(fmt.Sprintf("slo: invalid window %v / %d sub-windows", dur, subs))
+	}
+	if now == nil {
+		now = time.Now
+	}
+	w := &Window{dur: dur, subDur: dur / time.Duration(subs), subs: make([]windowSub, subs), now: now}
+	if w.subDur <= 0 {
+		panic(fmt.Sprintf("slo: window %v too short for %d sub-windows", dur, subs))
+	}
+	// Zero-valued slots carry period 0 (≈1970), which is already outside
+	// any realistic window — they read as empty until first recycled.
+	return w
+}
+
+// Duration returns the window's nominal span.
+func (w *Window) Duration() time.Duration { return w.dur }
+
+// Observe records one observation into the current sub-window.
+func (w *Window) Observe(d time.Duration, o Outcome, slow bool) {
+	if s := w.slot(w.period()); s != nil {
+		s.observe(d, o, slow)
+	}
+}
+
+func (w *Window) period() int64 { return w.now().UnixNano() / int64(w.subDur) }
+
+// slot returns the record for period p, lazily recycling the ring slot
+// when it still holds an expired period. A caller that raced so far
+// behind that its period was already overwritten by a newer one gets
+// nil — its observation belongs to a sub-window that has left the ring.
+func (w *Window) slot(p int64) *record {
+	s := &w.subs[int(p%int64(len(w.subs)))]
+	switch cur := s.period.Load(); {
+	case cur == p:
+		return &s.rec
+	case cur > p:
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch cur := s.period.Load(); {
+	case cur == p:
+		return &s.rec
+	case cur > p:
+		return nil
+	}
+	s.rec.reset()
+	s.period.Store(p)
+	return &s.rec
+}
+
+// Snapshot merges the sub-windows still inside the rolling window into
+// one read-side value. It never blocks observers.
+func (w *Window) Snapshot() WindowCounts {
+	p := w.period()
+	ring := int64(len(w.subs))
+	var c WindowCounts
+	for i := range w.subs {
+		per := w.subs[i].period.Load()
+		if per > p-ring && per <= p {
+			w.subs[i].rec.addTo(&c)
+		}
+	}
+	return c
+}
+
+// WindowLabel renders a window duration the way dashboards expect:
+// "30s", "1m", "5m", "1h".
+func WindowLabel(d time.Duration) string {
+	switch {
+	case d >= time.Hour && d%time.Hour == 0:
+		return fmt.Sprintf("%dh", d/time.Hour)
+	case d >= time.Minute && d%time.Minute == 0:
+		return fmt.Sprintf("%dm", d/time.Minute)
+	default:
+		return fmt.Sprintf("%ds", d/time.Second)
+	}
+}

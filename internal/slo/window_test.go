@@ -1,0 +1,142 @@
+package slo
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an atomically advancing test clock, safe for concurrent
+// readers.
+type fakeClock struct {
+	ns atomic.Int64
+}
+
+func newFakeClock() *fakeClock {
+	c := &fakeClock{}
+	// Start well past 1970 so zero-valued ring slots (period 0) read as
+	// expired, exactly like production.
+	c.ns.Store(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).UnixNano())
+	return c
+}
+
+func (c *fakeClock) now() time.Time          { return time.Unix(0, c.ns.Load()) }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(int64(d)) }
+
+func TestWindowRollsAndExpires(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(time.Minute, 12, clk.now) // 5s sub-windows
+
+	for i := 0; i < 100; i++ {
+		w.Observe(time.Millisecond, OutcomeOK, false)
+	}
+	if c := w.Snapshot(); c.Total != 100 {
+		t.Fatalf("fresh window count = %d, want 100", c.Total)
+	}
+
+	// Half a window later the old observations are still in range.
+	clk.advance(30 * time.Second)
+	for i := 0; i < 50; i++ {
+		w.Observe(2*time.Millisecond, OutcomeError, true)
+	}
+	c := w.Snapshot()
+	if c.Total != 150 {
+		t.Fatalf("mid-window count = %d, want 150", c.Total)
+	}
+	if c.Outcomes[OutcomeError] != 50 || c.Slow != 50 {
+		t.Fatalf("outcome counts = %+v slow=%d", c.Outcomes, c.Slow)
+	}
+
+	// 35s more: the first burst (now 65s old) has rolled out, the second
+	// (35s old) remains.
+	clk.advance(35 * time.Second)
+	if c := w.Snapshot(); c.Total != 50 {
+		t.Fatalf("partial expiry count = %d, want 50", c.Total)
+	}
+
+	// Beyond the full window everything is gone — with no writes at all,
+	// expiry is pure read-side period comparison.
+	clk.advance(2 * time.Minute)
+	if c := w.Snapshot(); c.Total != 0 {
+		t.Fatalf("expired window count = %d, want 0", c.Total)
+	}
+}
+
+func TestWindowSlotRecycled(t *testing.T) {
+	clk := newFakeClock()
+	w := NewWindow(time.Minute, 6, clk.now) // 10s sub-windows
+	w.Observe(time.Millisecond, OutcomeOK, false)
+	// One full ring lap later the same slot is reused for a new period;
+	// its old contents must not leak into the fresh sub-window.
+	clk.advance(time.Minute)
+	w.Observe(5*time.Millisecond, OutcomeShed, false)
+	c := w.Snapshot()
+	if c.Total != 1 || c.Outcomes[OutcomeShed] != 1 || c.Outcomes[OutcomeOK] != 0 {
+		t.Fatalf("recycled slot snapshot = total %d outcomes %+v, want exactly the new observation", c.Total, c.Outcomes)
+	}
+}
+
+func TestWindowConcurrent(t *testing.T) {
+	// Concurrent observers, a rotating clock, and snapshot readers must
+	// be race-clean (run under -race via `make race`) and lose at most a
+	// bounded handful of observations to rotation races. Observers pace
+	// the clock: every 128th observation advances it one second, so the
+	// run crosses a few sub-window boundaries (50s each) while staying
+	// far inside the 10m window.
+	clk := newFakeClock()
+	w := NewWindow(10*time.Minute, 12, clk.now)
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snaps atomic.Uint64
+	wg.Add(1)
+	go func() { // concurrent reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = w.Snapshot()
+				snaps.Add(1)
+			}
+		}
+	}()
+	var obs sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		obs.Add(1)
+		go func(g int) {
+			defer obs.Done()
+			for i := 0; i < perWorker; i++ {
+				if i%128 == 0 {
+					clk.advance(time.Second)
+				}
+				w.Observe(time.Duration(g+1)*time.Microsecond, OutcomeOK, false)
+			}
+		}(g)
+	}
+	obs.Wait()
+	close(stop)
+	wg.Wait()
+	if snaps.Load() == 0 {
+		t.Fatal("reader never ran")
+	}
+	got := w.Snapshot().Total
+	// ~125s of simulated time elapsed inside a 10m window, so every
+	// observation is still in range bar the bounded rotation losses.
+	if want := uint64(workers * perWorker); got < want-2*workers || got > want {
+		t.Fatalf("concurrent count = %d, want ~%d", got, want)
+	}
+}
+
+func TestWindowLabel(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{{time.Minute, "1m"}, {5 * time.Minute, "5m"}, {time.Hour, "1h"}, {30 * time.Second, "30s"}} {
+		if got := WindowLabel(tc.d); got != tc.want {
+			t.Errorf("WindowLabel(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

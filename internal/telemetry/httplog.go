@@ -141,27 +141,46 @@ type AccessEntry struct {
 	// bypass) noted by the handler via NoteCache; empty for requests that
 	// never consult the score-set cache.
 	Cache string `json:"cache,omitempty"`
+	// CorpusEpoch is the corpus snapshot epoch the request was served
+	// against, noted by the handler via NoteEpoch; nil for requests that
+	// never pin a snapshot. Joining access-log lines with /v1/corpus
+	// mutations by epoch attributes a latency shift to the corpus change
+	// that caused it.
+	CorpusEpoch *uint64 `json:"corpus_epoch,omitempty"`
 }
 
-// cacheNote is a per-request mutable slot the AccessLog middleware plants
-// in the context so the handler, deep in the call chain, can report the
-// cache disposition the log line should carry.
-type cacheNote struct {
-	mu sync.Mutex
-	v  string
+// requestNote is a per-request mutable slot the AccessLog middleware
+// plants in the context so the handler, deep in the call chain, can
+// report facts the log line should carry.
+type requestNote struct {
+	mu    sync.Mutex
+	cache string
+	epoch *uint64
 }
 
-type cacheNoteKey struct{}
+type requestNoteKey struct{}
 
 // NoteCache records the engine cache disposition for the current request's
 // access-log line. It is a no-op when AccessLog is not installed.
 func NoteCache(ctx context.Context, disposition string) {
-	n, _ := ctx.Value(cacheNoteKey{}).(*cacheNote)
+	n, _ := ctx.Value(requestNoteKey{}).(*requestNote)
 	if n == nil {
 		return
 	}
 	n.mu.Lock()
-	n.v = disposition
+	n.cache = disposition
+	n.mu.Unlock()
+}
+
+// NoteEpoch records the corpus epoch the current request was served
+// against. It is a no-op when AccessLog is not installed.
+func NoteEpoch(ctx context.Context, epoch uint64) {
+	n, _ := ctx.Value(requestNoteKey{}).(*requestNote)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.epoch = &epoch
 	n.mu.Unlock()
 }
 
@@ -174,23 +193,24 @@ func AccessLog(next http.Handler, out io.Writer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sr := NewStatusRecorder(w)
-		note := &cacheNote{}
-		r = r.WithContext(context.WithValue(r.Context(), cacheNoteKey{}, note))
+		note := &requestNote{}
+		r = r.WithContext(context.WithValue(r.Context(), requestNoteKey{}, note))
 		next.ServeHTTP(sr, r)
 		note.mu.Lock()
-		cache := note.v
+		cache, epoch := note.cache, note.epoch
 		note.mu.Unlock()
 		e := AccessEntry{
-			Time:       start.UTC().Format(time.RFC3339Nano),
-			RequestID:  RequestIDFrom(r.Context()),
-			Method:     r.Method,
-			Path:       r.URL.Path,
-			Query:      r.URL.RawQuery,
-			Status:     sr.Status(),
-			Bytes:      sr.BytesWritten(),
-			DurationMS: float64(time.Since(start).Microseconds()) / 1e3,
-			Remote:     r.RemoteAddr,
-			Cache:      cache,
+			Time:        start.UTC().Format(time.RFC3339Nano),
+			RequestID:   RequestIDFrom(r.Context()),
+			Method:      r.Method,
+			Path:        r.URL.Path,
+			Query:       r.URL.RawQuery,
+			Status:      sr.Status(),
+			Bytes:       sr.BytesWritten(),
+			DurationMS:  float64(time.Since(start).Microseconds()) / 1e3,
+			Remote:      r.RemoteAddr,
+			Cache:       cache,
+			CorpusEpoch: epoch,
 		}
 		line, err := json.Marshal(e)
 		if err != nil {

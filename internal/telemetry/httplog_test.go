@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -103,4 +104,45 @@ func TestAccessLogWritesStructuredLine(t *testing.T) {
 	if e.DurationMS < 0 || e.Time == "" {
 		t.Errorf("missing timing: %+v", e)
 	}
+}
+
+func TestAccessLogNotes(t *testing.T) {
+	var buf strings.Builder
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		NoteCache(r.Context(), "hit")
+		NoteEpoch(r.Context(), 42)
+		w.Write([]byte("ok"))
+	})
+	h := AccessLog(inner, &buf)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/v1/search", nil))
+
+	line := strings.TrimSpace(buf.String())
+	var e AccessEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("access log line is not JSON: %v (%q)", err, line)
+	}
+	if e.Cache != "hit" {
+		t.Errorf("cache = %q, want hit", e.Cache)
+	}
+	if e.CorpusEpoch == nil || *e.CorpusEpoch != 42 {
+		t.Errorf("corpus_epoch = %v, want 42", e.CorpusEpoch)
+	}
+	if !strings.Contains(line, `"corpus_epoch":42`) {
+		t.Errorf("line missing corpus_epoch: %q", line)
+	}
+
+	// Without a note the field is omitted entirely.
+	buf.Reset()
+	h = AccessLog(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}), &buf)
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if line := strings.TrimSpace(buf.String()); strings.Contains(line, "corpus_epoch") {
+		t.Errorf("unnoted line carries corpus_epoch: %q", line)
+	}
+}
+
+func TestNoteEpochWithoutMiddleware(t *testing.T) {
+	NoteEpoch(context.Background(), 7) // must not panic
+	NoteCache(context.Background(), "hit")
 }

@@ -21,6 +21,18 @@ var DefBuckets = []float64{
 	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
+// LatencyBuckets is the serving-path latency layout (seconds). The
+// served distribution is bimodal — cache hits return in single-digit
+// microseconds, misses in milliseconds, three orders of magnitude apart —
+// so the layout extends DefBuckets down through the microsecond range.
+// With the old 0.5ms floor every hit collapsed into one bucket and the
+// hit-path p99 was unrecoverable from /metrics.
+var LatencyBuckets = []float64{
+	1e-6, 2e-6, 4e-6, 8e-6, 1.5e-5, 3e-5, 6e-5, 1.25e-4, 2.5e-4,
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
 var (
 	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
@@ -102,6 +114,61 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, "gauge", funcCollector(func(w io.Writer, n string) {
 		fmt.Fprintf(w, "%s %s\n", n, formatFloat(fn()))
 	}))
+}
+
+// Label is one name/value pair of a Series.
+type Label struct {
+	Name, Value string
+}
+
+// Series is one labelled sample produced by a SeriesFunc collector.
+type Series struct {
+	Labels []Label
+	Value  float64
+}
+
+// GaugeSeriesFunc registers a gauge family whose full series set is read
+// from fn at scrape time. Unlike GaugeFunc it supports any number of
+// labels per series, for families whose label combinations are only
+// known when the backing snapshot is taken (e.g. SLO class × window ×
+// quantile). Label names must be valid; series with malformed label
+// names are dropped at scrape rather than corrupting the exposition.
+func (r *Registry) GaugeSeriesFunc(name, help string, fn func() []Series) {
+	r.register(name, help, "gauge", seriesCollector(fn))
+}
+
+// CounterSeriesFunc registers a counter family whose series set is read
+// from fn at scrape time; fn must return monotonically non-decreasing
+// values per label combination.
+func (r *Registry) CounterSeriesFunc(name, help string, fn func() []Series) {
+	r.register(name, help, "counter", seriesCollector(fn))
+}
+
+func seriesCollector(fn func() []Series) collector {
+	return funcCollector(func(w io.Writer, n string) {
+		for _, s := range fn() {
+			var b strings.Builder
+			ok := true
+			for i, l := range s.Labels {
+				if !labelNameRE.MatchString(l.Name) {
+					ok = false
+					break
+				}
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+			}
+			if !ok {
+				continue
+			}
+			if b.Len() == 0 {
+				fmt.Fprintf(w, "%s %s\n", n, formatFloat(s.Value))
+			} else {
+				fmt.Fprintf(w, "%s{%s} %s\n", n, b.String(), formatFloat(s.Value))
+			}
+		}
+	})
 }
 
 // Histogram registers and returns a histogram with the given bucket

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -222,5 +223,70 @@ func TestMetricsConcurrent(t *testing.T) {
 	}
 	if vecTotal != workers*perWorker {
 		t.Errorf("vec total = %d, want %d", vecTotal, workers*perWorker)
+	}
+}
+
+func TestLatencyBucketsResolveBimodalModes(t *testing.T) {
+	// The serving distribution is bimodal: hits at ~2µs, misses at ~5ms.
+	// The layout must place each mode in its own interior bucket — not the
+	// underflow or a shared catch-all — so per-mode quantiles survive the
+	// histogram. DefBuckets fails this: its 0.5ms floor swallows the hit
+	// mode whole.
+	reg := NewRegistry()
+	h := reg.Histogram("req_seconds", "latency", LatencyBuckets)
+	idx := func(v float64) int { return sort.SearchFloat64s(LatencyBuckets, v) }
+	hit, miss := idx(2e-6), idx(5e-3)
+	if hit == 0 {
+		t.Error("2µs hit lands in the first bucket — no sub-mode resolution")
+	}
+	if hit == miss {
+		t.Errorf("hit and miss modes share bucket %d", hit)
+	}
+	// Within each mode a 2x latency change must be visible as a bucket
+	// change, or regressions inside a mode are invisible to /metrics.
+	for _, v := range []float64{2e-6, 5e-3} {
+		if idx(v) == idx(2*v) {
+			t.Errorf("%gs and %gs share a bucket", v, 2*v)
+		}
+	}
+	h.Observe(2e-6)
+	h.Observe(5e-3)
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `le="1e-06"`) {
+		t.Errorf("exposition missing microsecond buckets:\n%s", b.String())
+	}
+}
+
+func TestSeriesFuncCollectors(t *testing.T) {
+	reg := NewRegistry()
+	reg.GaugeSeriesFunc("slo_p99_seconds", "per-class p99", func() []Series {
+		return []Series{
+			{Labels: []Label{{"class", "hit"}, {"window", "1m"}}, Value: 0.002},
+			{Labels: []Label{{"class", "miss"}, {"window", "1m"}}, Value: 0.25},
+			{Value: 1.5}, // no labels: bare series
+			{Labels: []Label{{"bad name", "x"}}, Value: 9}, // dropped
+		}
+	})
+	reg.CounterSeriesFunc("slo_requests_total", "per-outcome requests", func() []Series {
+		return []Series{{Labels: []Label{{"class", "hit"}, {"outcome", "ok"}}, Value: 12}}
+	})
+	var b strings.Builder
+	reg.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE slo_p99_seconds gauge",
+		`slo_p99_seconds{class="hit",window="1m"} 0.002`,
+		`slo_p99_seconds{class="miss",window="1m"} 0.25`,
+		"slo_p99_seconds 1.5",
+		"# TYPE slo_requests_total counter",
+		`slo_requests_total{class="hit",outcome="ok"} 12`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "bad name") {
+		t.Errorf("malformed label leaked into exposition:\n%s", out)
 	}
 }
