@@ -26,7 +26,7 @@ vet:
 # /v1/corpus surface plus queries-during-replay — all must stay in this
 # list.
 race:
-	$(GO) test -race ./internal/engine ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/registry ./internal/dataset ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
 
 # The kill-recovery suite: child processes SIGKILL themselves at injected
 # WAL fault points; the parent recovers each directory and verifies no
@@ -45,8 +45,10 @@ bench:
 
 # Measure the cross-query engine's repeated-query speedup (cache hit vs
 # miss) and write BENCH_engine.json. The acceptance bar is a ≥5x speedup.
+# SHARDS (default 4) times the sharded fan-out; SHARDS=0 the single tree.
+SHARDS ?= 4
 bench-serve:
-	BENCH_SERVE_OUT=$(CURDIR)/BENCH_engine.json $(GO) test ./internal/engine -run TestBenchServe -v
+	BENCH_SERVE_OUT=$(CURDIR)/BENCH_engine.json BENCH_SERVE_SHARDS=$(SHARDS) $(GO) test ./internal/engine -run TestBenchServe -v
 	@cat BENCH_engine.json
 
 # Run the full perf-trajectory suite over the demo corpus: Step-1 engines
@@ -91,7 +93,7 @@ profile:
 	pid=$$!; \
 	sleep 2; \
 	( for i in $$(seq 1 200); do \
-		curl -s -o /dev/null "http://127.0.0.1:18080/search?K=400&k=10&spatial=exact"; \
+		curl -s -o /dev/null "http://127.0.0.1:18080/v1/search?K=400&k=10&spatial=exact"; \
 	  done ) & \
 	curl -s -o cpu.pprof "http://127.0.0.1:16060/debug/pprof/profile?seconds=10"; \
 	kill $$pid; wait; \

@@ -12,7 +12,10 @@
 // miss-heavy (every query unique, all compute), or mutation-interleaved
 // (hit-heavy plus a fraction of POST /v1/corpus batches; the server
 // needs -enable-mutation). -warmup runs unrecorded load first so cache
-// fill does not pollute the measurement.
+// fill does not pollute the measurement. -corpus aims the whole run at a
+// named corpus through the corpus-scoped /v1/corpora/<name>/ routes;
+// running two instances with different -corpus values load-tests tenant
+// isolation.
 //
 // The report carries two latency series: client-observed wall time and
 // the server-side duration from each response's Server-Timing header —
@@ -40,6 +43,7 @@ import (
 func main() {
 	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
 	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the propserve instance")
+	corpus := fs.String("corpus", "", "target a named corpus via /v1/corpora/<name>/... (empty: the default corpus via the un-scoped /v1 routes)")
 	data := fs.String("data", "", "dataset file the server was started with (empty: the same generated demo corpus)")
 	rps := fs.Float64("rps", 50, "target arrival rate (open-loop Poisson)")
 	duration := fs.Duration("duration", 10*time.Second, "measured phase length")
@@ -64,6 +68,7 @@ func main() {
 
 	report, err := loadgen.Run(ctx, loadgen.Options{
 		BaseURL:          *addr,
+		Corpus:           *corpus,
 		RPS:              *rps,
 		Duration:         *duration,
 		Warmup:           *warmup,

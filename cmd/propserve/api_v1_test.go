@@ -46,11 +46,42 @@ func stripVolatile(t *testing.T, body []byte) map[string]any {
 	return m
 }
 
-// TestLegacySearchMatchesV1 pins the compatibility contract: /search and
-// /v1/search serve identical payloads (modulo per-request volatile
-// fields), and the legacy route is marked deprecated.
-func TestLegacySearchMatchesV1(t *testing.T) {
+// TestLegacyRetiredByDefault pins the retirement contract: without
+// -enable-legacy the pre-/v1 aliases answer 410 Gone, still carrying the
+// Deprecation marker and a successor-version Link so clients learn the
+// replacement from the refusal itself.
+func TestLegacyRetiredByDefault(t *testing.T) {
 	s := testServer(t)
+	for old, successor := range map[string]string{
+		"/search?K=60&k=5": "/v1/search",
+		"/stats":           "/v1/stats",
+	} {
+		rec := get(t, s, old)
+		if rec.Code != http.StatusGone {
+			t.Errorf("%s status = %d, want 410", old, rec.Code)
+		}
+		if rec.Header().Get("Deprecation") != "true" {
+			t.Errorf("%s Deprecation = %q, want \"true\"", old, rec.Header().Get("Deprecation"))
+		}
+		if link := rec.Header().Get("Link"); !strings.Contains(link, successor) || !strings.Contains(link, "successor-version") {
+			t.Errorf("%s Link = %q, want successor-version pointing at %s", old, link, successor)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+			t.Fatalf("%s body not JSON: %v", old, err)
+		}
+		if !strings.Contains(body["error"], successor) {
+			t.Errorf("%s error = %q, want a pointer to %s", old, body["error"], successor)
+		}
+	}
+}
+
+// TestLegacySearchMatchesV1 pins the -enable-legacy compatibility
+// contract: /search and /v1/search serve identical payloads (modulo
+// per-request volatile fields), and the legacy route is marked
+// deprecated.
+func TestLegacySearchMatchesV1(t *testing.T) {
+	s := testServerCfg(t, Config{EnableLegacy: true})
 	const q = "?x=50&y=50&K=80&k=8&lambda=0.4&gamma=0.6&algo=iadu&spatial=radial"
 
 	v1 := get(t, s, "/v1/search"+q)
@@ -81,7 +112,7 @@ func TestLegacySearchMatchesV1(t *testing.T) {
 }
 
 func TestLegacyStatsMatchesV1(t *testing.T) {
-	s := testServer(t)
+	s := testServerCfg(t, Config{EnableLegacy: true})
 	legacy := get(t, s, "/stats")
 	if legacy.Code != http.StatusOK || legacy.Header().Get("Deprecation") != "true" {
 		t.Fatalf("/stats status = %d, Deprecation = %q", legacy.Code, legacy.Header().Get("Deprecation"))

@@ -16,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -86,6 +87,69 @@ func TestBenchServeLoad(t *testing.T) {
 		report[prefix+"_errors_5xx"] = r.Errors5xx
 		t.Logf("%s: sent %d at %.0f rps, server p50 %.3f p95 %.3f p99 %.3f ms, shed %.3f",
 			m.mix, r.Sent, r.ThroughputRPS, r.Server.P50MS, r.Server.P95MS, r.Server.P99MS, r.ShedRate)
+	}
+
+	// Multi-tenant stage: one server, two corpora over the same data, a
+	// skewed 75/25 rate split driven concurrently through the un-scoped
+	// routes (major = default corpus) and the corpus-scoped routes
+	// (minor). The per-tenant keys record tenant-isolated tails — the
+	// minor tenant's p99 measured while the major tenant hammers its own
+	// cache and gate.
+	{
+		cfg := Config{EnableMutation: true, Logf: t.Logf}
+		s := NewServer(d, cfg)
+		rec := postJSON(t, s, "/v1/corpora", map[string]any{
+			"name": "minor", "places": len(d.Places), "seed": d.Config.Seed,
+		})
+		if rec.Code != 201 {
+			t.Fatalf("create minor corpus: %d: %s", rec.Code, rec.Body.String())
+		}
+		ts := httptest.NewServer(s)
+		tenants := []struct {
+			key    string
+			corpus string
+			rps    float64
+		}{
+			{"tenant_major", "", 150},
+			{"tenant_minor", "minor", 50},
+		}
+		reports := make([]*loadgen.Report, len(tenants))
+		errs := make([]error, len(tenants))
+		var wg sync.WaitGroup
+		for i, tn := range tenants {
+			wg.Add(1)
+			go func(i int, corpus string, rps float64) {
+				defer wg.Done()
+				reports[i], errs[i] = loadgen.Run(context.Background(), loadgen.Options{
+					BaseURL:  ts.URL,
+					Corpus:   corpus,
+					RPS:      rps,
+					Duration: 3 * time.Second,
+					Warmup:   time.Second,
+					Mix:      loadgen.MixHitHeavy,
+					Data:     d,
+					Seed:     1,
+				})
+			}(i, tn.corpus, tn.rps)
+		}
+		wg.Wait()
+		ts.Close()
+		for i, tn := range tenants {
+			if errs[i] != nil {
+				t.Fatal(errs[i])
+			}
+			r := reports[i]
+			if r.TransportErrors > 0 {
+				t.Fatalf("%s: %d transport errors", tn.key, r.TransportErrors)
+			}
+			report[tn.key+"_p50_ms"] = r.Server.P50MS
+			report[tn.key+"_p99_ms"] = r.Server.P99MS
+			report[tn.key+"_rps"] = r.ThroughputRPS
+			report[tn.key+"_shed_rate"] = r.ShedRate
+			report[tn.key+"_sent"] = r.Sent
+			t.Logf("%s: sent %d at %.0f rps, server p50 %.3f p99 %.3f ms, shed %.3f",
+				tn.key, r.Sent, r.ThroughputRPS, r.Server.P50MS, r.Server.P99MS, r.ShedRate)
+		}
 	}
 
 	b, err := json.MarshalIndent(report, "", "  ")

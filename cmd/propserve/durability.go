@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
@@ -106,61 +107,126 @@ func replayWAL(ctx context.Context, eng *engine.Engine, records []wal.Record, ob
 	return replayed, nil
 }
 
-// Recover runs steps 4–5 of the durable boot sequence against a server
-// already accepting read traffic: replay the log through the engine,
-// attach the WAL, flip ready. On error the server is left not-ready for
-// mutations; the caller decides between fatal (-wal-required) and
-// degraded serving (s.DegradeWAL).
-func (s *Server) Recover(ctx context.Context, wlog *wal.Log, records []wal.Record) error {
+// recoverTenant runs steps 4–5 of the durable boot sequence against a
+// tenant already accepting read traffic: replay the log through its
+// engine, attach the WAL, flip it ready. On error the tenant is left
+// not-ready for mutations; the caller decides between fatal
+// (-wal-required), degraded serving (Tenant.Degrade) and rejecting the
+// corpus (POST /v1/corpora).
+func (s *Server) recoverTenant(ctx context.Context, tn *registry.Tenant, wlog *wal.Log, records []wal.Record) error {
 	start := time.Now()
-	n, err := replayWAL(ctx, s.eng, records, func(d time.Duration) {
+	n, err := replayWAL(ctx, tn.Eng, records, func(d time.Duration) {
 		s.tel.stageSeconds.With(telemetry.StageReplay).Observe(d.Seconds())
 	})
 	if err != nil {
 		return err
 	}
-	s.eng.SetWAL(wlog)
-	s.AttachWAL(wlog)
-	s.FinishRecovery(n, s.eng.Epoch(), time.Since(start))
+	tn.Eng.SetWAL(wlog)
+	tn.AttachWAL(wlog)
+	tn.FinishRecovery(n, tn.Eng.Epoch(), time.Since(start))
 	return nil
 }
 
-// compactWAL writes a snapshot of the currently published corpus epoch
-// (temp file + rename via wal.WriteSnapshot), truncates the log prefix
-// that snapshot covers, and removes older snapshots. Any step failing
-// leaves the previous snapshot/log pair intact — compaction is pure
-// optimisation, recovery never depends on it having run.
-func (s *Server) compactWAL() {
-	l := s.walLog.Load()
+// Recover is recoverTenant over the default corpus — the single-corpus
+// boot path main and the durability tests drive.
+func (s *Server) Recover(ctx context.Context, wlog *wal.Log, records []wal.Record) error {
+	if err := s.recoverTenant(ctx, s.def, wlog, records); err != nil {
+		return err
+	}
+	n, epoch, dur := s.def.RecoveryStats()
+	s.cfg.Logf("propserve: recovery complete: %d records replayed in %v, corpus at epoch %d",
+		n, dur.Round(time.Millisecond), epoch)
+	return nil
+}
+
+// compactTenantWAL writes a snapshot of the tenant's currently published
+// corpus epoch (temp file + rename via wal.WriteSnapshot), truncates the
+// log prefix that snapshot covers, and removes older snapshots. Any step
+// failing leaves the previous snapshot/log pair intact — compaction is
+// pure optimisation, recovery never depends on it having run.
+func (s *Server) compactTenantWAL(tn *registry.Tenant) {
+	l := tn.WAL()
 	if l == nil {
 		return
 	}
-	d, epoch := s.eng.Snapshot()
+	d, epoch := tn.Eng.Snapshot()
 	if _, err := wal.WriteSnapshot(l.Dir(), epoch, d.Save); err != nil {
-		s.cfg.Logf("propserve: wal snapshot at epoch %d: %v", epoch, err)
+		s.cfg.Logf("propserve: corpus %q: wal snapshot at epoch %d: %v", tn.Name, epoch, err)
 		return
 	}
 	if err := l.CompactThrough(epoch); err != nil {
-		s.cfg.Logf("propserve: wal compaction through epoch %d: %v", epoch, err)
+		s.cfg.Logf("propserve: corpus %q: wal compaction through epoch %d: %v", tn.Name, epoch, err)
 		return
 	}
 	wal.RemoveSnapshotsBefore(l.Dir(), epoch, s.cfg.Logf)
-	s.cfg.Logf("propserve: wal compacted through epoch %d (%d records remain)", epoch, l.Records())
+	s.cfg.Logf("propserve: corpus %q: wal compacted through epoch %d (%d records remain)",
+		tn.Name, epoch, l.Records())
 }
 
-// maybeCompactAsync starts one background compaction if the log has
-// grown past the configured record threshold and no compaction is
-// already running.
-func (s *Server) maybeCompactAsync() {
-	l := s.walLog.Load()
+// compactWAL compacts the default corpus's log (test hook).
+func (s *Server) compactWAL() { s.compactTenantWAL(s.def) }
+
+// maybeCompactAsync starts one background compaction for the tenant if
+// its log has grown past the configured record threshold and no
+// compaction of that tenant is already running.
+func (s *Server) maybeCompactAsync(tn *registry.Tenant) {
+	l := tn.WAL()
 	if l == nil || s.cfg.WALCompactRecords <= 0 || l.Records() < s.cfg.WALCompactRecords {
 		return
 	}
-	if !s.compacting.CompareAndSwap(false, true) {
+	if !tn.TryCompact() {
 		return
 	}
 	go func() {
-		defer s.compacting.Store(false)
-		s.compactWAL()
+		defer tn.EndCompact()
+		s.compactTenantWAL(tn)
 	}()
+}
+
+// bootCorpus builds and registers a named corpus. With dir == "" the
+// corpus is volatile: gen's places, no WAL. With a directory it runs the
+// same durable boot sequence as main's default corpus, synchronously:
+// newest valid snapshot (falling back to gen on a fresh directory), WAL
+// open (torn tails repaired), engine at the snapshot epoch, replay,
+// attach. The name is registered first — reserving it atomically — and
+// unregistered again on any failure.
+func (s *Server) bootCorpus(ctx context.Context, name, dir string,
+	gen func() (*dataset.Dataset, error), opts engine.Options) (*registry.Tenant, error) {
+	var (
+		d     *dataset.Dataset
+		epoch uint64
+		ok    bool
+	)
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		d, epoch, ok = loadNewestSnapshot(dir, s.cfg.Logf)
+	}
+	if !ok {
+		var err error
+		if d, err = gen(); err != nil {
+			return nil, err
+		}
+	}
+	opts.InitialEpoch = epoch
+	tn := s.newTenant(name, engine.New(d, opts))
+	tn.WALDir = dir
+	if err := s.reg.Add(tn); err != nil {
+		return nil, err
+	}
+	if dir != "" {
+		wlog, records, err := wal.Open(dir, wal.Options{Logf: s.cfg.Logf})
+		if err != nil {
+			s.reg.Remove(name)
+			return nil, err
+		}
+		tn.BeginRecovery()
+		if err := s.recoverTenant(ctx, tn, wlog, records); err != nil {
+			wlog.Close()
+			s.reg.Remove(name)
+			return nil, err
+		}
+	}
+	return tn, nil
 }

@@ -114,9 +114,8 @@ func TestRecoveryEquivalence(t *testing.T) {
 	if got := s2.eng.Epoch(); got != 5 {
 		t.Fatalf("recovered epoch = %d, want 5", got)
 	}
-	if s2.replayedRecords.Load() != 5 || s2.recoveredEpoch.Load() != 5 {
-		t.Errorf("recovery stats = %d records to epoch %d, want 5 and 5",
-			s2.replayedRecords.Load(), s2.recoveredEpoch.Load())
+	if replayed, epoch, _ := s2.def.RecoveryStats(); replayed != 5 || epoch != 5 {
+		t.Errorf("recovery stats = %d records to epoch %d, want 5 and 5", replayed, epoch)
 	}
 
 	want := make(map[string]string)
@@ -173,11 +172,12 @@ func TestRecoveryFromSnapshotPlusSuffix(t *testing.T) {
 	if s2.eng.Epoch() != 6 {
 		t.Fatalf("recovered epoch = %d, want 6", s2.eng.Epoch())
 	}
-	if n := s2.replayedRecords.Load(); n != 2 {
-		t.Errorf("replayed %d records, want only the 2 past the snapshot", n)
+	replayed, recoveredEpoch, _ := s2.def.RecoveryStats()
+	if replayed != 2 {
+		t.Errorf("replayed %d records, want only the 2 past the snapshot", replayed)
 	}
-	if s2.recoveredEpoch.Load() != 6 {
-		t.Errorf("recovered_epoch = %d, want 6", s2.recoveredEpoch.Load())
+	if recoveredEpoch != 6 {
+		t.Errorf("recovered_epoch = %d, want 6", recoveredEpoch)
 	}
 	got := corpusState(s2)
 	if len(got) != len(want) {

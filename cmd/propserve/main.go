@@ -1,10 +1,15 @@
 // Command propserve exposes proportional spatial keyword search as an
-// HTTP JSON API over a generated or loaded corpus.
+// HTTP JSON API over a registry of named corpora.
 //
 //	propserve -data db.gob -addr :8080
 //
-// Endpoints (versioned under /v1; the pre-versioning /search and /stats
-// aliases keep working and answer with a Deprecation header):
+// Endpoints (versioned under /v1). Query and mutation routes exist in
+// two byte-compatible forms: corpus-scoped under /v1/corpora/{name}/...
+// and un-scoped aliases that address the corpus named "default" —
+// /v1/search ≡ /v1/corpora/default/search, and likewise for explain,
+// batch, corpus and slo. The pre-versioning /search and /stats aliases
+// are retired and answer 410 Gone with a successor-version Link;
+// -enable-legacy re-opens them as deprecated pass-throughs:
 //
 //	GET  /healthz                → liveness: {"status":"ok", ...} plus admission-gate
 //	                               occupancy and the durability state; always 200 while
@@ -37,6 +42,19 @@
 //	                               atomically and publishes the next corpus epoch;
 //	                               requires -enable-mutation, capped by
 //	                               -max-mutation-batch
+//	GET  /v1/corpora             → every registered corpus with per-tenant stats
+//	                               (places, epoch, shards, cache hit ratio, WAL lag)
+//	POST /v1/corpora             → {"name","places","seed","shards","cache_entries"}
+//	                               registers a new corpus with its own engine, gate
+//	                               and SLO tracker; durable under -corpora-dir;
+//	                               requires -enable-mutation
+//	DELETE /v1/corpora/{name}    → unregisters a corpus and closes its WAL (files
+//	                               stay on disk); the default corpus is protected
+//
+// With -shards=N (N ≥ 2) every corpus is split into N spatial shards —
+// each with its own inverted index, IR-tree and epoch — and Step-1
+// retrieval fans out across them in parallel. Sharded results are
+// exactly those of the unsharded engine (see DESIGN.md).
 //
 // With -wal-dir set, mutations are durable: each batch is appended to a
 // checksummed write-ahead log (fsynced per -wal-sync) strictly before its
@@ -76,11 +94,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/wal"
 )
 
@@ -114,6 +134,9 @@ func main() {
 	walSyncInterval := fs.Duration("wal-sync-interval", 100*time.Millisecond, "fsync cadence under -wal-sync=interval")
 	walRequired := fs.Bool("wal-required", true, "treat WAL open/recovery failure as fatal; false degrades to serving reads and shedding mutations with 503")
 	walCompactRecords := fs.Int("wal-compact-records", 0, "log length in records beyond which a mutation triggers background snapshot compaction (0: 1024)")
+	shards := fs.Int("shards", 0, "spatial shards per corpus for parallel Step-1 fan-out (0 or 1: unsharded; results are identical either way)")
+	corporaDir := fs.String("corpora-dir", "", "directory holding one WAL subdirectory per named corpus; corpora created via POST /v1/corpora become durable, and existing subdirectories are re-registered at boot (empty: created corpora are volatile)")
+	enableLegacy := fs.Bool("enable-legacy", false, "re-open the retired pre-/v1 aliases /search and /stats as deprecated pass-throughs (default: they answer 410 Gone)")
 	fs.Parse(os.Args[1:])
 
 	cfg := Config{
@@ -140,6 +163,10 @@ func main() {
 		MaxMutationBatch: *maxMutationBatch,
 
 		WALCompactRecords: *walCompactRecords,
+
+		EnableLegacy: *enableLegacy,
+		Shards:       *shards,
+		CorporaDir:   *corporaDir,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stdout
@@ -244,6 +271,35 @@ func main() {
 				fatal(fmt.Errorf("wal recovery: %w", err))
 			}
 			h.DegradeWAL(err)
+		}
+	}
+
+	// Re-register durable secondary corpora: every subdirectory of
+	// -corpora-dir names a corpus from a previous life of the server, and
+	// boots through the same snapshot + replay sequence as the default. A
+	// corpus that fails to boot is skipped (reads on the others continue),
+	// not fatal — its files stay on disk for inspection.
+	if *corporaDir != "" {
+		entries, err := os.ReadDir(*corporaDir)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintln(os.Stderr, "propserve: scanning -corpora-dir:", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() || name == registry.DefaultName {
+				continue
+			}
+			gen := func() (*dataset.Dataset, error) {
+				c := dataset.DBpediaLike(0)
+				c.Places = 1000
+				return dataset.Generate(c)
+			}
+			dir := filepath.Join(*corporaDir, name)
+			if _, err := h.bootCorpus(context.Background(), name, dir, gen, engineOptions(cfg)); err != nil {
+				fmt.Fprintf(os.Stderr, "propserve: corpus %q boot failed: %v\n", name, err)
+				continue
+			}
+			fmt.Printf("propserve: corpus %q re-registered from %s\n", name, dir)
 		}
 	}
 

@@ -35,7 +35,7 @@ func TestSearchClientDisconnect(t *testing.T) {
 	restore := core.SetCheckpointHook(func(stage string) { stages = append(stages, stage) })
 	defer restore()
 
-	req := httptest.NewRequest(http.MethodGet, "/search?K=60&k=5", nil).WithContext(ctx)
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?K=60&k=5", nil).WithContext(ctx)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusServiceUnavailable {
@@ -58,7 +58,7 @@ func TestSearchDeadlineExceeded(t *testing.T) {
 	restore := core.SetCheckpointHook(func(string) { time.Sleep(5 * time.Millisecond) })
 	defer restore()
 
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status = %d, want 504: %s", rec.Code, rec.Body.String())
 	}
@@ -87,11 +87,11 @@ func TestShedUnderLoad(t *testing.T) {
 	defer restore()
 
 	r1 := make(chan *httptest.ResponseRecorder, 1)
-	go func() { r1 <- get(t, s, "/search?K=60&k=5") }()
+	go func() { r1 <- get(t, s, "/v1/search?K=60&k=5") }()
 	<-entered // request 1 holds the only slot, parked inside scoring
 
 	r2 := make(chan *httptest.ResponseRecorder, 1)
-	go func() { r2 <- get(t, s, "/search?K=60&k=5") }()
+	go func() { r2 <- get(t, s, "/v1/search?K=60&k=5") }()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.gate.Queued() == 0 {
 		if time.Now().After(deadline) {
@@ -101,7 +101,7 @@ func TestShedUnderLoad(t *testing.T) {
 	}
 
 	// The queue is full: request 3 must shed without waiting.
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated status = %d, want 503: %s", rec.Code, rec.Body.String())
 	}
@@ -137,7 +137,7 @@ func TestPanicRecovery(t *testing.T) {
 		}
 	})
 
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	restore()
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500: %s", rec.Code, rec.Body.String())
@@ -151,7 +151,7 @@ func TestPanicRecovery(t *testing.T) {
 
 	// The process survived; with MaxInFlight=1 a healthy follow-up request
 	// also proves the slot was returned.
-	if rec := get(t, s, "/search?K=60&k=5"); rec.Code != http.StatusOK {
+	if rec := get(t, s, "/v1/search?K=60&k=5"); rec.Code != http.StatusOK {
 		t.Fatalf("post-panic status = %d: %s", rec.Code, rec.Body.String())
 	}
 }
@@ -180,7 +180,7 @@ func TestGracefulShutdown(t *testing.T) {
 
 	result := make(chan error, 1)
 	go func() {
-		resp, err := http.Get("http://" + ln.Addr().String() + "/search?K=60&k=5")
+		resp, err := http.Get("http://" + ln.Addr().String() + "/v1/search?K=60&k=5")
 		if err != nil {
 			result <- err
 			return
@@ -223,12 +223,12 @@ func TestErrorStatusTaxonomy(t *testing.T) {
 	s := testServer(t)
 
 	// Client errors → 400.
-	if rec := get(t, s, "/search?k=0"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/v1/search?k=0"); rec.Code != http.StatusBadRequest {
 		t.Errorf("validation: status = %d, want 400", rec.Code)
 	}
 	// exact on an instance beyond the brute-force guard is a client
 	// request the server cannot honour → 400, not 500.
-	if rec := get(t, s, "/search?K=200&k=30&algo=exact"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/v1/search?K=200&k=30&algo=exact"); rec.Code != http.StatusBadRequest {
 		t.Errorf("exact too large: status = %d, want 400: %s", rec.Code, rec.Body.String())
 	}
 
@@ -239,7 +239,7 @@ func TestErrorStatusTaxonomy(t *testing.T) {
 			panic("taxonomy probe")
 		}
 	})
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	restore()
 	if rec.Code != http.StatusInternalServerError {
 		t.Errorf("internal: status = %d, want 500", rec.Code)
@@ -248,7 +248,7 @@ func TestErrorStatusTaxonomy(t *testing.T) {
 	// Cancellation → 503.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	req := httptest.NewRequest(http.MethodGet, "/search?K=60&k=5", nil).WithContext(ctx)
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?K=60&k=5", nil).WithContext(ctx)
 	rec2 := httptest.NewRecorder()
 	s.ServeHTTP(rec2, req)
 	if rec2.Code != http.StatusServiceUnavailable {

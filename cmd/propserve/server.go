@@ -9,16 +9,17 @@ import (
 	"log"
 	"math"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/registry"
 	"repro/internal/resilience"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
@@ -115,6 +116,20 @@ type Config struct {
 	// the fraction of requests that are neither 5xx errors nor shed must
 	// stay above it. Default 0.999.
 	SLOAvailability float64
+	// EnableLegacy re-opens the retired pre-/v1 aliases (/search, /stats)
+	// as deprecated pass-throughs. Off by default: the aliases answer 410
+	// Gone with a successor-version Link instead.
+	EnableLegacy bool
+	// Shards, when >= 2, splits every corpus into that many spatial
+	// shards — each with its own inverted index, IR-tree and epoch — and
+	// fans Step-1 retrieval out across them in parallel. Results are
+	// exactly those of the unsharded engine. 0 or 1 serves unsharded.
+	Shards int
+	// CorporaDir, when set, makes corpora created through POST /v1/corpora
+	// durable: each corpus logs to its own WAL under CorporaDir/<name> and
+	// recovers from it on re-creation or restart. The default corpus keeps
+	// its own -wal-dir; "" keeps created corpora volatile.
+	CorporaDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -300,45 +315,46 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 	return m
 }
 
-// Server serves proportional search over one corpus through a shared
-// cross-query engine: grid tables are built once, score sets are cached
-// in an LRU and concurrent identical queries are coalesced (see
-// internal/engine). It is safe for concurrent use. The serving path is
-// guarded end to end: panics become 500s, query compute sits behind a
-// bounded admission gate, and every query carries a deadline budget that
-// the scoring and selection loops observe cooperatively. Every request
-// is assigned an X-Request-ID and, via internal/telemetry, yields a
-// per-stage span breakdown exposed in the search diagnostics and in the
-// propserve_stage_seconds histogram on /metrics.
+// Server serves proportional search over a registry of named corpora,
+// each behind its own cross-query engine: grid tables are shared, but
+// score-set LRUs, admission gates, SLO trackers and WALs are strictly
+// per-corpus (see internal/registry). It is safe for concurrent use. The
+// serving path is guarded end to end: panics become 500s, query compute
+// sits behind a bounded per-tenant admission gate, and every query
+// carries a deadline budget that the scoring and selection loops observe
+// cooperatively. Every request is assigned an X-Request-ID and, via
+// internal/telemetry, yields a per-stage span breakdown exposed in the
+// search diagnostics and in the propserve_stage_seconds histogram on
+// /metrics.
 //
-// Routes are versioned under /v1 (GET /v1/search, POST /v1/batch, GET
-// /v1/stats); the pre-versioning /search and /stats aliases keep working
-// with a Deprecation header and identical payloads.
+// Routes are corpus-scoped under /v1/corpora/{corpus}/... (search,
+// explain, batch, corpus, slo), with the un-scoped /v1 routes kept as
+// byte-compatible aliases onto the corpus named "default". The registry
+// itself is administered through GET/POST /v1/corpora and DELETE
+// /v1/corpora/{corpus}. The pre-versioning /search and /stats aliases
+// are retired: they answer 410 Gone unless Config.EnableLegacy re-opens
+// them as deprecated pass-throughs.
 type Server struct {
 	handler  http.Handler
 	mux      *http.ServeMux
 	data     *dataset.Dataset
-	eng      *engine.Engine
+	eng      *engine.Engine // default tenant's engine
 	cfg      Config
-	gate     *resilience.Gate
+	gate     *resilience.Gate // default tenant's gate
 	rec      *resilience.Recoverer
 	tel      *serverMetrics
-	slo      *slo.Tracker // nil when Config.DisableSLO
+	slo      *slo.Tracker // default tenant's tracker; nil when Config.DisableSLO
 	start    time.Time
 	warnOnce sync.Map // deprecated path → *sync.Once
 	slowMu   sync.Mutex
 
-	// Durability state. ready gates mutations (and /readyz) while WAL
-	// replay runs; walLog enables compaction and the wal metrics;
-	// walDegraded, when set, sheds every mutation with 503 because the
-	// server cannot log them (recovery failed under -wal-required=false).
-	ready           atomic.Bool
-	walLog          atomic.Pointer[wal.Log]
-	walDegraded     atomic.Pointer[string]
-	compacting      atomic.Bool
-	replayedRecords atomic.Uint64
-	recoveredEpoch  atomic.Uint64
-	recoveryNanos   atomic.Int64
+	// Multi-tenant state: reg maps corpus names to tenants, def is the
+	// tenant the un-scoped /v1 aliases address. Each tenant carries its
+	// own durability state (WAL, recovery progress, degradation latch);
+	// the Server-level recovery methods delegate to def for the
+	// single-corpus boot path.
+	reg *registry.Registry
+	def *registry.Tenant
 }
 
 // NewServer builds the handler tree over a fresh engine serving d with
@@ -358,6 +374,7 @@ func engineOptions(cfg Config) engine.Options {
 	return engine.Options{
 		MaxK:         cfg.MaxK,
 		CacheEntries: cfg.CacheEntries,
+		Shards:       cfg.Shards,
 	}
 }
 
@@ -371,29 +388,49 @@ func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 		data:  eng.Corpus(),
 		eng:   eng,
 		cfg:   cfg,
-		gate:  resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait),
+		reg:   registry.New(),
 		start: time.Now(),
 	}
-	if !cfg.DisableSLO {
-		s.slo = slo.NewTracker(slo.DefaultObjectives(
-			cfg.SLOHitP99, cfg.SLOMissP99, cfg.SLOBatchP99, cfg.SLOMutateP99,
-			cfg.SLOAvailability), slo.Options{})
-	}
-	s.ready.Store(true)
+	s.def = s.newTenant(registry.DefaultName, eng)
+	// A fresh registry with a valid name cannot reject the default tenant.
+	_ = s.reg.Add(s.def)
+	s.gate, s.slo = s.def.Gate, s.def.SLO
+
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Corpus-scoped routes and their un-scoped aliases onto the default
+	// corpus. The same handler serves both forms (tenantFor resolves the
+	// {corpus} segment, absent means default), so the alias payloads are
+	// byte-identical to their scoped counterparts.
 	s.mux.HandleFunc("GET /v1/search", s.handleSearch)
+	s.mux.HandleFunc("GET /v1/corpora/{corpus}/search", s.handleSearch)
 	s.mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("GET /v1/corpora/{corpus}/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/corpora/{corpus}/batch", s.handleBatch)
 	s.mux.HandleFunc("POST /v1/corpus", s.handleCorpus)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/corpora/{corpus}/corpus", s.handleCorpus)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
-	s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
-	s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
+	s.mux.HandleFunc("GET /v1/corpora/{corpus}/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Registry administration.
+	s.mux.HandleFunc("GET /v1/corpora", s.handleCorporaList)
+	s.mux.HandleFunc("POST /v1/corpora", s.handleCorporaCreate)
+	s.mux.HandleFunc("DELETE /v1/corpora/{corpus}", s.handleCorporaDelete)
+	// The pre-/v1 aliases are retired; -enable-legacy re-opens them as
+	// deprecated pass-throughs for stragglers.
+	if cfg.EnableLegacy {
+		s.mux.HandleFunc("GET /search", s.deprecatedAlias("/search", "/v1/search", s.handleSearch))
+		s.mux.HandleFunc("GET /stats", s.deprecatedAlias("/stats", "/v1/stats", s.handleStats))
+	} else {
+		s.mux.HandleFunc("GET /search", s.legacyGone("/search", "/v1/search"))
+		s.mux.HandleFunc("GET /stats", s.legacyGone("/stats", "/v1/stats"))
+	}
 	s.rec = resilience.NewRecoverer(s.mux, cfg.Logf)
 	s.tel = newServerMetrics(s.gate, s.rec, s.eng)
 	s.registerDurabilityMetrics()
 	s.registerSLOMetrics()
+	s.registerTenantMetrics()
 	s.mux.Handle("GET /metrics", s.tel.reg)
 
 	// Middleware, innermost first: panic recovery around the routes, the
@@ -413,15 +450,50 @@ func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// registerDurabilityMetrics exposes the WAL and recovery state. Every
-// instrument reads live state through the server (nil-safe when no WAL
-// is attached), so the same registration serves the volatile and the
-// durable boot paths.
+// newTenant assembles one corpus's serving stack from the server
+// configuration: the engine plus a tenant-private admission gate and SLO
+// tracker, so one tenant's load or latency cannot bleed into another's
+// accounting.
+func (s *Server) newTenant(name string, eng *engine.Engine) *registry.Tenant {
+	cfg := s.cfg
+	var tracker *slo.Tracker
+	if !cfg.DisableSLO {
+		tracker = slo.NewTracker(slo.DefaultObjectives(
+			cfg.SLOHitP99, cfg.SLOMissP99, cfg.SLOBatchP99, cfg.SLOMutateP99,
+			cfg.SLOAvailability), slo.Options{})
+	}
+	return registry.NewTenant(name, eng,
+		resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait), tracker)
+}
+
+// tenantFor resolves a request's corpus: the {corpus} path segment on
+// scoped routes, the default tenant on the un-scoped /v1 aliases (and on
+// the legacy aliases, which have no segment either). A miss writes the
+// 404 itself so handlers can plain-return.
+func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (*registry.Tenant, bool) {
+	name := r.PathValue("corpus")
+	if name == "" {
+		return s.def, true
+	}
+	tn, ok := s.reg.Get(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return nil, false
+	}
+	return tn, true
+}
+
+// registerDurabilityMetrics exposes the default corpus's WAL and
+// recovery state under the pre-registry family names. Every instrument
+// reads live state through the default tenant (nil-safe when no WAL is
+// attached), so the same registration serves the volatile and the
+// durable boot paths; the per-corpus view lives in the labeled
+// propserve_tenant_* families.
 func (s *Server) registerDurabilityMetrics() {
 	reg := s.tel.reg
 	reg.GaugeFunc("propserve_ready",
 		"1 once startup recovery (if any) has completed, 0 while replaying.",
-		func() float64 { return boolGauge(s.ready.Load()) })
+		func() float64 { return boolGauge(s.def.Ready()) })
 	reg.CounterFunc("propserve_wal_appends_total",
 		"Mutation batches durably appended to the write-ahead log.",
 		func() uint64 { return s.walStats().Appends })
@@ -451,16 +523,65 @@ func (s *Server) registerDurabilityMetrics() {
 		func() float64 { return boolGauge(s.walStats().Broken) })
 	reg.GaugeFunc("propserve_wal_degraded",
 		"1 when durability is degraded (recovery failed; mutations shed, reads served).",
-		func() float64 { return boolGauge(s.walDegraded.Load() != nil) })
+		func() float64 { return boolGauge(s.def.DegradedReason() != "") })
 	reg.GaugeFunc("propserve_wal_replayed_records",
 		"WAL records replayed during the last startup recovery.",
-		func() float64 { return float64(s.replayedRecords.Load()) })
+		func() float64 { n, _, _ := s.def.RecoveryStats(); return float64(n) })
 	reg.GaugeFunc("propserve_wal_recovery_seconds",
 		"Wall-clock duration of the last startup recovery's replay phase.",
-		func() float64 { return time.Duration(s.recoveryNanos.Load()).Seconds() })
+		func() float64 { _, _, dur := s.def.RecoveryStats(); return dur.Seconds() })
 	reg.GaugeFunc("propserve_corpus_recovered_epoch",
 		"Corpus epoch re-established by the last startup recovery (snapshot plus replay).",
-		func() float64 { return float64(s.recoveredEpoch.Load()) })
+		func() float64 { _, epoch, _ := s.def.RecoveryStats(); return float64(epoch) })
+}
+
+// registerTenantMetrics exposes the per-corpus view as labeled
+// propserve_tenant_* families, read at scrape time over the registry.
+// The un-labeled families above keep their pre-registry meaning — the
+// default corpus — so existing dashboards survive the registry
+// unchanged; these series add every tenant, default included.
+func (s *Server) registerTenantMetrics() {
+	reg := s.tel.reg
+	corpusLabel := func(name string) []telemetry.Label {
+		return []telemetry.Label{{Name: "corpus", Value: name}}
+	}
+	perTenant := func(value func(*registry.Tenant) float64) func() []telemetry.Series {
+		return func() []telemetry.Series {
+			tenants := s.reg.All()
+			out := make([]telemetry.Series, 0, len(tenants))
+			for _, tn := range tenants {
+				out = append(out, telemetry.Series{Labels: corpusLabel(tn.Name), Value: value(tn)})
+			}
+			return out
+		}
+	}
+	reg.GaugeSeriesFunc("propserve_tenant_places",
+		"Places in each corpus's currently published epoch.",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.Eng.Stats().Places) }))
+	reg.GaugeSeriesFunc("propserve_tenant_corpus_epoch",
+		"Currently published epoch of each corpus.",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.Eng.Epoch()) }))
+	reg.GaugeSeriesFunc("propserve_tenant_shards",
+		"Spatial shards each corpus's Step-1 retrieval fans out across (0 when unsharded).",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.Eng.Stats().Shards) }))
+	reg.GaugeSeriesFunc("propserve_tenant_cache_hit_ratio",
+		"Score-set LRU hit ratio of each corpus's engine (0 before any lookup).",
+		perTenant(func(tn *registry.Tenant) float64 { return tn.Eng.Stats().HitRatio() }))
+	reg.GaugeSeriesFunc("propserve_tenant_wal_lag_records",
+		"Records in each corpus's write-ahead log not yet folded into a snapshot.",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.WALStats().Records) }))
+	reg.CounterSeriesFunc("propserve_tenant_mutations_total",
+		"Mutation batches published by each corpus.",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.Eng.Stats().Mutations) }))
+	reg.CounterSeriesFunc("propserve_tenant_gate_admitted_total",
+		"Requests admitted by each corpus's gate.",
+		perTenant(func(tn *registry.Tenant) float64 { return float64(tn.Gate.Stats().Admitted) }))
+	reg.CounterSeriesFunc("propserve_tenant_gate_shed_total",
+		"Requests shed by each corpus's gate (full queue or queue timeout).",
+		perTenant(func(tn *registry.Tenant) float64 {
+			gs := tn.Gate.Stats()
+			return float64(gs.Shed + gs.QueueTimeouts)
+		}))
 }
 
 func boolGauge(b bool) float64 {
@@ -470,14 +591,9 @@ func boolGauge(b bool) float64 {
 	return 0
 }
 
-// walStats snapshots the attached log's counters, or zeros when the
-// server runs without durability.
-func (s *Server) walStats() wal.Stats {
-	if l := s.walLog.Load(); l != nil {
-		return l.Stats()
-	}
-	return wal.Stats{}
-}
+// walStats snapshots the default corpus's log counters, or zeros when it
+// runs without durability.
+func (s *Server) walStats() wal.Stats { return s.def.WALStats() }
 
 // registerSLOMetrics exposes the SLO tracker on /metrics through the
 // read-at-scrape pattern: each family snapshots the tracker when scraped,
@@ -564,12 +680,12 @@ func (s *Server) registerSLOMetrics() {
 // network skew). Call it before the first body write — headers are
 // frozen after that — and pass a nil header on paths that share a
 // response with other work (batch elements).
-func (s *Server) recordSLO(h http.Header, class string, start time.Time, status int) {
+func (s *Server) recordSLO(tracker *slo.Tracker, h http.Header, class string, start time.Time, status int) {
 	d := time.Since(start)
-	if h != nil && s.slo != nil {
+	if h != nil && tracker != nil {
 		h.Set("Server-Timing", fmt.Sprintf("app;dur=%.4f", float64(d.Nanoseconds())/1e6))
 	}
-	s.slo.Record(class, d, slo.OutcomeForStatus(status))
+	tracker.Record(class, d, slo.OutcomeForStatus(status))
 }
 
 // searchClass maps the engine's cache verdict onto the SLO class: only a
@@ -607,12 +723,16 @@ func sloStatsJSON(ws slo.WindowStats) map[string]any {
 // one-bucket error bound (a factor of 1.2); burn rates follow the
 // multi-window error-budget convention — the 1m window answers "is it
 // burning right now", the 1h window "has it burned too much lately".
-func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
-	if s.slo == nil {
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
+	if tn.SLO == nil {
 		s.writeError(w, http.StatusForbidden, "slo tracking disabled: start the server without -slo=false")
 		return
 	}
-	snap := s.slo.Snapshot()
+	snap := tn.SLO.Snapshot()
 	windows := make([]string, 0, len(snap.Windows))
 	for _, d := range snap.Windows {
 		windows = append(windows, slo.WindowLabel(d))
@@ -641,54 +761,39 @@ func (s *Server) handleSLO(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// BeginRecovery marks the server not ready: /readyz answers 503
+// BeginRecovery marks the default corpus not ready: /readyz answers 503
 // "recovering" and mutations are shed until FinishRecovery. Reads keep
-// serving throughout — the engine always holds a complete epoch.
-func (s *Server) BeginRecovery() { s.ready.Store(false) }
+// serving throughout — the engine always holds a complete epoch. The
+// single-corpus boot path in main uses these Server-level delegations;
+// secondary corpora go through their tenant's methods directly.
+func (s *Server) BeginRecovery() { s.def.BeginRecovery() }
 
-// FinishRecovery records the recovery outcome and flips the server
-// ready. Called by Recover after the WAL is replayed and attached.
+// FinishRecovery records the recovery outcome and flips the default
+// corpus ready. Called by Recover after the WAL is replayed and attached.
 func (s *Server) FinishRecovery(replayed int, epoch uint64, dur time.Duration) {
-	s.replayedRecords.Store(uint64(replayed))
-	s.recoveredEpoch.Store(epoch)
-	s.recoveryNanos.Store(int64(dur))
-	s.ready.Store(true)
+	s.def.FinishRecovery(replayed, epoch, dur)
 	s.cfg.Logf("propserve: recovery complete: %d records replayed in %v, corpus at epoch %d",
 		replayed, dur.Round(time.Millisecond), epoch)
 }
 
-// AttachWAL hands the server the open log for compaction and metrics.
-// The engine's own WAL hookup (Engine.SetWAL) is separate: during
-// replay the engine must mutate without re-logging.
-func (s *Server) AttachWAL(l *wal.Log) { s.walLog.Store(l) }
+// AttachWAL hands the default corpus the open log for compaction and
+// metrics. The engine's own WAL hookup (Engine.SetWAL) is separate:
+// during replay the engine must mutate without re-logging.
+func (s *Server) AttachWAL(l *wal.Log) { s.def.AttachWAL(l) }
 
-// DegradeWAL puts the server into the -wal-required=false failure mode:
-// reads keep serving whatever state recovery reached, every mutation is
-// shed with 503, and the degradation is visible in /healthz, /v1/stats
-// and propserve_wal_degraded. The server also flips ready — it is ready,
-// just read-mostly.
+// DegradeWAL puts the default corpus into the -wal-required=false
+// failure mode: reads keep serving whatever state recovery reached,
+// every mutation is shed with 503, and the degradation is visible in
+// /healthz, /v1/stats and propserve_wal_degraded. The tenant also flips
+// ready — it is ready, just read-mostly.
 func (s *Server) DegradeWAL(err error) {
-	msg := err.Error()
-	s.walDegraded.Store(&msg)
-	s.ready.Store(true)
+	s.def.Degrade(err)
 	s.cfg.Logf("propserve: DURABILITY DEGRADED, mutations disabled: %v", err)
 }
 
-// walState summarises the durability mode for /healthz and /v1/stats.
-func (s *Server) walState() string {
-	switch {
-	case s.walDegraded.Load() != nil:
-		return "degraded"
-	case !s.ready.Load():
-		return "recovering"
-	case s.walStats().Broken:
-		return "broken"
-	case s.walLog.Load() != nil:
-		return "active"
-	default:
-		return "disabled"
-	}
-}
+// walState summarises the default corpus's durability mode for /healthz
+// and /v1/stats.
+func (s *Server) walState() string { return s.def.WALState() }
 
 // deprecatedAlias serves old into the same handler as its /v1 successor,
 // marking the response with a Deprecation header (draft-ietf-httpapi-
@@ -704,6 +809,20 @@ func (s *Server) deprecatedAlias(old, successor string, h http.HandlerFunc) http
 		})
 		s.tel.deprecated.With(old).Inc()
 		h(w, r)
+	}
+}
+
+// legacyGone is the default fate of the retired pre-/v1 aliases: 410
+// Gone carrying the same Deprecation and successor-version Link headers
+// the pass-through used, so clients that never read the deprecation
+// signal still learn the replacement route from the refusal.
+func (s *Server) legacyGone(old, successor string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		s.tel.deprecated.With(old).Inc()
+		s.writeError(w, http.StatusGone,
+			"%s was retired: use %s (or start the server with -enable-legacy)", old, successor)
 	}
 }
 
@@ -781,10 +900,11 @@ func statusFor(err error) int {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":       "ok",
-		"ready":        s.ready.Load(),
+		"ready":        s.def.Ready(),
 		"wal":          s.walState(),
 		"places":       len(s.eng.Corpus().Places),
 		"corpus_epoch": s.eng.Epoch(),
+		"corpora":      s.reg.Len(),
 		"inflight":     s.gate.InFlight(),
 		"queued":       s.gate.Queued(),
 		"capacity":     s.gate.Capacity(),
@@ -794,12 +914,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleReadyz is the readiness probe: 503 with a "recovering" body
-// while startup WAL replay runs, 200 "ready" once the corpus is at its
-// recovered epoch and mutations are accepted.
+// while any corpus's startup WAL replay runs, 200 "ready" once every
+// corpus is at its recovered epoch and accepts mutations.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	if !s.ready.Load() {
+	var recovering []string
+	for _, tn := range s.reg.All() {
+		if !tn.Ready() {
+			recovering = append(recovering, tn.Name)
+		}
+	}
+	if len(recovering) > 0 {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]interface{}{
 			"status":       "recovering",
+			"corpora":      recovering,
 			"corpus_epoch": s.eng.Epoch(),
 		})
 		return
@@ -815,14 +942,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	gs := s.gate.Stats()
 	es := s.eng.Stats()
 	ws := s.walStats()
+	replayed, recoveredEpoch, recoveryDur := s.def.RecoveryStats()
 	walSection := map[string]interface{}{
 		"state":            s.walState(),
-		"enabled":          s.walLog.Load() != nil,
-		"replayed_records": s.replayedRecords.Load(),
-		"recovery_seconds": round3(time.Duration(s.recoveryNanos.Load()).Seconds()),
-		"recovered_epoch":  s.recoveredEpoch.Load(),
+		"enabled":          s.def.WAL() != nil,
+		"replayed_records": uint64(replayed),
+		"recovery_seconds": round3(recoveryDur.Seconds()),
+		"recovered_epoch":  recoveredEpoch,
 	}
-	if l := s.walLog.Load(); l != nil {
+	if l := s.def.WAL(); l != nil {
 		walSection["sync"] = l.SyncPolicy().String()
 		walSection["appends"] = ws.Appends
 		walSection["fsyncs"] = ws.Fsyncs
@@ -835,8 +963,14 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		walSection["last_epoch"] = ws.LastEpoch
 		walSection["broken"] = ws.Broken
 	}
-	if reason := s.walDegraded.Load(); reason != nil {
-		walSection["degraded_reason"] = *reason
+	if reason := s.def.DegradedReason(); reason != "" {
+		walSection["degraded_reason"] = reason
+	}
+	// The registry view: one summary per corpus, default included — the
+	// rest of this payload stays the default corpus's pre-registry shape.
+	corpora := map[string]interface{}{}
+	for _, tn := range s.reg.All() {
+		corpora[tn.Name] = s.corpusSummary(tn)
 	}
 	// Corpus facts come from the engine's published snapshot, not the
 	// registration-time dataset: mutations move the former, never the
@@ -857,7 +991,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"swept_entries":   es.SweptEntries,
 			"mutation_api":    s.cfg.EnableMutation,
 		},
-		"wal": walSection,
+		"corpora": corpora,
+		"wal":     walSection,
 		"gate": map[string]interface{}{
 			"admitted":       gs.Admitted,
 			"shed":           gs.Shed,
@@ -881,6 +1016,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"builds":       es.Builds,
 			"build_errors": es.BuildErrors,
 			"explains":     es.Explains,
+			"shards":       es.Shards,
 			"tables": map[string]interface{}{
 				"squared":            es.SquaredTables,
 				"radial_resolutions": es.RadialResolutions,
@@ -920,6 +1056,10 @@ func (s *Server) flushSpans(tr *telemetry.Trace) {
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	start := time.Now()
 	// One trace per request; the pipeline stages (engine, core, textctx,
 	// grid) find it through the context and record their spans on it.
@@ -928,13 +1068,13 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	defer s.flushSpans(tr)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
-	req, err := s.eng.RequestFromValues(r.URL.Query())
+	req, err := tn.Eng.RequestFromValues(r.URL.Query())
 	if err == nil {
 		_, err = req.Normalize()
 	}
 	endParse()
 	if err != nil {
-		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, http.StatusBadRequest)
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusBadRequest)
 		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
 		return
 	}
@@ -955,7 +1095,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	waitStart := time.Now()
 	endWait := tr.StartSpan(telemetry.StageAdmission)
-	release, err := s.gate.Acquire(ctx)
+	release, err := tn.Gate.Acquire(ctx)
 	endWait()
 	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
@@ -963,7 +1103,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
-		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, status)
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, status)
 		s.writeError(w, status, "admission: %v", err)
 		return
 	}
@@ -977,7 +1117,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
 			req.Spatial = "squared"
 			if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
-				s.recordSLO(w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError)
+				s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError)
 				s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
 				return
 			}
@@ -987,16 +1127,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.eng.Query(ctx, req)
+	res, err := tn.Eng.Query(ctx, req)
 	if err != nil {
-		s.recordSLO(w.Header(), slo.ClassSearchMiss, start, statusFor(err))
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, statusFor(err))
 		s.writeError(w, statusFor(err), "%v", err)
 		return
 	}
 	telemetry.NoteCache(r.Context(), res.Cache)
 	telemetry.NoteEpoch(r.Context(), req.Epoch())
 
-	resp := s.eng.BuildResponse(req, res, tr)
+	resp := tn.Eng.BuildResponse(req, res, tr)
 	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
 	if len(degraded) > 0 {
 		resp.Diagnostics["degraded"] = degraded
@@ -1004,7 +1144,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// Recorded before the body write so the Server-Timing header makes it
 	// out; the excluded JSON encode is observed separately in the encode
 	// stage histogram.
-	s.recordSLO(w.Header(), searchClass(res.Cache), start, http.StatusOK)
+	s.recordSLO(tn.SLO, w.Header(), searchClass(res.Cache), start, http.StatusOK)
 	endEncode := tr.StartSpan(telemetry.StageEncode)
 	s.writeJSON(w, http.StatusOK, resp)
 	endEncode()
@@ -1023,12 +1163,16 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusForbidden, "explain disabled: start the server with -enable-explain")
 		return
 	}
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	tr := telemetry.NewTrace()
 	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
 	defer s.flushSpans(tr)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
-	req, err := s.eng.RequestFromValues(r.URL.Query())
+	req, err := tn.Eng.RequestFromValues(r.URL.Query())
 	if err == nil {
 		_, err = req.Normalize()
 	}
@@ -1043,7 +1187,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	waitStart := time.Now()
 	endWait := tr.StartSpan(telemetry.StageAdmission)
-	release, err := s.gate.Acquire(ctx)
+	release, err := tn.Gate.Acquire(ctx)
 	endWait()
 	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
@@ -1056,7 +1200,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, rep, err := s.eng.Explain(ctx, req)
+	res, rep, err := tn.Eng.Explain(ctx, req)
 	if err != nil {
 		s.writeError(w, statusFor(err), "%v", err)
 		return
@@ -1070,7 +1214,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.tel.gridErr.Set(rep.Grid.MeanAbsError)
 	}
 
-	resp := s.eng.BuildResponse(req, res, tr)
+	resp := tn.Eng.BuildResponse(req, res, tr)
 	resp.RequestID = w.Header().Get(telemetry.RequestIDHeader)
 	resp.Explain = rep
 	endEncode := tr.StartSpan(telemetry.StageEncode)
@@ -1174,6 +1318,10 @@ type batchResponse struct {
 // carries its own deadline budget, and reports its own status from the
 // same error taxonomy; identical elements coalesce inside the engine.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	var br batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err := dec.Decode(&br); err != nil {
@@ -1204,7 +1352,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		go func() {
 			defer wg.Done()
 			for idx := range jobs {
-				items[idx] = s.batchElement(r.Context(), requestID, idx, br.Queries[idx])
+				items[idx] = s.batchElement(r.Context(), tn, requestID, idx, br.Queries[idx])
 			}
 		}()
 	}
@@ -1227,7 +1375,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // recovery middleware's goroutine). Each element gets its own trace —
 // spans never bleed across elements — while requestID ties every element's
 // response and slow-query line back to the parent batch request.
-func (s *Server) batchElement(parent context.Context, requestID string, idx int, raw json.RawMessage) (item batchItem) {
+func (s *Server) batchElement(parent context.Context, tn *registry.Tenant, requestID string, idx int, raw json.RawMessage) (item batchItem) {
 	start := time.Now()
 	item.Index = idx
 	defer func() {
@@ -1237,14 +1385,14 @@ func (s *Server) batchElement(parent context.Context, requestID string, idx int,
 		}
 		// Each element is one unit of the batch SLO class; the shared
 		// response envelope means no per-element Server-Timing header.
-		s.recordSLO(nil, slo.ClassBatch, start, item.Status)
+		s.recordSLO(tn.SLO, nil, slo.ClassBatch, start, item.Status)
 	}()
 
 	tr := telemetry.NewTrace()
 	defer s.flushSpans(tr)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
-	req := s.eng.NewRequest()
+	req := tn.Eng.NewRequest()
 	err := json.Unmarshal(raw, req)
 	if err == nil {
 		_, err = req.Normalize()
@@ -1262,7 +1410,7 @@ func (s *Server) batchElement(parent context.Context, requestID string, idx int,
 
 	waitStart := time.Now()
 	endWait := tr.StartSpan(telemetry.StageAdmission)
-	release, err := s.gate.Acquire(ctx)
+	release, err := tn.Gate.Acquire(ctx)
 	endWait()
 	s.tel.queueWait.Observe(time.Since(waitStart).Seconds())
 	if err != nil {
@@ -1272,14 +1420,14 @@ func (s *Server) batchElement(parent context.Context, requestID string, idx int,
 	}
 	defer release()
 
-	res, err := s.eng.Query(ctx, req)
+	res, err := tn.Eng.Query(ctx, req)
 	if err != nil {
 		item.Status = statusFor(err)
 		item.Error = err.Error()
 		return item
 	}
 	item.Status = http.StatusOK
-	item.Response = s.eng.BuildResponse(req, res, tr)
+	item.Response = tn.Eng.BuildResponse(req, res, tr)
 	item.Response.RequestID = requestID
 	s.maybeLogSlow("/v1/batch", requestID, req, tr, res.Cache, nil)
 	return item
@@ -1304,6 +1452,10 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusForbidden, "corpus mutation disabled: start the server with -enable-mutation")
 		return
 	}
+	tn, ok := s.tenantFor(w, r)
+	if !ok {
+		return
+	}
 	// Everything past the enablement gate is mutation-class load; done
 	// stamps the exit status exactly once per request.
 	start := time.Now()
@@ -1311,7 +1463,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	done := func(code int) {
 		if !recorded {
 			recorded = true
-			s.recordSLO(w.Header(), slo.ClassMutate, start, code)
+			s.recordSLO(tn.SLO, w.Header(), slo.ClassMutate, start, code)
 		}
 	}
 	// Durability gates, checked before the body is even read: mutations
@@ -1319,15 +1471,15 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	// history from a state that is still moving) and shed permanently in
 	// degraded mode (an unloggable mutation would be lost by the next
 	// restart, silently breaking the acknowledged-durability contract).
-	if !s.ready.Load() {
+	if !tn.Ready() {
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		done(http.StatusServiceUnavailable)
 		s.writeError(w, http.StatusServiceUnavailable, "recovering: corpus mutations resume when WAL replay completes")
 		return
 	}
-	if reason := s.walDegraded.Load(); reason != nil {
+	if reason := tn.DegradedReason(); reason != "" {
 		done(http.StatusServiceUnavailable)
-		s.writeError(w, http.StatusServiceUnavailable, "durability degraded, mutations disabled: %s", *reason)
+		s.writeError(w, http.StatusServiceUnavailable, "durability degraded, mutations disabled: %s", reason)
 		return
 	}
 	var m engine.Mutation
@@ -1351,7 +1503,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.QueryTimeout)
 	defer cancel()
-	release, err := s.gate.Acquire(ctx)
+	release, err := tn.Gate.Acquire(ctx)
 	if err != nil {
 		status := statusFor(err)
 		if status == http.StatusServiceUnavailable {
@@ -1363,7 +1515,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, err := s.eng.Mutate(ctx, m)
+	res, err := tn.Eng.Mutate(ctx, m)
 	if err != nil {
 		status := statusFor(err)
 		if errors.Is(err, engine.ErrWAL) {
@@ -1374,12 +1526,153 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.tel.mutations.Inc()
-	s.maybeCompactAsync()
+	s.maybeCompactAsync(tn)
 	telemetry.NoteEpoch(r.Context(), res.Epoch)
 	done(http.StatusOK)
 	s.writeJSON(w, http.StatusOK, corpusResponse{
 		RequestID:      w.Header().Get(telemetry.RequestIDHeader),
 		MutationResult: *res,
+	})
+}
+
+// corpusSummary is one tenant's entry in GET /v1/corpora and the
+// /v1/stats "corpora" section: corpus size and epoch, cache efficiency,
+// shard count, and how far the WAL has run ahead of the last snapshot
+// (its lag — records a restart would have to replay).
+func (s *Server) corpusSummary(tn *registry.Tenant) map[string]interface{} {
+	es := tn.Eng.Stats()
+	ws := tn.WALStats()
+	return map[string]interface{}{
+		"places":          es.Places,
+		"epoch":           es.Epoch,
+		"shards":          es.Shards,
+		"mutations":       es.Mutations,
+		"cache_hit_ratio": round3(es.HitRatio()),
+		"wal": map[string]interface{}{
+			"state":       tn.WALState(),
+			"lag_records": ws.Records,
+			"last_epoch":  ws.LastEpoch,
+		},
+	}
+}
+
+// handleCorporaList serves GET /v1/corpora: every registered corpus with
+// its per-tenant stats, sorted by name.
+func (s *Server) handleCorporaList(w http.ResponseWriter, _ *http.Request) {
+	corpora := map[string]interface{}{}
+	for _, tn := range s.reg.All() {
+		corpora[tn.Name] = s.corpusSummary(tn)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"count":   len(corpora),
+		"corpora": corpora,
+	})
+}
+
+// createCorpusRequest is the POST /v1/corpora payload. Places and Seed
+// parameterise the generated corpus; Shards and CacheEntries override
+// the server-wide defaults for this tenant (0 inherits, shards=1 forces
+// unsharded).
+type createCorpusRequest struct {
+	Name         string `json:"name"`
+	Places       int    `json:"places"`
+	Seed         int64  `json:"seed"`
+	Shards       int    `json:"shards"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// handleCorporaCreate serves POST /v1/corpora: registers a new named
+// corpus with its own engine, gate, SLO tracker and cache budget.
+// Registry administration rides the -enable-mutation opt-in — creating
+// a corpus mutates server state exactly like mutating one. Under
+// -corpora-dir the corpus is durable: it logs to its own WAL under
+// <corpora-dir>/<name> and, when files from a previous life of the name
+// exist there, recovers from them instead of generating fresh places.
+func (s *Server) handleCorporaCreate(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableMutation {
+		s.writeError(w, http.StatusForbidden, "corpus administration disabled: start the server with -enable-mutation")
+		return
+	}
+	var cr createCorpusRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&cr); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad corpus body: %v", err)
+		return
+	}
+	if !registry.ValidName(cr.Name) {
+		s.writeError(w, http.StatusBadRequest,
+			"invalid corpus name %q: want lowercase [a-z0-9][a-z0-9_-]{0,63}", cr.Name)
+		return
+	}
+	if cr.Places < 0 || cr.Places > 200_000 {
+		s.writeError(w, http.StatusBadRequest, "places %d out of range [0, 200000]", cr.Places)
+		return
+	}
+	if cr.Places == 0 {
+		cr.Places = 1000
+	}
+	gen := func() (*dataset.Dataset, error) {
+		dc := dataset.DBpediaLike(cr.Seed)
+		dc.Places = cr.Places
+		return dataset.Generate(dc)
+	}
+	opts := engineOptions(s.cfg)
+	if cr.Shards != 0 {
+		opts.Shards = cr.Shards
+	}
+	if cr.CacheEntries > 0 {
+		opts.CacheEntries = cr.CacheEntries
+	}
+	var dir string
+	if s.cfg.CorporaDir != "" {
+		dir = filepath.Join(s.cfg.CorporaDir, cr.Name)
+	}
+	tn, err := s.bootCorpus(r.Context(), cr.Name, dir, gen, opts)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, registry.ErrExists) {
+			status = http.StatusConflict
+		}
+		s.writeError(w, status, "create corpus %q: %v", cr.Name, err)
+		return
+	}
+	s.cfg.Logf("propserve: corpus %q created: %d places, %d shards, durable=%v",
+		tn.Name, tn.Eng.Stats().Places, tn.Eng.Stats().Shards, dir != "")
+	s.writeJSON(w, http.StatusCreated, map[string]interface{}{
+		"name":    tn.Name,
+		"durable": dir != "",
+		"stats":   s.corpusSummary(tn),
+	})
+}
+
+// handleCorporaDelete serves DELETE /v1/corpora/{corpus}. The default
+// corpus is not deletable — the un-scoped /v1 aliases depend on it.
+// Deletion unregisters the tenant (requests already routed to it finish
+// undisturbed) and closes its WAL; the log and snapshot files stay on
+// disk, so re-creating the name recovers its state.
+func (s *Server) handleCorporaDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableMutation {
+		s.writeError(w, http.StatusForbidden, "corpus administration disabled: start the server with -enable-mutation")
+		return
+	}
+	name := r.PathValue("corpus")
+	if name == registry.DefaultName {
+		s.writeError(w, http.StatusForbidden, "the default corpus cannot be deleted")
+		return
+	}
+	tn, ok := s.reg.Remove(name)
+	if !ok {
+		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
+		return
+	}
+	if l := tn.WAL(); l != nil {
+		l.Close()
+	}
+	epoch := tn.Eng.Epoch()
+	s.cfg.Logf("propserve: corpus %q deleted at epoch %d", name, epoch)
+	s.writeJSON(w, http.StatusOK, map[string]interface{}{
+		"deleted": name,
+		"epoch":   epoch,
 	})
 }
 

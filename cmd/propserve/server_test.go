@@ -54,7 +54,7 @@ func TestHealthz(t *testing.T) {
 
 func TestStats(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/stats")
+	rec := get(t, s, "/v1/stats")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -65,7 +65,7 @@ func TestStats(t *testing.T) {
 
 func TestSearchDefaults(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/search?K=80&k=8")
+	rec := get(t, s, "/v1/search?K=80&k=8")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -94,7 +94,7 @@ func TestSearchDefaults(t *testing.T) {
 func TestSearchAllAlgorithms(t *testing.T) {
 	s := testServer(t)
 	for _, algo := range []string{"abp", "iadu", "topk", "abp-div", "iadu-div"} {
-		rec := get(t, s, "/search?K=60&k=5&algo="+algo)
+		rec := get(t, s, "/v1/search?K=60&k=5&algo="+algo)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", algo, rec.Code, rec.Body.String())
 		}
@@ -105,7 +105,7 @@ func TestSearchWithKeywordsAndLocation(t *testing.T) {
 	s := testServer(t)
 	// Use a real vocabulary word so the keyword resolves.
 	word := s.data.Places[0].Context.Words(s.data.Dict)[0]
-	rec := get(t, s, "/search?x=50&y=50&K=60&k=5&keywords="+word)
+	rec := get(t, s, "/v1/search?x=50&y=50&K=60&k=5&keywords="+word)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -121,23 +121,23 @@ func TestSearchWithKeywordsAndLocation(t *testing.T) {
 func TestSearchErrors(t *testing.T) {
 	s := testServer(t)
 	cases := []string{
-		"/search?x=notanumber",
-		"/search?K=abc",
-		"/search?lambda=2",
-		"/search?lambda=-0.1",
-		"/search?algo=sorcery",     // unknown algorithm
-		"/search?spatial=wormhole", // unknown spatial method
-		"/search?K=5&k=10",         // k ≥ K
-		"/search?K=10&k=10",
-		"/search?k=0",
-		"/search?k=-3",
-		"/search?K=0",
-		"/search?K=-1",
-		"/search?K=60&k=5&gamma=7",
-		"/search?K=60&k=5&gamma=NaN",
-		"/search?x=NaN",  // strconv.ParseFloat accepts NaN; the server must not
-		"/search?y=+Inf", // likewise for infinities
-		"/search?x=-Inf",
+		"/v1/search?x=notanumber",
+		"/v1/search?K=abc",
+		"/v1/search?lambda=2",
+		"/v1/search?lambda=-0.1",
+		"/v1/search?algo=sorcery",     // unknown algorithm
+		"/v1/search?spatial=wormhole", // unknown spatial method
+		"/v1/search?K=5&k=10",         // k ≥ K
+		"/v1/search?K=10&k=10",
+		"/v1/search?k=0",
+		"/v1/search?k=-3",
+		"/v1/search?K=0",
+		"/v1/search?K=-1",
+		"/v1/search?K=60&k=5&gamma=7",
+		"/v1/search?K=60&k=5&gamma=NaN",
+		"/v1/search?x=NaN",  // strconv.ParseFloat accepts NaN; the server must not
+		"/v1/search?y=+Inf", // likewise for infinities
+		"/v1/search?x=-Inf",
 	}
 	for _, path := range cases {
 		rec := get(t, s, path)
@@ -155,7 +155,7 @@ func TestSearchErrors(t *testing.T) {
 func TestSearchSpatialMethods(t *testing.T) {
 	s := testServer(t)
 	for _, spatial := range []string{"exact", "squared", "radial"} {
-		rec := get(t, s, "/search?K=60&k=5&spatial="+spatial)
+		rec := get(t, s, "/v1/search?K=60&k=5&spatial="+spatial)
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: status %d: %s", spatial, rec.Code, rec.Body.String())
 		}
@@ -173,7 +173,7 @@ func TestSearchSpatialMethods(t *testing.T) {
 // beyond -max-K are clamped and the clamp is reported in diagnostics.
 func TestSearchClampsK(t *testing.T) {
 	s := testServerCfg(t, Config{MaxK: 50})
-	rec := get(t, s, "/search?K=400&k=5")
+	rec := get(t, s, "/v1/search?K=400&k=5")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -193,7 +193,7 @@ func TestSearchClampsK(t *testing.T) {
 	}
 
 	// k larger than the ceiling cannot be satisfied at all: a client error.
-	if rec := get(t, s, "/search?K=400&k=60"); rec.Code != http.StatusBadRequest {
+	if rec := get(t, s, "/v1/search?K=400&k=60"); rec.Code != http.StatusBadRequest {
 		t.Errorf("k beyond ceiling: status = %d, want 400 (%s)", rec.Code, rec.Body.String())
 	}
 }
@@ -203,7 +203,7 @@ func TestNotFoundAndMethod(t *testing.T) {
 	if rec := get(t, s, "/nope"); rec.Code != http.StatusNotFound {
 		t.Errorf("unknown path status = %d", rec.Code)
 	}
-	req := httptest.NewRequest(http.MethodPost, "/search", nil)
+	req := httptest.NewRequest(http.MethodPost, "/v1/search", nil)
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
 	if rec.Code != http.StatusMethodNotAllowed && rec.Code != http.StatusNotFound {
@@ -220,7 +220,7 @@ func TestConcurrentSearches(t *testing.T) {
 	done := make(chan error, 8)
 	for w := 0; w < 8; w++ {
 		go func() {
-			req := httptest.NewRequest(http.MethodGet, "/search?K=60&k=5", nil)
+			req := httptest.NewRequest(http.MethodGet, "/v1/search?K=60&k=5", nil)
 			rec := httptest.NewRecorder()
 			s.ServeHTTP(rec, req)
 			if rec.Code != http.StatusOK {

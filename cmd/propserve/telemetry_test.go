@@ -50,11 +50,11 @@ func metricsSeries(t *testing.T, s *Server) map[string]string {
 func TestMetricsEndpoint(t *testing.T) {
 	s := testServer(t)
 	for i := 0; i < 3; i++ {
-		if rec := get(t, s, "/search?K=60&k=5"); rec.Code != http.StatusOK {
+		if rec := get(t, s, "/v1/search?K=60&k=5"); rec.Code != http.StatusOK {
 			t.Fatalf("search status = %d", rec.Code)
 		}
 	}
-	get(t, s, "/search?k=0") // one 400 for the code label
+	get(t, s, "/v1/search?k=0") // one 400 for the code label
 
 	series := metricsSeries(t, s)
 	if series[`propserve_requests_total{code="200"}`] == "" {
@@ -90,7 +90,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestSearchDiagnosticsStageBreakdown(t *testing.T) {
 	s := testServer(t)
-	rec := get(t, s, "/search?K=80&k=8&spatial=exact")
+	rec := get(t, s, "/v1/search?K=80&k=8&spatial=exact")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -128,7 +128,7 @@ func TestRequestIDStableAcrossHeaderAndBody(t *testing.T) {
 	s := testServer(t)
 
 	// Success path: the response body echoes the header ID.
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -142,7 +142,7 @@ func TestRequestIDStableAcrossHeaderAndBody(t *testing.T) {
 	}
 
 	// Error path: 4xx responses carry the ID in header and error body.
-	rec = get(t, s, "/search?k=0")
+	rec = get(t, s, "/v1/search?k=0")
 	if rec.Code != http.StatusBadRequest {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -155,7 +155,7 @@ func TestRequestIDStableAcrossHeaderAndBody(t *testing.T) {
 	}
 
 	// Client-supplied IDs round-trip.
-	req := httptest.NewRequest(http.MethodGet, "/search?K=60&k=5", nil)
+	req := httptest.NewRequest(http.MethodGet, "/v1/search?K=60&k=5", nil)
 	req.Header.Set("X-Request-ID", "trace-me-7")
 	rr := httptest.NewRecorder()
 	s.ServeHTTP(rr, req)
@@ -173,7 +173,7 @@ func TestRequestIDOnPanicPath(t *testing.T) {
 			panic("telemetry probe")
 		}
 	})
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	restore()
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status = %d, want 500", rec.Code)
@@ -183,7 +183,7 @@ func TestRequestIDOnPanicPath(t *testing.T) {
 	}
 	// The recovered panic is visible in /stats and /metrics.
 	var stats map[string]any
-	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &stats); err != nil {
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats["panics_recovered"] != float64(1) {
@@ -214,11 +214,11 @@ func TestGateCountersUnderShedLoad(t *testing.T) {
 	defer restore()
 
 	r1 := make(chan *httptest.ResponseRecorder, 1)
-	go func() { r1 <- get(t, s, "/search?K=60&k=5") }()
+	go func() { r1 <- get(t, s, "/v1/search?K=60&k=5") }()
 	<-entered // request 1 holds the only slot
 
 	r2 := make(chan *httptest.ResponseRecorder, 1)
-	go func() { r2 <- get(t, s, "/search?K=60&k=5") }()
+	go func() { r2 <- get(t, s, "/v1/search?K=60&k=5") }()
 	deadline := time.Now().Add(5 * time.Second)
 	for s.gate.Queued() == 0 {
 		if time.Now().After(deadline) {
@@ -229,7 +229,7 @@ func TestGateCountersUnderShedLoad(t *testing.T) {
 
 	// Queue full: requests 3 and 4 shed immediately.
 	for i := 0; i < 2; i++ {
-		if rec := get(t, s, "/search?K=60&k=5"); rec.Code != http.StatusServiceUnavailable {
+		if rec := get(t, s, "/v1/search?K=60&k=5"); rec.Code != http.StatusServiceUnavailable {
 			t.Fatalf("saturated status = %d, want 503", rec.Code)
 		}
 	}
@@ -247,7 +247,7 @@ func TestGateCountersUnderShedLoad(t *testing.T) {
 	var stats struct {
 		Gate map[string]float64 `json:"gate"`
 	}
-	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &stats); err != nil {
+	if err := json.Unmarshal(get(t, s, "/v1/stats").Body.Bytes(), &stats); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Gate["admitted"] != 2 || stats.Gate["shed"] != 2 {
@@ -277,7 +277,7 @@ func TestServerAccessLog(t *testing.T) {
 		return buf.WriteString(string(p))
 	})
 	s := testServerCfg(t, Config{AccessLog: logw})
-	rec := get(t, s, "/search?K=60&k=5")
+	rec := get(t, s, "/v1/search?K=60&k=5")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status = %d", rec.Code)
 	}
@@ -293,7 +293,7 @@ func TestServerAccessLog(t *testing.T) {
 	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
 		t.Fatalf("line not JSON: %v (%q)", err, lines[0])
 	}
-	if first["path"] != "/search" || first["status"] != float64(200) {
+	if first["path"] != "/v1/search" || first["status"] != float64(200) {
 		t.Errorf("first line = %v", first)
 	}
 	if first["request_id"] != rec.Header().Get("X-Request-ID") {

@@ -1,0 +1,356 @@
+package dataset
+
+// Spatial sharding of a corpus for parallel Step-1 fan-out.
+//
+// A ShardView partitions the place set by grid cell into n shards, each
+// with its own IR-tree (and therefore its own inverted index). Retrieve
+// fans the top-K query out across the shards in parallel and lazily
+// merges the per-shard canonical result streams back into the exact
+// sequence the unsharded tree would emit. Exactness rests on two facts:
+//
+//  1. An object's score β·Jaccard + (1−β)·proximity depends only on the
+//     object, the query and the explicit Beta/MaxDist — never on which
+//     tree holds it — so per-shard scores are bitwise identical to the
+//     unsharded ones.
+//  2. irtree's frontier ordering is deterministic (score descending,
+//     ties by ascending object ID), so each tree emits its objects in a
+//     canonical order. Restricting a corpus to a shard can only improve
+//     an object's rank, so every member of the global top-K is inside
+//     its shard's top-K. The union of per-shard top-K lists therefore
+//     contains the global top-K; sorting the union by (score desc,
+//     global index asc) and truncating at K reproduces the unsharded
+//     sequence exactly.
+//
+// Shards keep their members in global order via Global (local object ID
+// → global place index), which keeps the per-shard tie-break consistent
+// with the global one. Apply rebuilds only the shards a mutation batch
+// touches; untouched shards keep their tree and epoch and only have
+// their Global lists renumbered, which is how per-shard epochs compose
+// into the corpus epoch: a shard's epoch is the corpus epoch of the
+// last mutation that touched it.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/irtree"
+)
+
+// Shard is one spatial partition: a subset of the corpus places in
+// global order with its own IR-tree.
+type Shard struct {
+	// Places holds the shard's subset of the corpus, in global order.
+	Places []PlaceRecord
+	// Global maps a local object ID (index into Places, and the IDs the
+	// shard's tree ranks by) to the place's global corpus index. It is
+	// strictly increasing, so local-ID order agrees with global order.
+	Global []int32
+	// Index is the shard's IR-tree over local object IDs.
+	Index *irtree.Tree
+	// Epoch is the corpus epoch of the last mutation that rebuilt this
+	// shard (its creation epoch if none has).
+	Epoch uint64
+}
+
+// ShardInfo is one shard's footprint for stats/diagnostics.
+type ShardInfo struct {
+	Places int    `json:"places"`
+	Epoch  uint64 `json:"epoch"`
+}
+
+// ShardView partitions a Dataset into n spatial shards over a g×g grid
+// of its extent, with cells assigned round-robin to shards. The view is
+// immutable: Apply returns a successor view sharing unrebuilt shards.
+type ShardView struct {
+	base         *Dataset
+	n, g         int
+	cellW, cellH float64
+	Shards       []*Shard
+}
+
+// NewShardView partitions d into n shards, each built at epoch. n must
+// be at least 2 (a single shard is just the unsharded dataset).
+func NewShardView(d *Dataset, n int, epoch uint64) (*ShardView, error) {
+	if n < 2 {
+		n = 2
+	}
+	sv := &ShardView{base: d, n: n}
+	sv.initGrid()
+	assign := sv.assignAll(d.Places)
+	for sid := 0; sid < n; sid++ {
+		sh, err := buildShard(d.Places, assign, sid, epoch)
+		if err != nil {
+			return nil, err
+		}
+		sv.Shards = append(sv.Shards, sh)
+	}
+	return sv, nil
+}
+
+// initGrid sizes the cell grid: g = ceil(sqrt(n)) gives at least one
+// cell per shard; round-robin assignment keeps shard populations close
+// even when the place distribution is skewed across cells.
+func (sv *ShardView) initGrid() {
+	g := 1
+	for g*g < sv.n {
+		g++
+	}
+	sv.g = g
+	extent := sv.base.Config.Extent
+	if extent <= 0 {
+		extent = 1
+	}
+	sv.cellW, sv.cellH = extent/float64(g), extent/float64(g)
+}
+
+// shardOf maps a location to its shard. Coordinates outside the extent
+// clamp into the edge cells — upserts only require finite coordinates.
+func (sv *ShardView) shardOf(loc geo.Point) int {
+	cx := int(loc.X / sv.cellW)
+	cy := int(loc.Y / sv.cellH)
+	if cx < 0 {
+		cx = 0
+	} else if cx >= sv.g {
+		cx = sv.g - 1
+	}
+	if cy < 0 {
+		cy = 0
+	} else if cy >= sv.g {
+		cy = sv.g - 1
+	}
+	return (cy*sv.g + cx) % sv.n
+}
+
+// assignAll computes every place's shard.
+func (sv *ShardView) assignAll(places []PlaceRecord) []int {
+	assign := make([]int, len(places))
+	for i := range places {
+		assign[i] = sv.shardOf(places[i].Loc)
+	}
+	return assign
+}
+
+// buildShard collects shard sid's places (in global order) and bulk-loads
+// its tree. The error is unreachable for places that already passed the
+// base index's location validation.
+func buildShard(places []PlaceRecord, assign []int, sid int, epoch uint64) (*Shard, error) {
+	sh := &Shard{Epoch: epoch}
+	for i, a := range assign {
+		if a != sid {
+			continue
+		}
+		sh.Places = append(sh.Places, places[i])
+		sh.Global = append(sh.Global, int32(i))
+	}
+	objs := make([]irtree.Object, len(sh.Places))
+	for i, p := range sh.Places {
+		objs[i] = irtree.Object{ID: int32(i), Loc: p.Loc, Terms: p.Context}
+	}
+	idx, err := irtree.BulkLoad(objs)
+	if err != nil {
+		return nil, err
+	}
+	sh.Index = idx
+	return sh, nil
+}
+
+// Base returns the unpartitioned dataset behind the view.
+func (sv *ShardView) Base() *Dataset { return sv.base }
+
+// NumShards returns the shard count.
+func (sv *ShardView) NumShards() int { return sv.n }
+
+// Info returns per-shard footprints, in shard order.
+func (sv *ShardView) Info() []ShardInfo {
+	out := make([]ShardInfo, len(sv.Shards))
+	for i, sh := range sv.Shards {
+		out[i] = ShardInfo{Places: len(sh.Places), Epoch: sh.Epoch}
+	}
+	return out
+}
+
+// shardCursor is one shard's position in the lazy merge: a buffered
+// prefix of its canonical result stream plus the retained Searcher that
+// can extend the prefix on demand.
+type shardCursor struct {
+	sh   *Shard
+	s    *irtree.Searcher
+	buf  []irtree.Result
+	i    int
+	done bool // stream exhausted
+}
+
+// refill extends the cursor's buffer by up to chunk results.
+func (c *shardCursor) refill(chunk int) {
+	c.buf = c.buf[:0]
+	c.i = 0
+	for len(c.buf) < chunk {
+		r, ok := c.s.Next()
+		if !ok {
+			c.done = true
+			return
+		}
+		c.buf = append(c.buf, r)
+	}
+}
+
+// Retrieve answers q with the K most relevant places by fanning the
+// query out across the shards and lazily merging their canonical result
+// streams. Each shard primes K/n plus slack results in parallel; the
+// serial k-way merge then consumes the prefixes in exact global order,
+// pulling more from a shard's retained cursor only when the merge
+// actually drains its prefix (a skewed query concentrating the top-K in
+// one shard). Total retrieval work is therefore ~K emissions spread
+// across the shards rather than n·K, while the output stays exactly
+// (bitwise) what the unsharded Dataset.Retrieve returns; see the
+// package comment for why.
+func (sv *ShardView) Retrieve(q Query, K int) ([]core.Place, error) {
+	if K <= 0 {
+		return nil, fmt.Errorf("dataset: K = %d must be positive", K)
+	}
+	maxDist := sv.base.Config.Extent * 1.4142135623730951
+	opt := irtree.QueryOptions{K: K, Beta: 0.5, MaxDist: maxDist}
+
+	var curs []*shardCursor
+	for _, sh := range sv.Shards {
+		if len(sh.Places) > 0 {
+			curs = append(curs, &shardCursor{sh: sh})
+		}
+	}
+	if len(curs) == 0 {
+		return nil, nil
+	}
+	prime := K/len(curs) + 16
+	if prime > K {
+		prime = K
+	}
+	var wg sync.WaitGroup
+	for _, c := range curs {
+		wg.Add(1)
+		go func(c *shardCursor) {
+			defer wg.Done()
+			c.s = c.sh.Index.Search(q.Loc, q.Keywords, opt)
+			c.refill(prime)
+		}(c)
+	}
+	wg.Wait()
+
+	// Exact k-way merge by (score desc, global index asc): each cursor's
+	// stream is already in that order within its shard (Global is
+	// strictly increasing, so local-ID ties agree with global ties), so
+	// always taking the best head reproduces the unsharded sequence.
+	out := make([]core.Place, 0, K)
+	for len(out) < K {
+		var (
+			best   *shardCursor
+			bestSc float64
+			bestG  int32
+		)
+		for _, c := range curs {
+			if c.i >= len(c.buf) {
+				continue
+			}
+			r := c.buf[c.i]
+			g := c.sh.Global[r.Obj.ID]
+			if best == nil || r.Score > bestSc || (r.Score == bestSc && g < bestG) {
+				best, bestSc, bestG = c, r.Score, g
+			}
+		}
+		if best == nil {
+			break
+		}
+		r := best.buf[best.i]
+		rec := sv.base.Places[bestG]
+		out = append(out, core.Place{
+			ID:      rec.Label,
+			Loc:     rec.Loc,
+			Rel:     r.Score,
+			Context: rec.Context,
+		})
+		best.i++
+		if best.i >= len(best.buf) && !best.done {
+			best.refill(prime)
+		}
+	}
+	return out, nil
+}
+
+// Apply runs the batch through the base dataset's copy-on-write
+// ApplyCtx and derives the successor view, rebuilding only the shards
+// the batch touches: the shard of every deleted place's old location,
+// and for upserts both the new location's shard and (for replacements)
+// the old one. Untouched shards keep their tree, place slice and epoch
+// — a mutation batch leaves them byte-identical — and only have their
+// Global lists renumbered, since deletes shift later global indices.
+// Rebuilt shards take nextEpoch, which is how per-shard epochs compose
+// into the corpus epoch.
+func (sv *ShardView) Apply(ctx context.Context, b Batch, nextEpoch uint64) (*Dataset, *ShardView, ApplyStats, error) {
+	next, st, err := sv.base.ApplyCtx(ctx, b)
+	if err != nil {
+		return nil, nil, st, err
+	}
+
+	// Affected shards, computed against the OLD corpus (ApplyCtx already
+	// validated every upsert's coordinates).
+	oldByLabel := make(map[string]int, len(sv.base.Places))
+	for i, p := range sv.base.Places {
+		oldByLabel[p.Label] = i
+	}
+	affected := make(map[int]bool, sv.n)
+	for _, id := range b.Deletes {
+		if i, ok := oldByLabel[id]; ok {
+			affected[sv.shardOf(sv.base.Places[i].Loc)] = true
+		}
+	}
+	for _, u := range b.Upserts {
+		affected[sv.shardOf(geo.Pt(u.X, u.Y))] = true
+		if i, ok := oldByLabel[u.ID]; ok {
+			affected[sv.shardOf(sv.base.Places[i].Loc)] = true
+		}
+	}
+
+	nv := &ShardView{base: next, n: sv.n, g: sv.g, cellW: sv.cellW, cellH: sv.cellH}
+	assign := nv.assignAll(next.Places)
+	for sid := 0; sid < sv.n; sid++ {
+		if affected[sid] {
+			sh, err := buildShard(next.Places, assign, sid, nextEpoch)
+			if err != nil {
+				return nil, nil, st, err
+			}
+			nv.Shards = append(nv.Shards, sh)
+			continue
+		}
+		// Untouched shard: same members in the same relative order
+		// (ApplyCtx keeps survivors in order and appends new places at
+		// the end, and none of this shard's members were touched), so
+		// the tree's local IDs stay valid — only the global indices
+		// shifted. Renumber Global; reuse everything else.
+		old := sv.Shards[sid]
+		global := make([]int32, 0, len(old.Global))
+		for i, a := range assign {
+			if a == sid {
+				global = append(global, int32(i))
+			}
+		}
+		if len(global) != len(old.Global) {
+			// Defensive: membership changed where it could not have.
+			// Rebuild rather than serve a corrupt mapping.
+			sh, err := buildShard(next.Places, assign, sid, nextEpoch)
+			if err != nil {
+				return nil, nil, st, err
+			}
+			nv.Shards = append(nv.Shards, sh)
+			continue
+		}
+		nv.Shards = append(nv.Shards, &Shard{
+			Places: old.Places,
+			Global: global,
+			Index:  old.Index,
+			Epoch:  old.Epoch,
+		})
+	}
+	return next, nv, st, nil
+}

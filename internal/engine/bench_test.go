@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -80,7 +81,11 @@ func TestBenchServe(t *testing.T) {
 		t.Skip("set BENCH_SERVE_OUT=<path> to write BENCH_engine.json")
 	}
 	d := benchData(t)
-	e := New(d, Options{CacheEntries: 4})
+	// BENCH_SERVE_SHARDS times the sharded fan-out instead of the single
+	// tree; the shard-equivalence suite guarantees identical results, so
+	// the two configurations are benchdiff-comparable on the same keys.
+	shards, _ := strconv.Atoi(os.Getenv("BENCH_SERVE_SHARDS"))
+	e := New(d, Options{CacheEntries: 4, Shards: shards})
 	e.SquaredTable()
 
 	const missRuns = 40
@@ -117,6 +122,7 @@ func TestBenchServe(t *testing.T) {
 		"hit_ns_op":  hitNs,
 		"speedup":    speedup,
 		"engine": map[string]any{
+			"shards":        st.Shards,
 			"cache_entries": st.Capacity,
 			"table_bytes":   st.TableBytes,
 			"builds":        st.Builds,

@@ -100,6 +100,12 @@ type Options struct {
 	// is published (see Mutate). Recovery attaches it after replay via
 	// SetWAL instead, so replayed batches are not re-logged.
 	WAL MutationLog
+	// Shards, when >= 2, splits the corpus into that many spatial shards
+	// (grid-cell partitions, each with its own IR-tree) and runs Step-1
+	// retrieval as a parallel fan-out with an exact merge — results are
+	// bitwise identical to the unsharded engine (see dataset.ShardView).
+	// 0 or 1 serves the single unsharded tree.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -122,6 +128,20 @@ func (o Options) withDefaults() Options {
 type corpusSnapshot struct {
 	epoch uint64
 	data  *dataset.Dataset
+	// shards is the sharded view of data when Options.Shards >= 2, nil
+	// otherwise. It is immutable like data: Mutate derives a successor
+	// view (sharing untouched shards) and publishes both together.
+	shards *dataset.ShardView
+}
+
+// retrieve answers q from this snapshot — parallel shard fan-out when
+// sharded, the single IR-tree otherwise. Both paths return bitwise
+// identical results.
+func (s *corpusSnapshot) retrieve(q dataset.Query, K int) ([]core.Place, error) {
+	if s.shards != nil {
+		return s.shards.Retrieve(q, K)
+	}
+	return s.data.Retrieve(q, K)
 }
 
 // Engine serves proportionality queries over one registered corpus,
@@ -168,7 +188,18 @@ func New(d *dataset.Dataset, opt Options) *Engine {
 		squared: make(map[int]*grid.SquaredTable),
 		wal:     o.WAL,
 	}
-	e.snap.Store(&corpusSnapshot{epoch: o.InitialEpoch, data: d})
+	snap := &corpusSnapshot{epoch: o.InitialEpoch, data: d}
+	if o.Shards >= 2 {
+		sv, err := dataset.NewShardView(d, o.Shards, o.InitialEpoch)
+		if err != nil {
+			// Unreachable for a dataset whose own index was built over the
+			// same locations; a failure here means the dataset invariant
+			// (valid locations) is already broken.
+			panic(fmt.Sprintf("engine: shard corpus: %v", err))
+		}
+		snap.shards = sv
+	}
+	e.snap.Store(snap)
 	return e
 }
 
@@ -195,6 +226,16 @@ func (e *Engine) Snapshot() (*dataset.Dataset, uint64) {
 // Epoch returns the currently published corpus epoch (0 until the first
 // mutation).
 func (e *Engine) Epoch() uint64 { return e.snap.Load().epoch }
+
+// ShardInfo returns the published snapshot's per-shard footprints (size
+// and last-rebuild epoch), or nil when the engine is unsharded.
+func (e *Engine) ShardInfo() []dataset.ShardInfo {
+	s := e.snap.Load()
+	if s.shards == nil {
+		return nil
+	}
+	return s.shards.Info()
+}
 
 // SquaredTable returns the shared maximal squared-grid table, building it
 // on first use (once per resolution; see Theorem 7.1 for why one table
@@ -322,7 +363,7 @@ func (e *Engine) build(ctx context.Context, req *QueryRequest) (*entry, error) {
 	e.builds.Add(1)
 	loc := geo.Pt(req.X, req.Y)
 	endRetrieve := telemetry.StartSpan(ctx, telemetry.StageRetrieve)
-	places, err := req.corpus(e).Retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
+	places, err := req.snapshot(e).retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
 	endRetrieve()
 	if err != nil {
 		return nil, fmt.Errorf("retrieve: %w", err)
@@ -380,6 +421,8 @@ type Stats struct {
 	// grid tables per kind; TableBytes is their combined footprint.
 	SquaredTables, RadialResolutions int
 	TableBytes                       int
+	// Shards is the spatial shard count (0 when unsharded).
+	Shards int
 }
 
 // HitRatio returns Hits over cache lookups (hits + misses + coalesced),
@@ -411,6 +454,9 @@ func (e *Engine) Stats() Stats {
 		Places:         len(snap.data.Places),
 		Entries:        e.cache.len(),
 		Capacity:       e.opt.CacheEntries,
+	}
+	if snap.shards != nil {
+		s.Shards = snap.shards.NumShards()
 	}
 	e.tblMu.Lock()
 	s.SquaredTables = len(e.squared)

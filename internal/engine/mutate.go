@@ -97,7 +97,23 @@ func (e *Engine) Mutate(ctx context.Context, m Mutation) (*MutationResult, error
 	}
 
 	cur := e.snap.Load()
-	next, st, err := cur.data.ApplyCtx(ctx, dataset.Batch{Upserts: m.Upserts, Deletes: m.Deletes})
+	batch := dataset.Batch{Upserts: m.Upserts, Deletes: m.Deletes}
+	var (
+		next       *dataset.Dataset
+		nextShards *dataset.ShardView
+		st         dataset.ApplyStats
+		err        error
+	)
+	if cur.shards != nil {
+		// Sharded corpus: the view's Apply runs the same copy-on-write
+		// ApplyCtx and additionally rebuilds only the shards the batch
+		// touches, stamping them with the new epoch (untouched shards keep
+		// their tree and epoch — that is how per-shard epochs compose into
+		// the corpus epoch).
+		next, nextShards, st, err = cur.shards.Apply(ctx, batch, cur.epoch+1)
+	} else {
+		next, st, err = cur.data.ApplyCtx(ctx, batch)
+	}
 	if err != nil {
 		if errors.Is(err, core.ErrCancelled) || errors.Is(err, core.ErrDeadline) {
 			return nil, err
@@ -123,7 +139,7 @@ func (e *Engine) Mutate(ctx context.Context, m Mutation) (*MutationResult, error
 			return nil, fmt.Errorf("%w: %v", ErrWAL, err)
 		}
 	}
-	ns := &corpusSnapshot{epoch: cur.epoch + 1, data: next}
+	ns := &corpusSnapshot{epoch: cur.epoch + 1, data: next, shards: nextShards}
 	e.snap.Store(ns)
 
 	// Every cache key is prefixed with its epoch; after the swap nothing

@@ -85,6 +85,16 @@ func (r *QueryRequest) corpus(e *Engine) *dataset.Dataset {
 	return e.Corpus()
 }
 
+// snapshot returns the corpus snapshot the request is pinned to (data
+// plus the sharded view when the engine shards), falling back to the
+// engine's current epoch for requests not built via NewRequest.
+func (r *QueryRequest) snapshot(e *Engine) *corpusSnapshot {
+	if r.snap != nil {
+		return r.snap
+	}
+	return e.snap.Load()
+}
+
 // Epoch returns the corpus epoch the request is pinned to (0 for requests
 // not built via NewRequest).
 func (r *QueryRequest) Epoch() uint64 {

@@ -1,0 +1,138 @@
+package engine
+
+// Engine-level shard equivalence: an engine built with Options.Shards
+// answers every query — and keeps answering after mutations — exactly
+// like the unsharded engine over the same corpus.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.Sel.HPF != want.Sel.HPF || !sameIndices(got.Sel.Indices, want.Sel.Indices) {
+		t.Fatalf("%s: selection diverged: sharded %v (%v), unsharded %v (%v)",
+			label, got.Sel.Indices, got.Sel.HPF, want.Sel.Indices, want.Sel.HPF)
+	}
+	if got.Breakdown != want.Breakdown {
+		t.Fatalf("%s: breakdown diverged: sharded %+v, unsharded %+v", label, got.Breakdown, want.Breakdown)
+	}
+	if got.SS.K() != want.SS.K() {
+		t.Fatalf("%s: retrieved %d places sharded, %d unsharded", label, got.SS.K(), want.SS.K())
+	}
+	for i := 0; i < want.SS.K(); i++ {
+		if got.SS.Places[i].ID != want.SS.Places[i].ID || got.SS.Places[i].Rel != want.SS.Places[i].Rel {
+			t.Fatalf("%s: rank %d: sharded (%q, %v), unsharded (%q, %v)", label, i,
+				got.SS.Places[i].ID, got.SS.Places[i].Rel, want.SS.Places[i].ID, want.SS.Places[i].Rel)
+		}
+	}
+}
+
+// TestShardedEngineEquivalence runs a parameter grid through a sharded
+// and an unsharded engine and requires bitwise-identical results.
+func TestShardedEngineEquivalence(t *testing.T) {
+	d := testData(t)
+	flat := New(d, Options{})
+	sharded := New(d, Options{Shards: 4})
+	if st := sharded.Stats(); st.Shards != 4 {
+		t.Fatalf("Stats.Shards = %d, want 4", st.Shards)
+	}
+	if info := sharded.ShardInfo(); len(info) != 4 {
+		t.Fatalf("ShardInfo reports %d shards, want 4", len(info))
+	}
+	if flat.ShardInfo() != nil {
+		t.Fatal("unsharded engine reports shard info")
+	}
+
+	for _, tc := range []struct {
+		K, k    int
+		lambda  float64
+		gamma   float64
+		algo    string
+		spatial string
+	}{
+		{100, 10, 0.5, 0.5, "abp", "squared"},
+		{100, 10, 0.5, 0.5, "iadu", "exact"},
+		{200, 20, 0.25, 0.75, "abp", "radial"},
+		{60, 6, 0.9, 0.1, "iadu", "squared"},
+		{400, 8, 0.5, 0.5, "topk", "exact"},
+	} {
+		label := fmt.Sprintf("K=%d k=%d λ=%v γ=%v %s/%s", tc.K, tc.k, tc.lambda, tc.gamma, tc.algo, tc.spatial)
+		mk := func(e *Engine) *QueryRequest {
+			req := e.NewRequest()
+			req.K, req.SmallK = tc.K, tc.k
+			req.Lambda, req.Gamma = tc.lambda, tc.gamma
+			req.Algo, req.Spatial = tc.algo, tc.spatial
+			req.Keywords = []string{"park", "museum"}
+			return req
+		}
+		want, err := flat.Query(context.Background(), mk(flat))
+		if err != nil {
+			t.Fatalf("%s: unsharded: %v", label, err)
+		}
+		got, err := sharded.Query(context.Background(), mk(sharded))
+		if err != nil {
+			t.Fatalf("%s: sharded: %v", label, err)
+		}
+		sameResult(t, label, want, got)
+	}
+}
+
+// TestShardedEngineMutationEquivalence feeds both engines the same
+// mutation stream and re-checks equivalence at every epoch, including
+// that shard epochs never exceed the corpus epoch.
+func TestShardedEngineMutationEquivalence(t *testing.T) {
+	d := testData(t)
+	flat := New(d, Options{})
+	sharded := New(d, Options{Shards: 4})
+
+	for gen := 1; gen <= 4; gen++ {
+		m := Mutation{
+			Upserts: []dataset.Upsert{
+				{ID: fmt.Sprintf("shard-live:%d", gen), X: 30 + float64(gen), Y: 60, Context: []string{"shard-live"}},
+			},
+			Deletes: []string{d.Places[gen*11].Label},
+		}
+		wantRes, err := flat.Mutate(context.Background(), m)
+		if err != nil {
+			t.Fatalf("gen %d: unsharded mutate: %v", gen, err)
+		}
+		gotRes, err := sharded.Mutate(context.Background(), m)
+		if err != nil {
+			t.Fatalf("gen %d: sharded mutate: %v", gen, err)
+		}
+		if gotRes.Epoch != wantRes.Epoch || gotRes.Places != wantRes.Places ||
+			gotRes.Upserted != wantRes.Upserted || gotRes.Deleted != wantRes.Deleted {
+			t.Fatalf("gen %d: mutation results diverged: sharded %+v, unsharded %+v", gen, gotRes, wantRes)
+		}
+
+		for _, kw := range [][]string{{"shard-live"}, {"park"}, nil} {
+			mk := func(e *Engine) *QueryRequest {
+				req := e.NewRequest()
+				req.K, req.SmallK = 120, 12
+				req.Keywords = kw
+				return req
+			}
+			want, err := flat.Query(context.Background(), mk(flat))
+			if err != nil {
+				t.Fatalf("gen %d: unsharded query: %v", gen, err)
+			}
+			got, err := sharded.Query(context.Background(), mk(sharded))
+			if err != nil {
+				t.Fatalf("gen %d: sharded query: %v", gen, err)
+			}
+			sameResult(t, fmt.Sprintf("gen=%d kw=%v", gen, kw), want, got)
+		}
+
+		corpusEpoch := sharded.Epoch()
+		for i, info := range sharded.ShardInfo() {
+			if info.Epoch > corpusEpoch {
+				t.Fatalf("gen %d: shard %d epoch %d exceeds corpus epoch %d", gen, i, info.Epoch, corpusEpoch)
+			}
+		}
+	}
+}

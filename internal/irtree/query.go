@@ -46,9 +46,30 @@ type pqEntry struct {
 
 type pq []pqEntry
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].bound > p[j].bound }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p pq) Len() int { return len(p) }
+
+// Less orders the frontier by descending bound, with a deterministic
+// tie-break: node entries expand before object entries of equal bound
+// (so every candidate with that score enters the heap before any is
+// emitted), and equal-score objects emit in ascending ID. This makes
+// the emitted result sequence a canonical (score desc, ID asc) order —
+// independent of heap internals and of how the object set is split
+// across trees — which the sharded fan-out relies on to merge per-shard
+// top-k lists into the exact unsharded result.
+func (p pq) Less(i, j int) bool {
+	if p[i].bound != p[j].bound {
+		return p[i].bound > p[j].bound
+	}
+	in, jn := p[i].n != nil, p[j].n != nil
+	if in != jn {
+		return in
+	}
+	if !in {
+		return p[i].obj.ID < p[j].obj.ID
+	}
+	return false
+}
+func (p pq) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
 func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqEntry)) }
 func (p *pq) Pop() interface{} {
 	old := *p
@@ -66,9 +87,40 @@ func (t *Tree) TopK(q geo.Point, keywords textctx.Set, opt QueryOptions) []Resul
 	if opt.K <= 0 || t.size == 0 {
 		return nil
 	}
+	s := t.Search(q, keywords, opt)
+	out := make([]Result, 0, opt.K)
+	for len(out) < opt.K {
+		r, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Searcher is an incremental top-k traversal: Next emits exactly the
+// sequence TopK would return — the canonical (score desc, ID asc) order
+// — one result at a time, retaining the best-first frontier between
+// calls. The sharded fan-out uses it to pull only as many per-shard
+// candidates as the global merge actually consumes, instead of a full
+// top-K from every shard.
+type Searcher struct {
+	h         pq
+	score     func(o Object) (s, d, ts float64)
+	nodeBound func(n *node) float64
+}
+
+// Search starts an incremental traversal. QueryOptions.K is ignored —
+// the caller bounds the stream by how far it pulls.
+func (t *Tree) Search(q geo.Point, keywords textctx.Set, opt QueryOptions) *Searcher {
 	beta := opt.Beta
 	if beta == 0 {
 		beta = 0.5
+	}
+	s := &Searcher{}
+	if t.size == 0 {
+		return s
 	}
 	maxDist := opt.MaxDist
 	if maxDist <= 0 {
@@ -78,7 +130,7 @@ func (t *Tree) TopK(q geo.Point, keywords textctx.Set, opt QueryOptions) []Resul
 		}
 	}
 
-	score := func(o Object) (s, d, ts float64) {
+	s.score = func(o Object) (sc, d, ts float64) {
 		d = o.Loc.Dist(q)
 		ts = keywords.Jaccard(o.Terms)
 		prox := 1 - d/maxDist
@@ -87,7 +139,7 @@ func (t *Tree) TopK(q geo.Point, keywords textctx.Set, opt QueryOptions) []Resul
 		}
 		return beta*ts + (1-beta)*prox, d, ts
 	}
-	nodeBound := func(n *node) float64 {
+	s.nodeBound = func(n *node) float64 {
 		// Textual bound: Jaccard(kw, C(p)) ≤ |kw ∩ terms(N)| / |kw| for
 		// every descendant p, since the union is at least |kw|.
 		var tb float64
@@ -106,27 +158,30 @@ func (t *Tree) TopK(q geo.Point, keywords textctx.Set, opt QueryOptions) []Resul
 		}
 		return beta*tb + (1-beta)*prox
 	}
+	s.h = pq{{n: t.root, bound: s.nodeBound(t.root)}}
+	return s
+}
 
-	h := &pq{{n: t.root, bound: nodeBound(t.root)}}
-	var out []Result
-	for h.Len() > 0 && len(out) < opt.K {
-		e := heap.Pop(h).(pqEntry)
+// Next returns the next result in canonical order, or ok=false when the
+// tree is exhausted.
+func (s *Searcher) Next() (Result, bool) {
+	for len(s.h) > 0 {
+		e := heap.Pop(&s.h).(pqEntry)
 		if e.n == nil {
-			out = append(out, Result{Obj: e.obj, Score: e.bound, Dist: e.dist, TextSim: e.tsim})
-			continue
+			return Result{Obj: e.obj, Score: e.bound, Dist: e.dist, TextSim: e.tsim}, true
 		}
 		if e.n.leaf {
 			for _, o := range e.n.objects {
-				s, d, ts := score(o)
-				heap.Push(h, pqEntry{obj: o, bound: s, dist: d, tsim: ts})
+				sc, d, ts := s.score(o)
+				heap.Push(&s.h, pqEntry{obj: o, bound: sc, dist: d, tsim: ts})
 			}
 			continue
 		}
 		for _, c := range e.n.children {
-			heap.Push(h, pqEntry{n: c, bound: nodeBound(c)})
+			heap.Push(&s.h, pqEntry{n: c, bound: s.nodeBound(c)})
 		}
 	}
-	return out
+	return Result{}, false
 }
 
 // NearestK returns the k objects nearest to q (pure spatial kNN via

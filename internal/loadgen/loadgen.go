@@ -55,6 +55,10 @@ const (
 type Options struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// Corpus targets a named corpus through the corpus-scoped routes
+	// (/v1/corpora/<name>/search|corpus). Empty drives the un-scoped
+	// /v1 aliases, i.e. the default corpus.
+	Corpus string
 	// RPS is the target arrival rate. Default 50.
 	RPS float64
 	// Duration is the measured phase length. Default 5s.
@@ -189,6 +193,11 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		return nil, fmt.Errorf("loadgen: Data is required")
 	}
 	base := strings.TrimRight(opts.BaseURL, "/")
+	if opts.Corpus != "" {
+		base += "/v1/corpora/" + url.PathEscape(opts.Corpus)
+	} else {
+		base += "/v1"
+	}
 	queries, err := opts.Data.GenQueries(opts.PoolSize, opts.SmallK, opts.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: generating query pool: %w", err)
@@ -201,7 +210,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		v.Set("keywords", strings.Join(q.Keywords.Words(opts.Data.Dict), ","))
 		v.Set("K", strconv.Itoa(opts.K))
 		v.Set("k", strconv.Itoa(opts.SmallK))
-		return base + "/v1/search?" + v.Encode()
+		return base + "/search?" + v.Encode()
 	}
 	pool := make([]string, len(queries))
 	for i := range queries {
@@ -217,7 +226,7 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 	// bits, so even a nanoscale jitter forces a fresh computation.
 	target := func(rng *rand.Rand, zipf *rand.Zipf, reqID int) (string, string) {
 		if opts.Mix == MixMutationInterleaved && rng.Float64() < opts.MutationFraction {
-			return base + "/v1/corpus", mutationBody(rng, words, reqID)
+			return base + "/corpus", mutationBody(rng, words, reqID)
 		}
 		if opts.Mix == MixMissHeavy {
 			return searchURL(reqID, float64(reqID+1)*1e-9), ""

@@ -1,0 +1,161 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/resilience"
+)
+
+func testTenant(t *testing.T, name string) *Tenant {
+	t.Helper()
+	cfg := dataset.DBpediaLike(11)
+	cfg.Places = 60
+	d, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTenant(name, engine.New(d, engine.Options{}), resilience.NewGate(2, 2, time.Second), nil)
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"default", "tenant-2", "a", "geo_eu", "x9"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", "-lead", "_lead", "UPPER", "has space", "a/b", "a.b",
+		"waytoolong" + string(make([]byte, 64))} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+func TestRegistryAddGetRemove(t *testing.T) {
+	r := New()
+	a, b := testTenant(t, "alpha"), testTenant(t, "beta")
+	if err := r.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(testTenant(t, "alpha")); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := r.Add(testTenant(t, "Bad Name")); err == nil {
+		t.Error("invalid name accepted")
+	}
+	if got, ok := r.Get("alpha"); !ok || got != a {
+		t.Fatalf("Get(alpha) = %v, %v", got, ok)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Names = %v", names)
+	}
+	if all := r.All(); len(all) != 2 || all[0] != a || all[1] != b {
+		t.Fatalf("All = %v", all)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if got, ok := r.Remove("alpha"); !ok || got != a {
+		t.Fatalf("Remove(alpha) = %v, %v", got, ok)
+	}
+	if _, ok := r.Get("alpha"); ok {
+		t.Error("removed tenant still resolvable")
+	}
+	if _, ok := r.Remove("alpha"); ok {
+		t.Error("second Remove found a tenant")
+	}
+}
+
+func TestTenantLifecycle(t *testing.T) {
+	tn := testTenant(t, "life")
+	if !tn.Ready() || tn.WALState() != "disabled" {
+		t.Fatalf("fresh tenant: ready=%v state=%q", tn.Ready(), tn.WALState())
+	}
+	tn.BeginRecovery()
+	if tn.Ready() || tn.WALState() != "recovering" {
+		t.Fatalf("recovering tenant: ready=%v state=%q", tn.Ready(), tn.WALState())
+	}
+	tn.FinishRecovery(7, 3, 50*time.Millisecond)
+	if !tn.Ready() {
+		t.Fatal("tenant not ready after FinishRecovery")
+	}
+	replayed, epoch, dur := tn.RecoveryStats()
+	if replayed != 7 || epoch != 3 || dur != 50*time.Millisecond {
+		t.Fatalf("RecoveryStats = %d, %d, %v", replayed, epoch, dur)
+	}
+
+	tn.Degrade(fmt.Errorf("disk gone"))
+	if !tn.Ready() || tn.WALState() != "degraded" || tn.DegradedReason() != "disk gone" {
+		t.Fatalf("degraded tenant: ready=%v state=%q reason=%q", tn.Ready(), tn.WALState(), tn.DegradedReason())
+	}
+
+	if !tn.TryCompact() {
+		t.Fatal("first TryCompact failed")
+	}
+	if tn.TryCompact() {
+		t.Fatal("second TryCompact claimed a held slot")
+	}
+	tn.EndCompact()
+	if !tn.TryCompact() {
+		t.Fatal("TryCompact after EndCompact failed")
+	}
+}
+
+// TestTenantIsolation: distinct tenants share no engine state — a cache
+// entry built through one never hits in another, even for the same
+// query over an identical corpus.
+func TestTenantIsolation(t *testing.T) {
+	a, b := testTenant(t, "iso-a"), testTenant(t, "iso-b")
+	run := func(tn *Tenant) {
+		req := tn.Eng.NewRequest()
+		req.K, req.SmallK = 40, 5
+		if _, err := tn.Eng.Query(t.Context(), req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(a)
+	run(a)
+	run(b)
+	as, bs := a.Eng.Stats(), b.Eng.Stats()
+	if as.Misses != 1 || as.Hits != 1 {
+		t.Fatalf("tenant a stats: %d misses, %d hits; want 1 and 1", as.Misses, as.Hits)
+	}
+	if bs.Misses != 1 || bs.Hits != 0 {
+		t.Fatalf("tenant b saw a's cache: %d misses, %d hits; want 1 and 0", bs.Misses, bs.Hits)
+	}
+}
+
+// TestRegistryConcurrent exercises the map under the race detector.
+func TestRegistryConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("c%d", i)
+			_ = r.Add(testTenant(t, name))
+			for j := 0; j < 50; j++ {
+				r.Get(name)
+				r.Names()
+				r.All()
+				r.Len()
+			}
+			if i%2 == 0 {
+				r.Remove(name)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if r.Len() != 4 {
+		t.Fatalf("Len after churn = %d, want 4", r.Len())
+	}
+}
