@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-load bench-diff crash-test check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-load bench-trace bench-diff crash-test check profile report report-small examples clean
 
 all: check
 
@@ -26,7 +26,7 @@ vet:
 # /v1/corpus surface plus queries-during-replay — all must stay in this
 # list.
 race:
-	$(GO) test -race ./internal/engine ./internal/registry ./internal/dataset ./internal/resilience ./internal/telemetry ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
+	$(GO) test -race ./internal/engine ./internal/registry ./internal/dataset ./internal/resilience ./internal/telemetry ./internal/tracestore ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
 
 # The kill-recovery suite: child processes SIGKILL themselves at injected
 # WAL fault points; the parent recovers each directory and verifies no
@@ -74,13 +74,21 @@ bench-load:
 	BENCH_LOAD_OUT=$(CURDIR)/BENCH_serve_load.json $(GO) test ./cmd/propserve -run TestBenchServeLoad -count=1 -v -timeout 300s
 	@cat BENCH_serve_load.json
 
+# Prove the disabled-tracing path is nil-check-only: time the hit and
+# sharded-miss query paths with and without a per-request trace and
+# write BENCH_trace.json. hit_ns_op is comparable to BENCH_engine.json's
+# hit_ns_op; benchdiff gates the *_ns_op fields between snapshots.
+bench-trace:
+	BENCH_TRACE_OUT=$(CURDIR)/BENCH_trace.json $(GO) test ./internal/engine -run TestBenchTrace -count=1 -v
+	@cat BENCH_trace.json
+
 # Compare the working tree's fresh bench results against the committed
 # baselines (OLD=<dir> overrides where the baselines are read from).
 # benchdiff tolerates a missing baseline file (a new suite's first run
 # reports every field as "new" and passes).
 OLD ?= .
 bench-diff:
-	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal BENCH_serve_load; do \
+	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal BENCH_serve_load BENCH_trace; do \
 		echo "--- $$f"; \
 		$(GO) run ./cmd/benchdiff $(OLD)/$$f.json $$f.json || true; \
 	done

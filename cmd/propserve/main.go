@@ -21,8 +21,16 @@
 //	                               (uptime, go version, build revision)
 //	GET  /v1/slo                 → per-class service-level state: rolling-window
 //	                               (1m/5m/1h) latency quantiles, availability and
-//	                               latency error-budget burn rates, budget remaining;
-//	                               on by default, -slo=false disables
+//	                               latency error-budget burn rates, budget remaining,
+//	                               and exemplar_trace IDs linking quantiles to retained
+//	                               traces; on by default, -slo=false disables
+//	GET  /v1/traces              → retained request traces, newest first; filter with
+//	                               ?corpus=&status=&reason=&min_duration_ms=&limit=;
+//	                               tail-sampled (slow/error/shed/degraded always,
+//	                               -trace-sample of the rest), -traces=false disables
+//	GET  /v1/traces/{id}         → one trace's full span tree: root → retrieve → one
+//	                               child per shard (primed/refills/merge-wait) → merge
+//	                               → select → render, with per-span attributes
 //	GET  /metrics                → Prometheus text-format metrics (requests, stage
 //	                               latencies, gate gauges/counters, engine cache
 //	                               hit/miss/coalesced/eviction counters, degradations)
@@ -78,7 +86,9 @@
 // -max-queue; overload sheds with 503 + Retry-After), a retrieval-size
 // ceiling (-max-K), and panic recovery. Every request carries an
 // X-Request-ID (echoed in error bodies and the JSON access log, which
-// -access-log=false disables), and -debug-addr opts into a net/http/pprof
+// -access-log=false disables), accepts an incoming W3C traceparent header
+// and echoes its own on every response, and -debug-addr opts into a
+// net/http/pprof
 // listener for profiling. Queries slower than -slow-query-ms emit one
 // JSON line with their full stage (and, for explains, introspection)
 // breakdown. See README.md "Operational resilience", "Observability" and
@@ -135,6 +145,10 @@ func main() {
 	walRequired := fs.Bool("wal-required", true, "treat WAL open/recovery failure as fatal; false degrades to serving reads and shedding mutations with 503")
 	walCompactRecords := fs.Int("wal-compact-records", 0, "log length in records beyond which a mutation triggers background snapshot compaction (0: 1024)")
 	shards := fs.Int("shards", 0, "spatial shards per corpus for parallel Step-1 fan-out (0 or 1: unsharded; results are identical either way)")
+	traces := fs.Bool("traces", true, "retain per-request traces (tail-based: slow/error/shed/degraded always, -trace-sample for the rest) and serve GET /v1/traces")
+	traceSample := fs.Float64("trace-sample", 0.01, "probability that a fast, healthy request's trace is retained (tail rules retain regardless; negative: tail-only)")
+	traceBytes := fs.Int("trace-bytes", 0, "byte budget for each corpus's retained-trace ring (0: 4 MiB)")
+	traceExport := fs.String("trace-export", "", "file appending one JSON line per retained trace (empty: disabled)")
 	corporaDir := fs.String("corpora-dir", "", "directory holding one WAL subdirectory per named corpus; corpora created via POST /v1/corpora become durable, and existing subdirectories are re-registered at boot (empty: created corpora are volatile)")
 	enableLegacy := fs.Bool("enable-legacy", false, "re-open the retired pre-/v1 aliases /search and /stats as deprecated pass-throughs (default: they answer 410 Gone)")
 	fs.Parse(os.Args[1:])
@@ -167,12 +181,25 @@ func main() {
 		EnableLegacy: *enableLegacy,
 		Shards:       *shards,
 		CorporaDir:   *corporaDir,
+
+		DisableTraces: !*traces,
+		TraceSample:   *traceSample,
+		TraceBudget:   *traceBytes,
 	}
 	if *accessLog {
 		cfg.AccessLog = os.Stdout
 	}
 	if cfg.SlowQuery > 0 {
 		cfg.SlowQueryLog = os.Stderr
+	}
+	if *traceExport != "" {
+		f, err := os.OpenFile(*traceExport, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "propserve: opening -trace-export:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.TraceExport = f
 	}
 	cfg = cfg.withDefaults()
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/slo"
 	"repro/internal/telemetry"
+	"repro/internal/tracestore"
 	"repro/internal/wal"
 )
 
@@ -130,6 +131,22 @@ type Config struct {
 	// recovers from it on re-creation or restart. The default corpus keeps
 	// its own -wal-dir; "" keeps created corpora volatile.
 	CorporaDir string
+	// DisableTraces turns off trace retention entirely: no per-tenant
+	// ring is allocated, GET /v1/traces answers 403, and the request path
+	// pays only nil checks. On by default — retention is tail-based, so
+	// the steady-state cost is one probabilistic draw per request.
+	DisableTraces bool
+	// TraceSample is the probability that a fast, healthy request's trace
+	// is retained. The tail rules (slow/error/shed/degraded) retain
+	// regardless. 0 selects the default 0.01; negative disables
+	// probabilistic retention, keeping only the tail.
+	TraceSample float64
+	// TraceBudget bounds each tenant's retained-trace ring in estimated
+	// bytes. 0 selects tracestore.DefaultByteBudget (4 MiB).
+	TraceBudget int
+	// TraceExport, when non-nil, receives one JSON line per retained
+	// trace — the same object GET /v1/traces/{id} serves.
+	TraceExport io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -184,6 +201,9 @@ func (c Config) withDefaults() Config {
 	if c.SLOAvailability <= 0 {
 		c.SLOAvailability = 0.999
 	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 0.01
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -207,6 +227,7 @@ type serverMetrics struct {
 	deprecated     *telemetry.CounterVec   // propserve_deprecated_requests_total{path}
 	slowQueries    *telemetry.Counter      // propserve_slow_queries_total
 	mutations      *telemetry.Counter      // propserve_corpus_mutation_requests_total
+	tracesSampled  *telemetry.Counter      // propserve_traces_sampled_total
 	msjhPruned     *telemetry.Gauge        // propserve_msjh_pruned_ratio
 	gridErr        *telemetry.Gauge        // propserve_grid_err_sampled
 }
@@ -241,6 +262,8 @@ func newServerMetrics(gate *resilience.Gate, rec *resilience.Recoverer, eng *eng
 			"Queries whose end-to-end latency exceeded the slow-query threshold."),
 		mutations: reg.Counter("propserve_corpus_mutation_requests_total",
 			"POST /v1/corpus batches accepted by the handler."),
+		tracesSampled: reg.Counter("propserve_traces_sampled_total",
+			"Traces retained by the probabilistic sampler rather than a tail rule."),
 		msjhPruned: reg.Gauge("propserve_msjh_pruned_ratio",
 			"Fraction of candidate pairs the msJh engine skipped in the most recent explain run."),
 		gridErr: reg.Gauge("propserve_grid_err_sampled",
@@ -347,6 +370,9 @@ type Server struct {
 	start    time.Time
 	warnOnce sync.Map // deprecated path → *sync.Once
 	slowMu   sync.Mutex
+	// traceExpMu serialises -trace-export writers so JSONL lines never
+	// interleave (retention decisions fire concurrently across handlers).
+	traceExpMu sync.Mutex
 
 	// Multi-tenant state: reg maps corpus names to tenants, def is the
 	// tenant the un-scoped /v1 aliases address. Each tenant carries its
@@ -413,6 +439,11 @@ func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/corpora/{corpus}/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	// Retained traces: the list spans every corpus (or one via ?corpus=),
+	// the by-ID lookup searches all rings — trace IDs are random 128-bit
+	// values, so the ID alone identifies the request.
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	// Registry administration.
 	s.mux.HandleFunc("GET /v1/corpora", s.handleCorporaList)
 	s.mux.HandleFunc("POST /v1/corpora", s.handleCorporaCreate)
@@ -431,6 +462,7 @@ func NewServerWithEngine(eng *engine.Engine, cfg Config) *Server {
 	s.registerDurabilityMetrics()
 	s.registerSLOMetrics()
 	s.registerTenantMetrics()
+	s.registerTraceMetrics()
 	s.mux.Handle("GET /metrics", s.tel.reg)
 
 	// Middleware, innermost first: panic recovery around the routes, the
@@ -462,8 +494,12 @@ func (s *Server) newTenant(name string, eng *engine.Engine) *registry.Tenant {
 			cfg.SLOHitP99, cfg.SLOMissP99, cfg.SLOBatchP99, cfg.SLOMutateP99,
 			cfg.SLOAvailability), slo.Options{})
 	}
-	return registry.NewTenant(name, eng,
+	tn := registry.NewTenant(name, eng,
 		resilience.NewGate(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait), tracker)
+	if !cfg.DisableTraces {
+		tn.Traces = tracestore.New(0, cfg.TraceBudget)
+	}
+	return tn
 }
 
 // tenantFor resolves a request's corpus: the {corpus} path segment on
@@ -473,6 +509,7 @@ func (s *Server) newTenant(name string, eng *engine.Engine) *registry.Tenant {
 func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (*registry.Tenant, bool) {
 	name := r.PathValue("corpus")
 	if name == "" {
+		telemetry.NoteCorpus(r.Context(), registry.DefaultName)
 		return s.def, true
 	}
 	tn, ok := s.reg.Get(name)
@@ -480,6 +517,7 @@ func (s *Server) tenantFor(w http.ResponseWriter, r *http.Request) (*registry.Te
 		s.writeError(w, http.StatusNotFound, "unknown corpus %q", name)
 		return nil, false
 	}
+	telemetry.NoteCorpus(r.Context(), tn.Name)
 	return tn, true
 }
 
@@ -677,13 +715,14 @@ func (s *Server) registerSLOMetrics() {
 // and, when h is non-nil, stamps the exact recorded latency onto the
 // response as a Server-Timing header (so load generators can compare
 // client-observed latencies against the server's own samples without
-// network skew). Call it before the first body write — headers are
-// frozen after that — and pass a nil header on paths that share a
-// response with other work (batch elements).
-func (s *Server) recordSLO(tracker *slo.Tracker, h http.Header, class string, start time.Time, status int) {
+// network skew), followed by the per-stage breakdown from tr's span
+// tree (see serverTiming). Call it before the first body write —
+// headers are frozen after that — and pass a nil header on paths that
+// share a response with other work (batch elements).
+func (s *Server) recordSLO(tracker *slo.Tracker, h http.Header, class string, start time.Time, status int, tr *telemetry.Trace) {
 	d := time.Since(start)
 	if h != nil && tracker != nil {
-		h.Set("Server-Timing", fmt.Sprintf("app;dur=%.4f", float64(d.Nanoseconds())/1e6))
+		h.Set("Server-Timing", serverTiming(d, tr))
 	}
 	tracker.Record(class, d, slo.OutcomeForStatus(status))
 }
@@ -699,9 +738,13 @@ func searchClass(cache string) string {
 	return slo.ClassSearchMiss
 }
 
-// sloStatsJSON renders one WindowStats as the /v1/slo JSON object.
+// sloStatsJSON renders one WindowStats as the /v1/slo JSON object. When
+// the tracker holds a retained-trace exemplar for a quantile's sketch
+// bucket, exemplar_trace maps the quantile name to a trace ID that
+// GET /v1/traces/{id} resolves — the jump from "p99 is slow" to "here
+// is a slow request's span tree".
 func sloStatsJSON(ws slo.WindowStats) map[string]any {
-	return map[string]any{
+	m := map[string]any{
 		"count":             ws.Count,
 		"ok":                ws.OK,
 		"errors":            ws.Errors,
@@ -716,6 +759,10 @@ func sloStatsJSON(ws slo.WindowStats) map[string]any {
 		"latency_burn":      round3(ws.LatencyBurn),
 		"budget_remaining":  round3(ws.BudgetRemaining),
 	}
+	if len(ws.Exemplars) > 0 {
+		m["exemplar_trace"] = ws.Exemplars
+	}
+	return m
 }
 
 // handleSLO serves GET /v1/slo: every class's objective, lifetime totals,
@@ -1063,9 +1110,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	// One trace per request; the pipeline stages (engine, core, textctx,
 	// grid) find it through the context and record their spans on it.
-	tr := telemetry.NewTrace()
-	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	// Whether the finished trace is retained is a tail decision — fin
+	// accumulates the facts, the deferred finish covers error and panic
+	// exits, and the success path finishes explicitly so the retained ID
+	// reaches the slow-query line.
+	tr, r := s.startTrace(w, r)
 	defer s.flushSpans(tr)
+	fin := &traceFinish{
+		endpoint:  "/v1/search",
+		requestID: w.Header().Get(telemetry.RequestIDHeader),
+		class:     slo.ClassSearchMiss,
+		exemplar:  true,
+	}
+	defer s.finishTrace(r.Context(), tn, tr, start, fin)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
 	req, err := tn.Eng.RequestFromValues(r.URL.Query())
@@ -1074,7 +1131,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	endParse()
 	if err != nil {
-		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusBadRequest)
+		fin.status = http.StatusBadRequest
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusBadRequest, tr)
 		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
 		return
 	}
@@ -1085,6 +1143,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if from := req.ClampedFrom(); from > 0 {
 		degraded["K_clamped_from"] = from
 		s.tel.degraded.With("k_clamp").Inc()
+		fin.degraded = true
 	}
 
 	// The deadline budget covers admission wait plus compute, and is
@@ -1103,7 +1162,8 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
-		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, status)
+		fin.status = status
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, status, tr)
 		s.writeError(w, status, "admission: %v", err)
 		return
 	}
@@ -1117,20 +1177,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
 			req.Spatial = "squared"
 			if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
-				s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError)
+				fin.status = http.StatusInternalServerError
+				s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError, tr)
 				s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
 				return
 			}
 			degraded["spatial"] = "exact→squared-grid (low budget)"
 			degraded["remaining_budget_ms"] = round3(remaining.Seconds() * 1e3)
 			s.tel.degraded.With("spatial_downshift").Inc()
+			fin.degraded = true
 		}
 	}
 
 	res, err := tn.Eng.Query(ctx, req)
 	if err != nil {
-		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, statusFor(err))
-		s.writeError(w, statusFor(err), "%v", err)
+		fin.status = statusFor(err)
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, fin.status, tr)
+		s.writeError(w, fin.status, "%v", err)
 		return
 	}
 	telemetry.NoteCache(r.Context(), res.Cache)
@@ -1141,14 +1204,27 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if len(degraded) > 0 {
 		resp.Diagnostics["degraded"] = degraded
 	}
-	// Recorded before the body write so the Server-Timing header makes it
-	// out; the excluded JSON encode is observed separately in the encode
-	// stage histogram.
-	s.recordSLO(tn.SLO, w.Header(), searchClass(res.Cache), start, http.StatusOK)
+	// The body is encoded to a buffer first so the encode span is closed
+	// — and can appear as the render entry of the Server-Timing header —
+	// before any header freezes.
 	endEncode := tr.StartSpan(telemetry.StageEncode)
-	s.writeJSON(w, http.StatusOK, resp)
+	body, err := json.Marshal(resp)
 	endEncode()
-	s.maybeLogSlow("/v1/search", resp.RequestID, req, tr, res.Cache, nil)
+	if err != nil {
+		fin.status = http.StatusInternalServerError
+		s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, fin.status, tr)
+		s.writeError(w, fin.status, "encode: %v", err)
+		return
+	}
+	fin.status, fin.class = http.StatusOK, searchClass(res.Cache)
+	fin.cache, fin.epoch = res.Cache, req.Epoch()
+	s.recordSLO(tn.SLO, w.Header(), fin.class, start, http.StatusOK, tr)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+	w.Write([]byte("\n"))
+	s.finishTrace(r.Context(), tn, tr, start, fin)
+	s.maybeLogSlow("/v1/search", resp.RequestID, tn.Name, fin.traceID, req, tr, res.Cache, nil)
 }
 
 // handleExplain serves GET /v1/explain: the /v1/search parameter schema
@@ -1167,9 +1243,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	tr := telemetry.NewTrace()
-	r = r.WithContext(telemetry.WithTrace(r.Context(), tr))
+	start := time.Now()
+	tr, r := s.startTrace(w, r)
 	defer s.flushSpans(tr)
+	// Explains have no SLO class of their own; the miss class's slow
+	// threshold governs retention (an explain is at least a miss's work),
+	// but no exemplar is noted — exemplars must point at tracked traffic.
+	fin := &traceFinish{
+		endpoint:  "/v1/explain",
+		requestID: w.Header().Get(telemetry.RequestIDHeader),
+		class:     slo.ClassSearchMiss,
+	}
+	defer s.finishTrace(r.Context(), tn, tr, start, fin)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
 	req, err := tn.Eng.RequestFromValues(r.URL.Query())
@@ -1178,6 +1263,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	endParse()
 	if err != nil {
+		fin.status = http.StatusBadRequest
 		s.writeError(w, http.StatusBadRequest, "bad parameter: %v", err)
 		return
 	}
@@ -1195,6 +1281,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		if status == http.StatusServiceUnavailable {
 			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 		}
+		fin.status = status
 		s.writeError(w, status, "admission: %v", err)
 		return
 	}
@@ -1202,7 +1289,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 
 	res, rep, err := tn.Eng.Explain(ctx, req)
 	if err != nil {
-		s.writeError(w, statusFor(err), "%v", err)
+		fin.status = statusFor(err)
+		s.writeError(w, fin.status, "%v", err)
 		return
 	}
 	telemetry.NoteCache(r.Context(), res.Cache)
@@ -1220,7 +1308,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	endEncode := tr.StartSpan(telemetry.StageEncode)
 	s.writeJSON(w, http.StatusOK, resp)
 	endEncode()
-	s.maybeLogSlow("/v1/explain", resp.RequestID, req, tr, res.Cache, rep)
+	fin.status, fin.cache, fin.epoch = http.StatusOK, res.Cache, req.Epoch()
+	s.finishTrace(r.Context(), tn, tr, start, fin)
+	s.maybeLogSlow("/v1/explain", resp.RequestID, tn.Name, fin.traceID, req, tr, res.Cache, rep)
 }
 
 // slowQueryEntry is one slow-query log line: enough context to understand
@@ -1230,6 +1320,8 @@ type slowQueryEntry struct {
 	Time        string         `json:"time"`
 	RequestID   string         `json:"request_id,omitempty"`
 	Endpoint    string         `json:"endpoint"`
+	Corpus      string         `json:"corpus,omitempty"`
+	TraceID     string         `json:"trace_id,omitempty"`
 	DurationMS  float64        `json:"duration_ms"`
 	ThresholdMS float64        `json:"threshold_ms"`
 	Query       map[string]any `json:"query"`
@@ -1242,8 +1334,11 @@ type slowQueryEntry struct {
 // maybeLogSlow emits one structured line when the request's trace elapsed
 // beyond the slow-query threshold. The writer preference is SlowQueryLog,
 // then the access-log writer, then Logf; concurrent emitters are
-// serialised so lines never interleave.
-func (s *Server) maybeLogSlow(endpoint, requestID string, req *engine.QueryRequest, tr *telemetry.Trace, cache string, explainRep any) {
+// serialised so lines never interleave. traceID is the retained-trace ID
+// when the tail sampler kept this request ("" otherwise — though a
+// query past the slow threshold is always retained while tracing is on,
+// so the line normally links straight to /v1/traces/{id}).
+func (s *Server) maybeLogSlow(endpoint, requestID, corpus, traceID string, req *engine.QueryRequest, tr *telemetry.Trace, cache string, explainRep any) {
 	if s.cfg.SlowQuery <= 0 {
 		return
 	}
@@ -1260,6 +1355,8 @@ func (s *Server) maybeLogSlow(endpoint, requestID string, req *engine.QueryReque
 		Time:        time.Now().UTC().Format(time.RFC3339Nano),
 		RequestID:   requestID,
 		Endpoint:    endpoint,
+		Corpus:      corpus,
+		TraceID:     traceID,
 		DurationMS:  round3(elapsed.Seconds() * 1e3),
 		ThresholdMS: round3(s.cfg.SlowQuery.Seconds() * 1e3),
 		Query: map[string]any{
@@ -1378,6 +1475,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *Server) batchElement(parent context.Context, tn *registry.Tenant, requestID string, idx int, raw json.RawMessage) (item batchItem) {
 	start := time.Now()
 	item.Index = idx
+	tr := telemetry.NewTrace()
+	// Elements finish individually: a nil note context keeps the parent
+	// batch's access-log line from adopting one element's trace ID.
+	fin := &traceFinish{endpoint: "/v1/batch", requestID: requestID, class: slo.ClassBatch, exemplar: true}
 	defer func() {
 		if v := recover(); v != nil {
 			s.cfg.Logf("propserve: panic in batch element %d: %v", idx, v)
@@ -1385,10 +1486,10 @@ func (s *Server) batchElement(parent context.Context, tn *registry.Tenant, reque
 		}
 		// Each element is one unit of the batch SLO class; the shared
 		// response envelope means no per-element Server-Timing header.
-		s.recordSLO(tn.SLO, nil, slo.ClassBatch, start, item.Status)
+		s.recordSLO(tn.SLO, nil, slo.ClassBatch, start, item.Status, tr)
+		fin.status = item.Status
+		s.finishTrace(nil, tn, tr, start, fin)
 	}()
-
-	tr := telemetry.NewTrace()
 	defer s.flushSpans(tr)
 
 	endParse := tr.StartSpan(telemetry.StageParse)
@@ -1429,7 +1530,9 @@ func (s *Server) batchElement(parent context.Context, tn *registry.Tenant, reque
 	item.Status = http.StatusOK
 	item.Response = tn.Eng.BuildResponse(req, res, tr)
 	item.Response.RequestID = requestID
-	s.maybeLogSlow("/v1/batch", requestID, req, tr, res.Cache, nil)
+	fin.status, fin.cache, fin.epoch = http.StatusOK, res.Cache, req.Epoch()
+	s.finishTrace(nil, tn, tr, start, fin)
+	s.maybeLogSlow("/v1/batch", requestID, tn.Name, fin.traceID, req, tr, res.Cache, nil)
 	return item
 }
 
@@ -1457,13 +1560,25 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Everything past the enablement gate is mutation-class load; done
-	// stamps the exit status exactly once per request.
+	// stamps the exit status exactly once per request. Mutations carry a
+	// trace too — mostly for the tail rules: a shed or WAL-refused
+	// mutation is exactly the request an operator goes looking for.
 	start := time.Now()
+	tr, r := s.startTrace(w, r)
+	defer s.flushSpans(tr)
+	fin := &traceFinish{
+		endpoint:  "/v1/corpus",
+		requestID: w.Header().Get(telemetry.RequestIDHeader),
+		class:     slo.ClassMutate,
+		exemplar:  true,
+	}
+	defer s.finishTrace(r.Context(), tn, tr, start, fin)
 	recorded := false
 	done := func(code int) {
 		if !recorded {
 			recorded = true
-			s.recordSLO(tn.SLO, w.Header(), slo.ClassMutate, start, code)
+			fin.status = code
+			s.recordSLO(tn.SLO, w.Header(), slo.ClassMutate, start, code, tr)
 		}
 	}
 	// Durability gates, checked before the body is even read: mutations
@@ -1528,6 +1643,7 @@ func (s *Server) handleCorpus(w http.ResponseWriter, r *http.Request) {
 	s.tel.mutations.Inc()
 	s.maybeCompactAsync(tn)
 	telemetry.NoteEpoch(r.Context(), res.Epoch)
+	fin.epoch = res.Epoch
 	done(http.StatusOK)
 	s.writeJSON(w, http.StatusOK, corpusResponse{
 		RequestID:      w.Header().Get(telemetry.RequestIDHeader),

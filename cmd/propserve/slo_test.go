@@ -89,11 +89,29 @@ func TestSLOServerTimingHeader(t *testing.T) {
 	}
 	st := rec.Header().Get("Server-Timing")
 	if !strings.HasPrefix(st, "app;dur=") {
-		t.Fatalf("Server-Timing = %q, want app;dur=<ms>", st)
+		t.Fatalf("Server-Timing = %q, want leading app;dur=<ms>", st)
 	}
-	ms, err := strconv.ParseFloat(strings.TrimPrefix(st, "app;dur="), 64)
-	if err != nil || ms <= 0 || ms > 10_000 {
-		t.Errorf("Server-Timing dur = %v (%v)", ms, err)
+	entries := map[string]float64{}
+	for _, part := range strings.Split(st, ",") {
+		name, dur, ok := strings.Cut(strings.TrimSpace(part), ";dur=")
+		if !ok {
+			t.Fatalf("Server-Timing entry %q has no ;dur=", part)
+		}
+		ms, err := strconv.ParseFloat(dur, 64)
+		if err != nil {
+			t.Fatalf("Server-Timing %s dur = %q (%v)", name, dur, err)
+		}
+		entries[name] = ms
+	}
+	if ms := entries["app"]; ms <= 0 || ms > 10_000 {
+		t.Errorf("Server-Timing app dur = %v, want (0, 10000]", ms)
+	}
+	// The per-stage breakdown rides behind the total: a computed search
+	// passes retrieve, select and render.
+	for _, stage := range []string{"retrieve", "select", "render"} {
+		if _, ok := entries[stage]; !ok {
+			t.Errorf("Server-Timing %q missing stage %s", st, stage)
+		}
 	}
 }
 

@@ -1,0 +1,353 @@
+package main
+
+// Tail-based trace retention and the trace API.
+//
+// Every search/explain/batch/mutation request runs under a hierarchical
+// telemetry.Trace; whether the finished trace is kept is decided at
+// request END, when the interesting facts — latency, status, shed,
+// degradation — are known. Head sampling would throw away exactly the
+// traces worth keeping, so retention is: slow/error/shed/degraded
+// always, a -trace-sample probabilistic remainder for the healthy fast
+// majority. Retained traces land in the tenant's tracestore ring,
+// become the SLO tracker's quantile exemplars, and are served by
+// GET /v1/traces (+ /{id}); -trace-export mirrors them as JSONL.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/telemetry"
+	"repro/internal/tracestore"
+)
+
+// startTrace begins the request's trace: a caller-supplied W3C
+// traceparent is adopted (the request joins the caller's distributed
+// trace), the egress traceparent — this server's trace and span ID — is
+// echoed on the response, and the trace is planted in the request
+// context for the pipeline stages.
+func (s *Server) startTrace(w http.ResponseWriter, r *http.Request) (*telemetry.Trace, *http.Request) {
+	tr := telemetry.NewTrace()
+	if tid, pid, ok := telemetry.ParseTraceParent(r.Header.Get(telemetry.TraceParentHeader)); ok {
+		tr.SetRemote(tid, pid)
+	}
+	w.Header().Set(telemetry.TraceParentHeader, tr.TraceParent())
+	return tr, r.WithContext(telemetry.WithTrace(r.Context(), tr))
+}
+
+// traceFinish accumulates the facts the retention decision needs as a
+// handler runs; finishTrace consumes it exactly once (handlers call it
+// explicitly on the success path — so the retained ID can flow into the
+// slow-query line — and rely on a deferred call for error and panic
+// exits).
+type traceFinish struct {
+	endpoint  string
+	requestID string
+	class     string // SLO class used for the slow threshold and exemplar
+	status    int    // 0 means the handler never wrote: a recovered panic (500)
+	cache     string
+	epoch     uint64
+	degraded  bool
+	exemplar  bool // note the retained ID in the SLO exemplar table
+	done      bool
+	traceID   string // set by finishTrace when the trace was retained
+}
+
+// finishTrace makes the tail-sampling decision for one finished request
+// and, when the trace is retained, stores it in the tenant's ring,
+// notes it as an SLO exemplar, reports it to the access log (noteCtx
+// may be nil — batch elements share their parent's log line), and
+// mirrors it to the -trace-export stream. Idempotent per traceFinish.
+func (s *Server) finishTrace(noteCtx context.Context, tn *registry.Tenant, tr *telemetry.Trace, start time.Time, fin *traceFinish) {
+	if fin.done {
+		return
+	}
+	fin.done = true
+	if tn == nil || tn.Traces == nil || tr == nil {
+		return
+	}
+	status := fin.status
+	if status == 0 {
+		status = http.StatusInternalServerError // recovered panic: middleware writes the 500
+	}
+	d := time.Since(start)
+	reason := s.traceReason(tn, fin.class, status, d, fin.degraded)
+	if reason == "" {
+		return
+	}
+	if reason == "sampled" {
+		s.tel.tracesSampled.Inc()
+	}
+	id := tr.ID()
+	st := &tracestore.Trace{
+		ID:        id,
+		RequestID: fin.requestID,
+		Corpus:    tn.Name,
+		Endpoint:  fin.endpoint,
+		Status:    status,
+		Reason:    reason,
+		Cache:     fin.cache,
+		Epoch:     fin.epoch,
+		Remote:    tr.RemoteParent(),
+		Start:     start,
+		Duration:  d,
+		Spans:     tr.Spans(),
+	}
+	tn.Traces.Add(st)
+	fin.traceID = id
+	if fin.exemplar {
+		tn.SLO.NoteExemplar(fin.class, d, id)
+	}
+	if noteCtx != nil {
+		telemetry.NoteTrace(noteCtx, id)
+	}
+	s.exportTrace(st)
+}
+
+// traceReason decides retention: the tail rules always keep the traces
+// an operator will be asked about (shed, errored, degraded, served on a
+// durability-compromised tenant, or slower than the class objective /
+// slow-query threshold); everything else is kept with -trace-sample
+// probability. "" means drop.
+func (s *Server) traceReason(tn *registry.Tenant, class string, status int, d time.Duration, degraded bool) string {
+	switch {
+	case status == http.StatusServiceUnavailable:
+		return "shed"
+	case status >= 500:
+		return "error"
+	case degraded:
+		return "degraded"
+	}
+	if ws := tn.WALState(); ws == "broken" || ws == "degraded" {
+		return "wal"
+	}
+	slow := tn.SLO.Objective(class).Threshold
+	if slow <= 0 || (s.cfg.SlowQuery > 0 && s.cfg.SlowQuery < slow) {
+		slow = s.cfg.SlowQuery
+	}
+	if slow > 0 && d > slow {
+		return "slow"
+	}
+	if p := s.cfg.TraceSample; p > 0 && rand.Float64() < p {
+		return "sampled"
+	}
+	return ""
+}
+
+// exportTrace mirrors one retained trace to the -trace-export stream as
+// a JSON line (the same object GET /v1/traces/{id} serves), serialising
+// concurrent writers so lines never interleave.
+func (s *Server) exportTrace(t *tracestore.Trace) {
+	out := s.cfg.TraceExport
+	if out == nil {
+		return
+	}
+	line, err := json.Marshal(traceJSON(t))
+	if err != nil {
+		return
+	}
+	s.traceExpMu.Lock()
+	out.Write(append(line, '\n'))
+	s.traceExpMu.Unlock()
+}
+
+// serverTiming renders the Server-Timing header value: the app total
+// first (loadgen and the SLO tests key on the leading entry), then the
+// per-stage breakdown from the span tree — retrieve, select
+// (step2_select) and render (encode) — so clients see where the time
+// went without fetching the trace.
+func serverTiming(total time.Duration, tr *telemetry.Trace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "app;dur=%.4f", float64(total.Nanoseconds())/1e6)
+	if tr != nil {
+		st := tr.Stages()
+		for _, e := range [...]struct{ entry, stage string }{
+			{"retrieve", telemetry.StageRetrieve},
+			{"select", telemetry.StageSelect},
+			{"render", telemetry.StageEncode},
+		} {
+			if d, ok := st[e.stage]; ok {
+				fmt.Fprintf(&b, ", %s;dur=%.4f", e.entry, float64(d.Nanoseconds())/1e6)
+			}
+		}
+	}
+	return b.String()
+}
+
+// traceJSON renders one retained trace as the /v1/traces/{id} payload:
+// identity and outcome up top, the span tree as a flat parent-linked
+// list sorted by start offset (span 0 is the request root).
+func traceJSON(t *tracestore.Trace) map[string]any {
+	spans := make([]map[string]any, 0, len(t.Spans))
+	for _, sp := range t.Spans {
+		m := map[string]any{
+			"id":          sp.ID,
+			"parent":      sp.Parent,
+			"stage":       sp.Stage,
+			"start_ms":    round3(sp.Start.Seconds() * 1e3),
+			"duration_ms": round3(sp.Dur.Seconds() * 1e3),
+		}
+		if len(sp.Attrs) > 0 {
+			attrs := make(map[string]any, len(sp.Attrs))
+			for _, a := range sp.Attrs {
+				attrs[a.Key] = a.Value
+			}
+			m["attrs"] = attrs
+		}
+		spans = append(spans, m)
+	}
+	out := map[string]any{
+		"trace_id":     t.ID,
+		"request_id":   t.RequestID,
+		"corpus":       t.Corpus,
+		"endpoint":     t.Endpoint,
+		"status":       t.Status,
+		"reason":       t.Reason,
+		"corpus_epoch": t.Epoch,
+		"time":         t.Start.UTC().Format(time.RFC3339Nano),
+		"duration_ms":  round3(t.Duration.Seconds() * 1e3),
+		"spans":        spans,
+	}
+	if t.Cache != "" {
+		out["cache"] = t.Cache
+	}
+	if t.Remote != "" {
+		out["remote_parent"] = t.Remote
+	}
+	return out
+}
+
+// traceSummaryJSON is one GET /v1/traces list row: everything but the
+// span tree.
+func traceSummaryJSON(t *tracestore.Trace) map[string]any {
+	out := map[string]any{
+		"trace_id":    t.ID,
+		"request_id":  t.RequestID,
+		"corpus":      t.Corpus,
+		"endpoint":    t.Endpoint,
+		"status":      t.Status,
+		"reason":      t.Reason,
+		"time":        t.Start.UTC().Format(time.RFC3339Nano),
+		"duration_ms": round3(t.Duration.Seconds() * 1e3),
+		"spans":       len(t.Spans),
+	}
+	if t.Cache != "" {
+		out["cache"] = t.Cache
+	}
+	return out
+}
+
+// handleTraces serves GET /v1/traces: retained traces across every
+// corpus (or one, with ?corpus=), filtered by ?status=, ?reason= and
+// ?min_duration_ms=, newest first, capped by ?limit= (default 50).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisableTraces {
+		s.writeError(w, http.StatusForbidden, "trace retention disabled: start the server without -traces=false")
+		return
+	}
+	q := r.URL.Query()
+	var f tracestore.Filter
+	if v := q.Get("status"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 100 || n > 599 {
+			s.writeError(w, http.StatusBadRequest, "bad status %q: want an HTTP status code", v)
+			return
+		}
+		f.Status = n
+	}
+	f.Reason = q.Get("reason")
+	if v := q.Get("min_duration_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			s.writeError(w, http.StatusBadRequest, "bad min_duration_ms %q", v)
+			return
+		}
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	limit := 50
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 1000 {
+			s.writeError(w, http.StatusBadRequest, "bad limit %q: want 1..1000", v)
+			return
+		}
+		limit = n
+	}
+	f.Limit = limit
+
+	var tenants []*registry.Tenant
+	if corpus := q.Get("corpus"); corpus != "" {
+		tn, ok := s.reg.Get(corpus)
+		if !ok {
+			s.writeError(w, http.StatusNotFound, "unknown corpus %q", corpus)
+			return
+		}
+		tenants = []*registry.Tenant{tn}
+	} else {
+		tenants = s.reg.All()
+	}
+	var all []*tracestore.Trace
+	for _, tn := range tenants {
+		all = append(all, tn.Traces.List(f)...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Start.After(all[j].Start) })
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	rows := make([]map[string]any, 0, len(all))
+	for _, t := range all {
+		rows = append(rows, traceSummaryJSON(t))
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"count":  len(rows),
+		"traces": rows,
+	})
+}
+
+// handleTraceGet serves GET /v1/traces/{id}: the full span tree of one
+// retained trace, searched across every tenant's ring (trace IDs are
+// process-unique random 128-bit values, so cross-tenant collision is
+// not a practical concern).
+func (s *Server) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.DisableTraces {
+		s.writeError(w, http.StatusForbidden, "trace retention disabled: start the server without -traces=false")
+		return
+	}
+	id := r.PathValue("id")
+	for _, tn := range s.reg.All() {
+		if t, ok := tn.Traces.Get(id); ok {
+			s.writeJSON(w, http.StatusOK, traceJSON(t))
+			return
+		}
+	}
+	s.writeError(w, http.StatusNotFound, "unknown trace %q (evicted, unsampled, or never existed)", id)
+}
+
+// registerTraceMetrics exposes the retention counters, summed across
+// tenants at scrape time (zero when tracing is disabled — the nil
+// stores report empty stats).
+func (s *Server) registerTraceMetrics() {
+	reg := s.tel.reg
+	sum := func(field func(tracestore.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var n uint64
+			for _, tn := range s.reg.All() {
+				n += field(tn.Traces.Stats())
+			}
+			return n
+		}
+	}
+	reg.CounterFunc("propserve_traces_retained_total",
+		"Traces retained by the tail sampler, across all corpora.",
+		sum(func(st tracestore.Stats) uint64 { return st.Retained }))
+	reg.CounterFunc("propserve_traces_dropped_total",
+		"Retained traces later evicted by the ring's count or byte bound.",
+		sum(func(st tracestore.Stats) uint64 { return st.Dropped }))
+}

@@ -32,11 +32,14 @@ package dataset
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geo"
 	"repro/internal/irtree"
+	"repro/internal/telemetry"
 )
 
 // Shard is one spatial partition: a subset of the corpus places in
@@ -181,6 +184,14 @@ type shardCursor struct {
 	buf  []irtree.Result
 	i    int
 	done bool // stream exhausted
+
+	// Tracing bookkeeping, populated only when the retrieve is traced:
+	// the shard's span ID (for post-merge annotation), when its priming
+	// finished, and how many refills the merge pulled from it.
+	sid      int
+	spanID   int
+	primeEnd time.Time
+	refills  int
 }
 
 // refill extends the cursor's buffer by up to chunk results.
@@ -207,7 +218,15 @@ func (c *shardCursor) refill(chunk int) {
 // across the shards rather than n·K, while the output stays exactly
 // (bitwise) what the unsharded Dataset.Retrieve returns; see the
 // package comment for why.
-func (sv *ShardView) Retrieve(q Query, K int) ([]core.Place, error) {
+//
+// When ctx carries a telemetry trace, each shard's priming records a
+// StageShard child span (shard index, primed count) and the k-way merge
+// a StageMerge span; after the merge, every shard span is annotated
+// with its refill count and merge_wait_ms — how long its primed prefix
+// sat waiting for the slowest shard before the merge began, which is
+// what attributes the fan-out barrier's cost to the shard that caused
+// it. Without a trace the only per-shard overhead is one nil check.
+func (sv *ShardView) Retrieve(ctx context.Context, q Query, K int) ([]core.Place, error) {
 	if K <= 0 {
 		return nil, fmt.Errorf("dataset: K = %d must be positive", K)
 	}
@@ -215,9 +234,9 @@ func (sv *ShardView) Retrieve(q Query, K int) ([]core.Place, error) {
 	opt := irtree.QueryOptions{K: K, Beta: 0.5, MaxDist: maxDist}
 
 	var curs []*shardCursor
-	for _, sh := range sv.Shards {
+	for sid, sh := range sv.Shards {
 		if len(sh.Places) > 0 {
-			curs = append(curs, &shardCursor{sh: sh})
+			curs = append(curs, &shardCursor{sh: sh, sid: sid})
 		}
 	}
 	if len(curs) == 0 {
@@ -227,16 +246,38 @@ func (sv *ShardView) Retrieve(q Query, K int) ([]core.Place, error) {
 	if prime > K {
 		prime = K
 	}
+	traced := telemetry.TraceFrom(ctx) != nil
 	var wg sync.WaitGroup
 	for _, c := range curs {
 		wg.Add(1)
 		go func(c *shardCursor) {
 			defer wg.Done()
+			var end func(...telemetry.Attr)
+			if traced {
+				c.spanID, end = telemetry.StartSpanAttrs(ctx, telemetry.StageShard)
+			}
 			c.s = c.sh.Index.Search(q.Loc, q.Keywords, opt)
 			c.refill(prime)
+			if traced {
+				c.primeEnd = time.Now()
+				end(
+					telemetry.Attr{Key: "shard", Value: c.sid},
+					telemetry.Attr{Key: "primed", Value: len(c.buf)},
+					telemetry.Attr{Key: "exhausted", Value: c.done},
+				)
+			}
 		}(c)
 	}
 	wg.Wait()
+
+	var (
+		mergeStart time.Time
+		endMerge   func(...telemetry.Attr)
+	)
+	if traced {
+		mergeStart = time.Now()
+		_, endMerge = telemetry.StartSpanAttrs(ctx, telemetry.StageMerge)
+	}
 
 	// Exact k-way merge by (score desc, global index asc): each cursor's
 	// stream is already in that order within its shard (Global is
@@ -273,9 +314,25 @@ func (sv *ShardView) Retrieve(q Query, K int) ([]core.Place, error) {
 		best.i++
 		if best.i >= len(best.buf) && !best.done {
 			best.refill(prime)
+			best.refills++
+		}
+	}
+	if traced {
+		endMerge(telemetry.Attr{Key: "emitted", Value: len(out)})
+		for _, c := range curs {
+			telemetry.Annotate(ctx, c.spanID,
+				telemetry.Attr{Key: "refills", Value: c.refills},
+				telemetry.Attr{Key: "merge_wait_ms", Value: roundMS(mergeStart.Sub(c.primeEnd))},
+			)
 		}
 	}
 	return out, nil
+}
+
+// roundMS renders a duration as fractional milliseconds rounded to 3
+// decimals, the JSON convention used elsewhere.
+func roundMS(d time.Duration) float64 {
+	return math.Round(d.Seconds()*1e6) / 1e3
 }
 
 // Apply runs the batch through the base dataset's copy-on-write

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/telemetry"
 	"repro/internal/textctx"
 )
 
@@ -25,7 +26,7 @@ func assertRetrieveEqual(t *testing.T, d *Dataset, sv *ShardView, q Query, K int
 	if err != nil {
 		t.Fatalf("%s: unsharded: %v", label, err)
 	}
-	got, err := sv.Retrieve(q, K)
+	got, err := sv.Retrieve(context.Background(), q, K)
 	if err != nil {
 		t.Fatalf("%s: sharded: %v", label, err)
 	}
@@ -205,5 +206,85 @@ func TestShardApplyRenumbersUntouched(t *testing.T) {
 	}
 	if untouched == 0 {
 		t.Error("single delete rebuilt every shard; structural sharing is broken")
+	}
+}
+
+// A traced sharded retrieve must record one shard_retrieve child span
+// per populated shard plus a merge span, all under the surrounding
+// retrieve span, with the attribution attrs the trace API exposes.
+func TestShardRetrieveSpans(t *testing.T) {
+	d := shardTestData(t, 7, 300)
+	sv, err := NewShardView(d, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populated := 0
+	for _, sh := range sv.Shards {
+		if len(sh.Places) > 0 {
+			populated++
+		}
+	}
+
+	tr := telemetry.NewTrace()
+	ctx := telemetry.WithTrace(context.Background(), tr)
+	rctx, endRetrieve := telemetry.BeginSpan(ctx, telemetry.StageRetrieve)
+	q := Query{Loc: d.Places[0].Loc, Keywords: d.Places[0].Context}
+	if _, err := sv.Retrieve(rctx, q, 50); err != nil {
+		t.Fatal(err)
+	}
+	endRetrieve()
+
+	var retrieveID int
+	for _, s := range tr.Spans() {
+		if s.Stage == telemetry.StageRetrieve {
+			retrieveID = s.ID
+		}
+	}
+	if retrieveID == 0 {
+		t.Fatal("no retrieve span recorded")
+	}
+	shardSpans, mergeSpans := 0, 0
+	for _, s := range tr.Spans() {
+		switch s.Stage {
+		case telemetry.StageShard:
+			shardSpans++
+			if s.Parent != retrieveID {
+				t.Fatalf("shard span parent = %d, want retrieve span %d", s.Parent, retrieveID)
+			}
+			keys := map[string]bool{}
+			for _, a := range s.Attrs {
+				keys[a.Key] = true
+			}
+			for _, want := range []string{"shard", "primed", "refills", "merge_wait_ms"} {
+				if !keys[want] {
+					t.Fatalf("shard span missing attr %q (has %v)", want, keys)
+				}
+			}
+		case telemetry.StageMerge:
+			mergeSpans++
+			if s.Parent != retrieveID {
+				t.Fatalf("merge span parent = %d, want %d", s.Parent, retrieveID)
+			}
+		}
+	}
+	if shardSpans != populated {
+		t.Fatalf("recorded %d shard spans, want one per populated shard (%d)", shardSpans, populated)
+	}
+	if mergeSpans != 1 {
+		t.Fatalf("recorded %d merge spans, want 1", mergeSpans)
+	}
+}
+
+// An untraced retrieve must record nothing and allocate no tracing
+// state — the disabled path is a nil check.
+func TestShardRetrieveUntraced(t *testing.T) {
+	d := shardTestData(t, 7, 120)
+	sv, err := NewShardView(d, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Loc: d.Places[0].Loc, Keywords: d.Places[0].Context}
+	if _, err := sv.Retrieve(context.Background(), q, 20); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -137,9 +137,9 @@ type corpusSnapshot struct {
 // retrieve answers q from this snapshot — parallel shard fan-out when
 // sharded, the single IR-tree otherwise. Both paths return bitwise
 // identical results.
-func (s *corpusSnapshot) retrieve(q dataset.Query, K int) ([]core.Place, error) {
+func (s *corpusSnapshot) retrieve(ctx context.Context, q dataset.Query, K int) ([]core.Place, error) {
 	if s.shards != nil {
-		return s.shards.Retrieve(q, K)
+		return s.shards.Retrieve(ctx, q, K)
 	}
 	return s.data.Retrieve(q, K)
 }
@@ -362,8 +362,10 @@ func (e *Engine) scoreSet(ctx context.Context, req *QueryRequest, key string) (*
 func (e *Engine) build(ctx context.Context, req *QueryRequest) (*entry, error) {
 	e.builds.Add(1)
 	loc := geo.Pt(req.X, req.Y)
-	endRetrieve := telemetry.StartSpan(ctx, telemetry.StageRetrieve)
-	places, err := req.snapshot(e).retrieve(dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
+	// BeginSpan rather than StartSpan: a sharded retrieve records one
+	// child span per shard plus the merge under this span.
+	rctx, endRetrieve := telemetry.BeginSpan(ctx, telemetry.StageRetrieve)
+	places, err := req.snapshot(e).retrieve(rctx, dataset.Query{Loc: loc, Keywords: req.kwSet}, req.K)
 	endRetrieve()
 	if err != nil {
 		return nil, fmt.Errorf("retrieve: %w", err)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/resilience"
 	"repro/internal/slo"
+	"repro/internal/tracestore"
 	"repro/internal/wal"
 )
 
@@ -56,6 +57,10 @@ type Tenant struct {
 	// SLO is the tenant's tracker; nil when SLO tracking is disabled
 	// (the tracker is nil-safe).
 	SLO *slo.Tracker
+	// Traces is the tenant's retained-trace ring; nil when tracing is
+	// disabled (the store is nil-safe). Per-tenant like the gate and the
+	// tracker: a noisy corpus evicts only its own traces.
+	Traces *tracestore.Store
 	// WALDir is the tenant's log directory; "" when not durable.
 	WALDir string
 

@@ -166,8 +166,24 @@ type Counts struct {
 // overflow bucket reports the observed maximum. Zero observations
 // estimate zero.
 func (c *Counts) Quantile(p float64) time.Duration {
-	if c.Total == 0 {
+	i := c.QuantileBucket(p)
+	switch {
+	case i < 0:
 		return 0
+	case i == NumBuckets-1:
+		return time.Duration(c.MaxNs)
+	}
+	return BucketUpper(i)
+}
+
+// QuantileBucket returns the index of the bucket holding the ⌈p·n⌉-th
+// smallest observation, or -1 with no observations. It is the join key
+// for exemplars: a trace noted at BucketIndex(d) of an observation lands
+// in exactly this index, whereas re-bucketing the Quantile estimate
+// (the bucket's upper boundary) would land one bucket up.
+func (c *Counts) QuantileBucket(p float64) int {
+	if c.Total == 0 {
+		return -1
 	}
 	if math.IsNaN(p) || p < 0 {
 		p = 0
@@ -182,13 +198,10 @@ func (c *Counts) Quantile(p float64) time.Duration {
 	for i, n := range c.Buckets {
 		cum += n
 		if cum >= rank {
-			if i == NumBuckets-1 {
-				return time.Duration(c.MaxNs)
-			}
-			return BucketUpper(i)
+			return i
 		}
 	}
-	return time.Duration(c.MaxNs) // unreachable: cum sums to Total
+	return NumBuckets - 1 // unreachable: cum sums to Total
 }
 
 // Mean returns the arithmetic mean of the recorded latencies (exact —

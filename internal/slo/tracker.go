@@ -3,6 +3,7 @@ package slo
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -90,6 +91,30 @@ type classState struct {
 	obj     Objective
 	total   record
 	windows []*Window
+	ex      exemplars
+}
+
+// exemplars remembers, per sketch bucket, the last retained trace whose
+// latency landed there — the bridge from a quantile estimate to a
+// concrete span tree. Lifetime (not windowed): "the last retained trace
+// observed at this latency" stays useful after the window rotates, and
+// a stale pointer is still a real request at that latency.
+type exemplars struct {
+	slots [NumBuckets]atomic.Pointer[string]
+}
+
+func (e *exemplars) note(d time.Duration, traceID string) {
+	e.slots[BucketIndex(d)].Store(&traceID)
+}
+
+func (e *exemplars) at(i int) string {
+	if i < 0 || i >= NumBuckets {
+		return ""
+	}
+	if p := e.slots[i].Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // NewTracker builds a tracker for exactly the given classes.
@@ -123,6 +148,19 @@ func (t *Tracker) Record(class string, d time.Duration, o Outcome) {
 	cs.total.observe(d, o, slow)
 	for _, w := range cs.windows {
 		w.Observe(d, o, slow)
+	}
+}
+
+// NoteExemplar records traceID as the latest retained trace for the
+// latency bucket d falls into, in class's exemplar table. Called by the
+// tail sampler only for retained traces; unknown classes, empty IDs and
+// nil trackers are ignored.
+func (t *Tracker) NoteExemplar(class string, d time.Duration, traceID string) {
+	if t == nil || traceID == "" {
+		return
+	}
+	if cs := t.classes[class]; cs != nil {
+		cs.ex.note(d, traceID)
 	}
 }
 
@@ -166,6 +204,11 @@ type WindowStats struct {
 	// fraction of this window's error budget left, negative when the
 	// window has overspent.
 	BudgetRemaining float64
+	// Exemplars maps quantile names ("p50", "p95", "p99") to the trace ID
+	// of the last retained trace whose latency landed in that quantile's
+	// sketch bucket — resolvable via GET /v1/traces/{id}. Absent when no
+	// retained trace has been observed near the quantile.
+	Exemplars map[string]string
 }
 
 // ClassSnapshot is one class's full SLO view.
@@ -200,10 +243,10 @@ func (t *Tracker) Snapshot() Snapshot {
 		c := ClassSnapshot{
 			Class:     name,
 			Objective: cs.obj,
-			Total:     windowStats(0, totals, cs.obj),
+			Total:     windowStats(0, totals, cs.obj, &cs.ex),
 		}
 		for i, w := range cs.windows {
-			c.Windows = append(c.Windows, windowStats(t.opt.Windows[i], w.Snapshot(), cs.obj))
+			c.Windows = append(c.Windows, windowStats(t.opt.Windows[i], w.Snapshot(), cs.obj, &cs.ex))
 		}
 		snap.Classes = append(snap.Classes, c)
 	}
@@ -220,7 +263,7 @@ func (s Snapshot) Class(name string) (ClassSnapshot, bool) {
 	return ClassSnapshot{}, false
 }
 
-func windowStats(dur time.Duration, c WindowCounts, obj Objective) WindowStats {
+func windowStats(dur time.Duration, c WindowCounts, obj Objective, ex *exemplars) WindowStats {
 	ws := WindowStats{
 		Window: dur,
 		Count:  c.Total,
@@ -244,6 +287,29 @@ func windowStats(dur time.Duration, c WindowCounts, obj Objective) WindowStats {
 		burn = ws.LatencyBurn
 	}
 	ws.BudgetRemaining = 1 - burn
+	if ex != nil && c.Total > 0 {
+		m := make(map[string]string, 3)
+		for _, q := range [...]struct {
+			name string
+			p    float64
+		}{{"p50", 0.50}, {"p95", 0.95}, {"p99", 0.99}} {
+			b := c.QuantileBucket(q.p)
+			// The sampler notes the exemplar moments after the tracker
+			// records the latency (the note includes response encoding), so
+			// the two measurements can land one bucket apart; the quantile
+			// estimate already carries one-bucket error, so a neighbouring
+			// bucket's trace is a fair exemplar.
+			for _, cand := range [3]int{b, b + 1, b - 1} {
+				if id := ex.at(cand); id != "" {
+					m[q.name] = id
+					break
+				}
+			}
+		}
+		if len(m) > 0 {
+			ws.Exemplars = m
+		}
+	}
 	return ws
 }
 

@@ -147,15 +147,24 @@ type AccessEntry struct {
 	// mutations by epoch attributes a latency shift to the corpus change
 	// that caused it.
 	CorpusEpoch *uint64 `json:"corpus_epoch,omitempty"`
+	// Corpus is the tenant the request resolved to, noted by the handler
+	// via NoteCorpus; empty for routes that touch no corpus.
+	Corpus string `json:"corpus,omitempty"`
+	// TraceID is the request's trace ID when its trace was retained by
+	// the tail sampler, noted via NoteTrace — the join key from a log
+	// line to GET /v1/traces/{id}.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // requestNote is a per-request mutable slot the AccessLog middleware
 // plants in the context so the handler, deep in the call chain, can
 // report facts the log line should carry.
 type requestNote struct {
-	mu    sync.Mutex
-	cache string
-	epoch *uint64
+	mu     sync.Mutex
+	cache  string
+	epoch  *uint64
+	corpus string
+	trace  string
 }
 
 type requestNoteKey struct{}
@@ -184,6 +193,30 @@ func NoteEpoch(ctx context.Context, epoch uint64) {
 	n.mu.Unlock()
 }
 
+// NoteCorpus records the tenant the current request resolved to. It is
+// a no-op when AccessLog is not installed.
+func NoteCorpus(ctx context.Context, corpus string) {
+	n, _ := ctx.Value(requestNoteKey{}).(*requestNote)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.corpus = corpus
+	n.mu.Unlock()
+}
+
+// NoteTrace records the current request's retained trace ID. It is a
+// no-op when AccessLog is not installed.
+func NoteTrace(ctx context.Context, traceID string) {
+	n, _ := ctx.Value(requestNoteKey{}).(*requestNote)
+	if n == nil {
+		return
+	}
+	n.mu.Lock()
+	n.trace = traceID
+	n.mu.Unlock()
+}
+
 // AccessLog is middleware that writes one JSON line per request to out,
 // serialising concurrent writers so lines never interleave. Install it
 // inside RequestID (so lines carry the ID) and outside the panic
@@ -197,7 +230,7 @@ func AccessLog(next http.Handler, out io.Writer) http.Handler {
 		r = r.WithContext(context.WithValue(r.Context(), requestNoteKey{}, note))
 		next.ServeHTTP(sr, r)
 		note.mu.Lock()
-		cache, epoch := note.cache, note.epoch
+		cache, epoch, corpus, trace := note.cache, note.epoch, note.corpus, note.trace
 		note.mu.Unlock()
 		e := AccessEntry{
 			Time:        start.UTC().Format(time.RFC3339Nano),
@@ -211,6 +244,8 @@ func AccessLog(next http.Handler, out io.Writer) http.Handler {
 			Remote:      r.RemoteAddr,
 			Cache:       cache,
 			CorpusEpoch: epoch,
+			Corpus:      corpus,
+			TraceID:     trace,
 		}
 		line, err := json.Marshal(e)
 		if err != nil {

@@ -1,0 +1,206 @@
+// Package tracestore retains sampled request traces in a bounded
+// in-memory ring so operators can walk from an SLO quantile or a log
+// line to a concrete span tree without any external tracing backend.
+//
+// Retention is decided by the caller at request end (tail-based
+// sampling: slow/error/shed/degraded requests always, a probabilistic
+// remainder otherwise); the store only enforces the bounds. Each tenant
+// owns one Store, so a noisy corpus can only evict its own traces —
+// isolation is structural, like the per-tenant engines and gates.
+//
+// A nil *Store is valid and retains nothing, which keeps the disabled
+// path nil-check-only in the handlers (the PR 4 explain-collector
+// pattern).
+package tracestore
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Default bounds applied when New is given zero values.
+const (
+	// DefaultMaxTraces bounds the ring by count even when the byte
+	// budget would admit more (a flood of tiny traces should still age
+	// out in bounded time).
+	DefaultMaxTraces = 512
+	// DefaultByteBudget bounds the ring's estimated footprint.
+	DefaultByteBudget = 4 << 20
+)
+
+// Trace is one retained request: identity, outcome, and the completed
+// span tree. Spans are sorted by start offset and immutable once
+// stored — eviction drops whole traces, never individual spans, so a
+// reader holding a *Trace can never observe a torn tree.
+type Trace struct {
+	ID        string
+	RequestID string
+	Corpus    string
+	Endpoint  string
+	Status    int
+	// Reason is why the tail sampler kept the trace: slow, error, shed,
+	// degraded, wal, or sampled.
+	Reason string
+	Cache  string
+	Epoch  uint64
+	// Remote is the caller's traceparent span ("trace-id/span-id") when
+	// the request joined a distributed trace; "" for fresh traces.
+	Remote   string
+	Start    time.Time
+	Duration time.Duration
+	Spans    []telemetry.Span
+
+	size int // estimated bytes, fixed at Add time
+}
+
+// estimateSize approximates the trace's in-memory footprint for the
+// byte budget. Exactness doesn't matter; monotonicity in span and attr
+// count does.
+func estimateSize(t *Trace) int {
+	n := 256 + len(t.ID) + len(t.RequestID) + len(t.Corpus) + len(t.Endpoint) + len(t.Reason) + len(t.Cache) + len(t.Remote)
+	for i := range t.Spans {
+		s := &t.Spans[i]
+		n += 64 + len(s.Stage)
+		for _, a := range s.Attrs {
+			n += 48 + len(a.Key)
+		}
+	}
+	return n
+}
+
+// Filter selects traces for List. Zero values match everything.
+type Filter struct {
+	// Status matches the exact HTTP status when non-zero.
+	Status int
+	// Reason matches the retention reason when non-empty.
+	Reason string
+	// MinDuration drops traces faster than this.
+	MinDuration time.Duration
+	// Limit caps the number of traces returned (newest first); 0 means
+	// no cap.
+	Limit int
+}
+
+// Stats is the store's lifetime accounting.
+type Stats struct {
+	// Retained counts every trace ever added.
+	Retained uint64
+	// Dropped counts traces evicted by the count or byte bound.
+	Dropped uint64
+	// Traces is the current ring occupancy.
+	Traces int
+	// Bytes is the current estimated footprint.
+	Bytes int
+}
+
+// Store is one tenant's retained-trace ring: newest-wins eviction by
+// count and estimated bytes, with an ID index for point lookups. The
+// mutex guards only ring bookkeeping (append/evict/lookup) — span trees
+// are built before Add and shared immutably after, so readers never
+// block writers for longer than a slice copy.
+type Store struct {
+	mu       sync.Mutex
+	max      int
+	budget   int
+	ring     []*Trace // oldest first
+	byID     map[string]*Trace
+	bytes    int
+	retained atomic.Uint64
+	dropped  atomic.Uint64
+}
+
+// New returns a store bounded by maxTraces and byteBudget; zero or
+// negative values take the package defaults.
+func New(maxTraces, byteBudget int) *Store {
+	if maxTraces <= 0 {
+		maxTraces = DefaultMaxTraces
+	}
+	if byteBudget <= 0 {
+		byteBudget = DefaultByteBudget
+	}
+	return &Store{max: maxTraces, budget: byteBudget, byID: make(map[string]*Trace)}
+}
+
+// Add retains t, evicting the oldest traces until the ring fits both
+// bounds again. A trace larger than the whole budget is admitted alone
+// (retaining the outlier is the point of tail sampling).
+func (s *Store) Add(t *Trace) {
+	if s == nil || t == nil {
+		return
+	}
+	t.size = estimateSize(t)
+	s.retained.Add(1)
+	s.mu.Lock()
+	s.ring = append(s.ring, t)
+	s.byID[t.ID] = t
+	s.bytes += t.size
+	for len(s.ring) > 1 && (len(s.ring) > s.max || s.bytes > s.budget) {
+		old := s.ring[0]
+		s.ring = s.ring[1:]
+		s.bytes -= old.size
+		// Only unindex the evicted trace if the ID still maps to it — a
+		// duplicate ID re-Add must not orphan the newer trace.
+		if s.byID[old.ID] == old {
+			delete(s.byID, old.ID)
+		}
+		s.dropped.Add(1)
+	}
+	s.mu.Unlock()
+}
+
+// Get returns the retained trace with the given ID.
+func (s *Store) Get(id string) (*Trace, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	t, ok := s.byID[id]
+	s.mu.Unlock()
+	return t, ok
+}
+
+// List returns the retained traces matching f, newest first.
+func (s *Store) List(f Filter) []*Trace {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []*Trace
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		t := s.ring[i]
+		if f.Status != 0 && t.Status != f.Status {
+			continue
+		}
+		if f.Reason != "" && t.Reason != f.Reason {
+			continue
+		}
+		if f.MinDuration > 0 && t.Duration < f.MinDuration {
+			continue
+		}
+		out = append(out, t)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Stats returns the store's lifetime accounting; zero for a nil store.
+func (s *Store) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	n, b := len(s.ring), s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Retained: s.retained.Load(),
+		Dropped:  s.dropped.Load(),
+		Traces:   n,
+		Bytes:    b,
+	}
+}

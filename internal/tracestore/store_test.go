@@ -1,0 +1,169 @@
+package tracestore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func mkTrace(id string, status int, reason string, d time.Duration, spans int) *Trace {
+	t := &Trace{
+		ID:       id,
+		Status:   status,
+		Reason:   reason,
+		Duration: d,
+	}
+	for i := 0; i < spans; i++ {
+		t.Spans = append(t.Spans, telemetry.Span{
+			ID: i + 1, Stage: "stage", Start: time.Duration(i), Dur: time.Millisecond,
+			Attrs: []telemetry.Attr{{Key: "i", Value: i}},
+		})
+	}
+	return t
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var s *Store
+	s.Add(mkTrace("a", 200, "slow", time.Millisecond, 1))
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("nil store returned a trace")
+	}
+	if got := s.List(Filter{}); got != nil {
+		t.Fatalf("nil store listed %d traces", len(got))
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil store stats = %+v", st)
+	}
+}
+
+func TestAddGetList(t *testing.T) {
+	s := New(10, 1<<20)
+	s.Add(mkTrace("a", 200, "sampled", 1*time.Millisecond, 2))
+	s.Add(mkTrace("b", 503, "shed", 2*time.Millisecond, 2))
+	s.Add(mkTrace("c", 200, "slow", 9*time.Millisecond, 3))
+
+	if tr, ok := s.Get("b"); !ok || tr.Status != 503 {
+		t.Fatalf("Get(b) = %+v, %v", tr, ok)
+	}
+	all := s.List(Filter{})
+	if len(all) != 3 || all[0].ID != "c" || all[2].ID != "a" {
+		t.Fatalf("List order wrong: %v", ids(all))
+	}
+	if got := s.List(Filter{Status: 503}); len(got) != 1 || got[0].ID != "b" {
+		t.Fatalf("status filter: %v", ids(got))
+	}
+	if got := s.List(Filter{Reason: "slow"}); len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("reason filter: %v", ids(got))
+	}
+	if got := s.List(Filter{MinDuration: 5 * time.Millisecond}); len(got) != 1 || got[0].ID != "c" {
+		t.Fatalf("min-duration filter: %v", ids(got))
+	}
+	if got := s.List(Filter{Limit: 2}); len(got) != 2 || got[0].ID != "c" || got[1].ID != "b" {
+		t.Fatalf("limit: %v", ids(got))
+	}
+}
+
+func TestCountEviction(t *testing.T) {
+	s := New(3, 1<<20)
+	for i := 0; i < 5; i++ {
+		s.Add(mkTrace(fmt.Sprintf("t%d", i), 200, "sampled", time.Millisecond, 1))
+	}
+	st := s.Stats()
+	if st.Retained != 5 || st.Dropped != 2 || st.Traces != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, ok := s.Get("t0"); ok {
+		t.Fatal("evicted trace still resolvable")
+	}
+	if _, ok := s.Get("t4"); !ok {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestByteEviction(t *testing.T) {
+	one := estimateSize(mkTrace("x", 200, "sampled", time.Millisecond, 4))
+	s := New(100, one*2+one/2) // room for two, not three
+	for i := 0; i < 4; i++ {
+		s.Add(mkTrace(fmt.Sprintf("t%d", i), 200, "sampled", time.Millisecond, 4))
+	}
+	st := s.Stats()
+	if st.Traces != 2 || st.Dropped != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Bytes > one*3 {
+		t.Fatalf("bytes %d exceeds budget shape", st.Bytes)
+	}
+}
+
+// An oversized trace must be admitted alone rather than rejected: the
+// outlier is exactly what tail sampling exists to keep.
+func TestOversizedTraceAdmitted(t *testing.T) {
+	s := New(100, 64)
+	big := mkTrace("big", 500, "error", time.Second, 50)
+	s.Add(big)
+	if _, ok := s.Get("big"); !ok {
+		t.Fatal("oversized trace was not admitted")
+	}
+	if st := s.Stats(); st.Traces != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Concurrent adders, readers and stat scrapers must never race or
+// observe a trace with a torn span slice (run under -race via the
+// Makefile race list).
+func TestConcurrentChurn(t *testing.T) {
+	s := New(16, 1<<14)
+	var wg, rwg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s.Add(mkTrace(fmt.Sprintf("w%d-%d", w, i), 200, "sampled", time.Millisecond, 3))
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, tr := range s.List(Filter{Limit: 8}) {
+					if len(tr.Spans) != 3 {
+						t.Errorf("torn trace %s: %d spans", tr.ID, len(tr.Spans))
+						return
+					}
+				}
+				s.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	st := s.Stats()
+	if st.Retained != 800 {
+		t.Fatalf("retained = %d, want 800", st.Retained)
+	}
+	if st.Traces > 16 {
+		t.Fatalf("ring over count bound: %d", st.Traces)
+	}
+}
+
+func ids(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
