@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-wal bench-load bench-trace bench-diff crash-test check profile report report-small examples clean
+.PHONY: all build test vet race race-all cover bench bench-serve bench-suite bench-miss bench-wal bench-load bench-trace bench-diff crash-test check profile report report-small examples clean
 
 all: check
 
@@ -22,11 +22,12 @@ vet:
 
 # internal/engine carries the epoch-snapshot concurrency tests (mutations
 # racing pinned queries, singleflight leader panic/cancellation),
-# internal/wal the durability layer's locking, and cmd/propserve the
-# /v1/corpus surface plus queries-during-replay — all must stay in this
-# list.
+# internal/wal the durability layer's locking, cmd/propserve the
+# /v1/corpus surface plus queries-during-replay, and internal/core +
+# internal/textctx the parallel Step-1 fills (bit-identity tests run the
+# worker fan-outs) — all must stay in this list.
 race:
-	$(GO) test -race ./internal/engine ./internal/registry ./internal/dataset ./internal/resilience ./internal/telemetry ./internal/tracestore ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
+	$(GO) test -race ./internal/core ./internal/textctx ./internal/engine ./internal/registry ./internal/dataset ./internal/resilience ./internal/telemetry ./internal/tracestore ./internal/explain ./internal/grid ./internal/stream ./internal/wal ./internal/slo ./internal/loadgen ./cmd/propserve
 
 # The kill-recovery suite: child processes SIGKILL themselves at injected
 # WAL fault points; the parent recovers each directory and verifies no
@@ -57,8 +58,17 @@ bench-serve:
 # BENCH_spatial.json and BENCH_select.json; compare two snapshots with
 # `go run ./cmd/benchdiff old.json new.json`.
 bench-suite:
-	BENCH_SUITE_DIR=$(CURDIR) $(GO) test ./internal/benchsuite -run TestBench -count=1 -v
+	BENCH_SUITE_DIR=$(CURDIR) $(GO) test ./internal/benchsuite -run 'TestBench(Step1|Spatial|Select)' -count=1 -v
 	@ls -l BENCH_step1.json BENCH_spatial.json BENCH_select.json
+
+# The large-corpus miss tier: spatial Step-1 (exact vs squared grid) on
+# K=2000 instances from 100k- and 1M-place corpora, and the incremental
+# ABP heap vs its rescan reference on the standard K=200 instance.
+# Writes BENCH_miss.json; benchdiff gates its *_ns_op fields. Corpus
+# generation dominates the runtime (the 1M tier takes ~20s to build).
+bench-miss:
+	BENCH_MISS_DIR=$(CURDIR) $(GO) test ./internal/benchsuite -run TestBenchMiss -count=1 -v -timeout 600s
+	@cat BENCH_miss.json
 
 # Measure the durability overhead of mutations: no WAL vs sync=never vs
 # sync=always (one fsync per acknowledged batch). Writes BENCH_wal.json.
@@ -88,7 +98,7 @@ bench-trace:
 # reports every field as "new" and passes).
 OLD ?= .
 bench-diff:
-	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_wal BENCH_serve_load BENCH_trace; do \
+	@for f in BENCH_step1 BENCH_spatial BENCH_select BENCH_miss BENCH_wal BENCH_serve_load BENCH_trace; do \
 		echo "--- $$f"; \
 		$(GO) run ./cmd/benchdiff $(OLD)/$$f.json $$f.json || true; \
 	done

@@ -62,7 +62,11 @@
 // With -shards=N (N ≥ 2) every corpus is split into N spatial shards —
 // each with its own inverted index, IR-tree and epoch — and Step-1
 // retrieval fans out across them in parallel. Sharded results are
-// exactly those of the unsharded engine (see DESIGN.md).
+// exactly those of the unsharded engine (see DESIGN.md). Independently,
+// -step1-workers=N fans the quadratic Step-1 score fills of a cache miss
+// (contextual all-pairs, spatial all-pairs or grid matrix fill) out over
+// N goroutines; the parallel fills are bit-identical to the sequential
+// ones, so responses and cache contents do not depend on the setting.
 //
 // With -wal-dir set, mutations are durable: each batch is appended to a
 // checksummed write-ahead log (fsynced per -wal-sync) strictly before its
@@ -145,6 +149,7 @@ func main() {
 	walRequired := fs.Bool("wal-required", true, "treat WAL open/recovery failure as fatal; false degrades to serving reads and shedding mutations with 503")
 	walCompactRecords := fs.Int("wal-compact-records", 0, "log length in records beyond which a mutation triggers background snapshot compaction (0: 1024)")
 	shards := fs.Int("shards", 0, "spatial shards per corpus for parallel Step-1 fan-out (0 or 1: unsharded; results are identical either way)")
+	step1Workers := fs.Int("step1-workers", 0, "goroutines for the quadratic Step-1 fills of a cache miss (contextual all-pairs, spatial all-pairs, grid matrix fill); 0 or 1: sequential; results are identical either way")
 	traces := fs.Bool("traces", true, "retain per-request traces (tail-based: slow/error/shed/degraded always, -trace-sample for the rest) and serve GET /v1/traces")
 	traceSample := fs.Float64("trace-sample", 0.01, "probability that a fast, healthy request's trace is retained (tail rules retain regardless; negative: tail-only)")
 	traceBytes := fs.Int("trace-bytes", 0, "byte budget for each corpus's retained-trace ring (0: 4 MiB)")
@@ -180,6 +185,7 @@ func main() {
 
 		EnableLegacy: *enableLegacy,
 		Shards:       *shards,
+		Step1Workers: *step1Workers,
 		CorporaDir:   *corporaDir,
 
 		DisableTraces: !*traces,

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/grid"
 	"repro/internal/registry"
 	"repro/internal/resilience"
 	"repro/internal/slo"
@@ -126,6 +127,11 @@ type Config struct {
 	// fans Step-1 retrieval out across them in parallel. Results are
 	// exactly those of the unsharded engine. 0 or 1 serves unsharded.
 	Shards int
+	// Step1Workers fans the quadratic Step-1 fills of a cache miss out
+	// over this many goroutines (engine.Options.Step1Workers). ≤ 1 keeps
+	// Step 1 sequential; results are identical either way, so the knob
+	// trades CPU for miss latency without affecting caches or responses.
+	Step1Workers int
 	// CorporaDir, when set, makes corpora created through POST /v1/corpora
 	// durable: each corpus logs to its own WAL under CorporaDir/<name> and
 	// recovers from it on re-creation or restart. The default corpus keeps
@@ -401,6 +407,7 @@ func engineOptions(cfg Config) engine.Options {
 		MaxK:         cfg.MaxK,
 		CacheEntries: cfg.CacheEntries,
 		Shards:       cfg.Shards,
+		Step1Workers: cfg.Step1Workers,
 	}
 }
 
@@ -1171,21 +1178,33 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 
 	// Graceful degradation, part 2: if queueing consumed most of the
 	// budget, downshift the exact spatial method to the squared grid
-	// (Section 7.1.1) rather than miss the deadline. The remaining budget
-	// is recorded as the decision's evidence.
+	// (Section 7.1.1) rather than miss the deadline — but only when the
+	// grid is actually the faster path for this instance size: below the
+	// measured crossover the approximation costs more than exact, so the
+	// downshift would trade accuracy for *worse* latency. Either way the
+	// decision and its evidence (remaining budget, instance size) are
+	// reported in diagnostics.degraded.
 	if req.SpatialMethod() == core.SpatialExact {
 		if remaining, ok := resilience.Remaining(ctx); ok && remaining < s.cfg.DegradeBudget {
-			req.Spatial = "squared"
-			if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
-				fin.status = http.StatusInternalServerError
-				s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError, tr)
-				s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
-				return
+			if grid.SquaredLikelyFaster(req.K) {
+				req.Spatial = "squared"
+				if _, err := req.Normalize(); err != nil { // re-resolve; cannot fail on a valid request
+					fin.status = http.StatusInternalServerError
+					s.recordSLO(tn.SLO, w.Header(), slo.ClassSearchMiss, start, http.StatusInternalServerError, tr)
+					s.writeError(w, http.StatusInternalServerError, "downshift: %v", err)
+					return
+				}
+				degraded["spatial"] = "exact→squared-grid (low budget)"
+				s.tel.degraded.With("spatial_downshift").Inc()
+				fin.degraded = true
+			} else {
+				// The request stays exact and undegraded; the skipped
+				// decision is still surfaced so a budget-starved small
+				// query is diagnosable.
+				degraded["spatial"] = fmt.Sprintf("downshift skipped (K=%d below grid crossover)", req.K)
+				s.tel.degraded.With("spatial_downshift_skipped").Inc()
 			}
-			degraded["spatial"] = "exact→squared-grid (low budget)"
 			degraded["remaining_budget_ms"] = round3(remaining.Seconds() * 1e3)
-			s.tel.degraded.With("spatial_downshift").Inc()
-			fin.degraded = true
 		}
 	}
 

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/dataset"
 )
@@ -195,6 +196,58 @@ func TestSearchClampsK(t *testing.T) {
 	// k larger than the ceiling cannot be satisfied at all: a client error.
 	if rec := get(t, s, "/v1/search?K=400&k=60"); rec.Code != http.StatusBadRequest {
 		t.Errorf("k beyond ceiling: status = %d, want 400 (%s)", rec.Code, rec.Body.String())
+	}
+}
+
+// TestDowngradeBudgetSizeAware verifies the size-aware downshift: with
+// the budget threshold permanently exceeded, a large exact query is
+// downshifted to the squared grid while a small one — below the grid's
+// measured crossover, where the approximation is slower than exact —
+// keeps its exact method, and both decisions appear in diagnostics.
+func TestDowngradeBudgetSizeAware(t *testing.T) {
+	// DegradeBudget ≥ QueryTimeout: every request observes a remaining
+	// budget below the threshold, so the downshift decision always runs.
+	s := testServerCfg(t, Config{QueryTimeout: 5 * time.Second, DegradeBudget: 10 * time.Second})
+
+	rec := get(t, s, "/v1/search?K=200&k=5&spatial=exact")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("large: status = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp searchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if m := resp.Diagnostics["spatial_method"]; m != "squared-grid" {
+		t.Errorf("large: spatial_method = %v, want squared-grid", m)
+	}
+	deg, ok := resp.Diagnostics["degraded"].(map[string]any)
+	if !ok {
+		t.Fatalf("large: diagnostics missing degraded: %v", resp.Diagnostics)
+	}
+	if sp, _ := deg["spatial"].(string); !strings.Contains(sp, "exact→squared-grid") {
+		t.Errorf("large: degraded.spatial = %v, want applied downshift", deg["spatial"])
+	}
+	if deg["remaining_budget_ms"] == nil {
+		t.Errorf("large: degraded missing remaining_budget_ms: %v", deg)
+	}
+
+	rec = get(t, s, "/v1/search?K=60&k=5&spatial=exact")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("small: status = %d: %s", rec.Code, rec.Body.String())
+	}
+	resp = searchResponse{}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if m := resp.Diagnostics["spatial_method"]; m != "exact" {
+		t.Errorf("small: spatial_method = %v, want exact (downshift skipped)", m)
+	}
+	deg, ok = resp.Diagnostics["degraded"].(map[string]any)
+	if !ok {
+		t.Fatalf("small: diagnostics missing degraded: %v", resp.Diagnostics)
+	}
+	if sp, _ := deg["spatial"].(string); !strings.Contains(sp, "downshift skipped") {
+		t.Errorf("small: degraded.spatial = %v, want skipped decision", deg["spatial"])
 	}
 }
 

@@ -1,0 +1,187 @@
+package benchsuite
+
+// The large-corpus miss tier, gated on BENCH_MISS_DIR (the directory
+// BENCH_miss.json is written into). `make bench-miss` sets it; a plain
+// `go test ./...` skips the corpus generation and timing work entirely.
+//
+// Where the bench-suite measures the demo corpus (1500 places, K=200),
+// this tier measures the regimes the miss-path optimisations were built
+// for: 100k- and 1M-place corpora with K=2000 retrieved instances for
+// the spatial Step-1 comparison, and the incremental-heap ABP against
+// its rescan reference on the standard K=200 Step-2 instance.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/grid"
+)
+
+// missRetrieveK is the instance size |S| of the spatial comparison: large
+// enough that the O(K²) exact fill is firmly past the squared grid's
+// crossover, matching the paper's large-K evaluation range.
+const missRetrieveK = 2000
+
+func missDir(t *testing.T) string {
+	dir := os.Getenv("BENCH_MISS_DIR")
+	if dir == "" {
+		t.Skip("set BENCH_MISS_DIR=<dir> to run the large-corpus miss tier (make bench-miss)")
+	}
+	return dir
+}
+
+// TestBenchMiss measures the miss path at scale and writes BENCH_miss.json:
+//
+//   - pss_exact_<tier>_ns_op vs pss_squared_<tier>_ns_op — the Step-1
+//     spatial fill over a K=2000 instance retrieved from each corpus
+//     tier, with |G| ≈ K cells as the paper prescribes. The acceptance
+//     bar is pss_squared_100k_speedup > 1.0: the approximation must
+//     actually win where the serving path's size-aware downshift
+//     chooses it.
+//   - abp_ns_op vs abp_rescan_ns_op (plus iadu_ns_op for context) — the
+//     incremental lazy-deletion heap against the per-round rescan it
+//     replaced, on the standard K=200, k=10 instance of the 100k corpus.
+//     The selections are asserted bitwise identical before timing, so
+//     abp_speedup can never be bought with a divergent answer.
+func TestBenchMiss(t *testing.T) {
+	dir := missDir(t)
+	fields := map[string]any{
+		"instance_places": missRetrieveK,
+		"step2_instance":  RetrieveK,
+		"step2_k":         10,
+	}
+
+	const pssRuns = 15
+	tiers := []struct {
+		name   string
+		places int
+	}{
+		{"100k", 100_000},
+		{"1m", 1_000_000},
+	}
+	var d100k *dataset.Dataset
+	for _, tier := range tiers {
+		cfg := dataset.DBpediaLike(corpusSeed)
+		cfg.Places = tier.places
+		genStart := time.Now()
+		d, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s: generated %d places in %v", tier.name, tier.places, time.Since(genStart))
+		if tier.places == 100_000 {
+			d100k = d
+		}
+
+		loc := geo.Pt(d.Config.Extent/2, d.Config.Extent/2)
+		places, err := d.Retrieve(dataset.Query{Loc: loc}, missRetrieveK)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts := make([]geo.Point, len(places))
+		for i := range places {
+			pts[i] = places[i].Loc
+		}
+		cells := len(pts) // the paper's |G| ≈ K rule
+
+		exactNs, err := TimeNs(pssRuns, func() error { grid.AllPairsSpatial(loc, pts); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields["pss_exact_"+tier.name+"_ns_op"] = exactNs
+
+		tbl := grid.NewSquaredTable(grid.SideForCells(cells))
+		squaredNs, err := TimeNs(pssRuns, func() error {
+			g, err := grid.NewSquared(loc, pts, cells)
+			if err != nil {
+				return err
+			}
+			g.ApproxAllPairs(tbl)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields["pss_squared_"+tier.name+"_ns_op"] = squaredNs
+		fields["pss_squared_"+tier.name+"_speedup"] = exactNs / squaredNs
+		t.Logf("%s: pSS exact %.0f, squared %.0f ns/op (%.2fx)",
+			tier.name, exactNs, squaredNs, exactNs/squaredNs)
+	}
+
+	// Step-2 tier: the incremental-heap ABP against its rescan reference
+	// on the standard instance, retrieved from the 100k corpus.
+	loc := geo.Pt(d100k.Config.Extent/2, d100k.Config.Extent/2)
+	places, err := d100k.Retrieve(dataset.Query{Loc: loc}, RetrieveK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := core.ComputeScoresCtx(context.Background(), loc, places,
+		core.ScoreOptions{Gamma: 0.5, Spatial: core.SpatialSquaredGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.Params{K: 10, Lambda: 0.5, Gamma: 0.5}
+
+	// The speedup only counts if the answers agree, bit for bit.
+	heapSel, err := core.Select(core.AlgABP, ss, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rescanSel, err := core.Select(core.AlgABPRescan, ss, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(heapSel.Indices) != fmt.Sprint(rescanSel.Indices) ||
+		math.Float64bits(heapSel.HPF) != math.Float64bits(rescanSel.HPF) {
+		t.Fatalf("abp heap and rescan diverge: %v (HPF %v) vs %v (HPF %v)",
+			heapSel.Indices, heapSel.HPF, rescanSel.Indices, rescanSel.HPF)
+	}
+
+	const selectRuns = 40
+	for _, alg := range []struct {
+		alg   core.Algorithm
+		field string
+	}{
+		{core.AlgABP, "abp_ns_op"},
+		{core.AlgABPRescan, "abp_rescan_ns_op"},
+		{core.AlgIAdU, "iadu_ns_op"},
+	} {
+		ns, err := TimeNs(selectRuns, func() error {
+			_, err := core.Select(alg.alg, ss, p)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields[alg.field] = ns
+		t.Logf("%-10s %12.0f ns/op", alg.alg, ns)
+	}
+	fields["abp_speedup"] = fields["abp_rescan_ns_op"].(float64) / fields["abp_ns_op"].(float64)
+
+	// The envelope is assembled by hand: Report() stamps the demo corpus,
+	// and this suite deliberately runs on its own tiers.
+	report := map[string]any{
+		"benchmark": "miss_path_large_corpus",
+		"dataset":   map[string]any{"name": "dbpedia-like", "seed": corpusSeed, "tiers": []int{100_000, 1_000_000}},
+		"runs":      map[string]any{"per_pss_method": pssRuns, "per_algorithm": selectRuns},
+		"go":        runtime.Version(),
+		"cpus":      runtime.NumCPU(),
+	}
+	for k, v := range fields {
+		report[k] = v
+	}
+	out := filepath.Join(dir, "BENCH_miss.json")
+	if err := WriteReport(out, report); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/explain"
+	"repro/internal/geo"
+	"repro/internal/textctx"
+)
+
+// abpRunTraced runs alg under a fresh explain collector and returns the
+// selection together with the recorded greedy rounds.
+func abpRunTraced(t *testing.T, alg Algorithm, ss *ScoreSet, p Params) (Selection, []explain.GreedyRound) {
+	t.Helper()
+	col := explain.New()
+	ctx := explain.WithCollector(context.Background(), col)
+	sel, err := SelectCtx(ctx, alg, ss, p)
+	if err != nil {
+		t.Fatalf("%s: %v", alg, err)
+	}
+	return sel, col.Report().Rounds
+}
+
+// requireIdenticalRuns asserts that two (selection, trace) runs agree
+// bit-for-bit: same indices, same total HPF bits, and per-round identical
+// chosen sets, gains, runner-ups and runner-up gains.
+func requireIdenticalRuns(t *testing.T, label string,
+	aSel Selection, aRounds []explain.GreedyRound,
+	bSel Selection, bRounds []explain.GreedyRound) {
+	t.Helper()
+	if !equalInts(aSel.Indices, bSel.Indices) {
+		t.Fatalf("%s: selections differ: %v vs %v", label, aSel.Indices, bSel.Indices)
+	}
+	if math.Float64bits(aSel.HPF) != math.Float64bits(bSel.HPF) {
+		t.Fatalf("%s: HPF bits differ: %v vs %v", label, aSel.HPF, bSel.HPF)
+	}
+	if len(aRounds) != len(bRounds) {
+		t.Fatalf("%s: round counts differ: %d vs %d", label, len(aRounds), len(bRounds))
+	}
+	for i := range aRounds {
+		a, b := aRounds[i], bRounds[i]
+		if a.Round != b.Round || !equalInts(a.Chosen, b.Chosen) {
+			t.Fatalf("%s round %d: chosen differ: %+v vs %+v", label, i+1, a, b)
+		}
+		if math.Float64bits(a.Gain) != math.Float64bits(b.Gain) {
+			t.Fatalf("%s round %d: gain bits differ: %v vs %v", label, i+1, a.Gain, b.Gain)
+		}
+		if !equalInts(a.RunnerUp, b.RunnerUp) {
+			t.Fatalf("%s round %d: runner-ups differ: %v vs %v", label, i+1, a.RunnerUp, b.RunnerUp)
+		}
+		if math.Float64bits(a.RunnerUpGain) != math.Float64bits(b.RunnerUpGain) {
+			t.Fatalf("%s round %d: runner-up gain bits differ: %v vs %v",
+				label, i+1, a.RunnerUpGain, b.RunnerUpGain)
+		}
+	}
+}
+
+// TestABPIncrementalEquivRescan is the property behind the heap rewrite:
+// the incremental lazy-deletion heap must reproduce the sort-based rescan
+// exactly — selections, gains and explain traces — across instance sizes,
+// result-size parities and the λ/γ weight grid. Both variants rank by the
+// shared abpBefore total order over the shared abpScores materialisation,
+// so any divergence is a heap bug, not a float artefact.
+func TestABPIncrementalEquivRescan(t *testing.T) {
+	type cfg struct {
+		n     int
+		seeds []int64
+		ks    []int
+		ws    []float64 // λ and γ values crossed
+	}
+	cfgs := []cfg{
+		{n: 10, seeds: []int64{1, 2, 3}, ks: []int{2, 3, 5, 9}, ws: []float64{0, 0.5, 1}},
+		{n: 50, seeds: []int64{1, 2}, ks: []int{2, 5, 10, 11}, ws: []float64{0, 0.5, 1}},
+		{n: 200, seeds: []int64{1}, ks: []int{10, 11}, ws: []float64{0.5}},
+		{n: 999, seeds: []int64{1}, ks: []int{10, 11}, ws: []float64{0.5}},
+	}
+	for _, c := range cfgs {
+		for _, seed := range c.seeds {
+			for _, gamma := range c.ws {
+				q := geo.Pt(0, 0)
+				rng := rand.New(rand.NewSource(seed))
+				places := makePlaces(rng, q, c.n, 12, 40, 0.2)
+				ss := mustScores(t, q, places, ScoreOptions{Gamma: gamma})
+				for _, k := range c.ks {
+					if k >= c.n {
+						continue
+					}
+					for _, lambda := range c.ws {
+						p := Params{K: k, Lambda: lambda, Gamma: gamma}
+						hSel, hRounds := abpRunTraced(t, AlgABP, ss, p)
+						rSel, rRounds := abpRunTraced(t, AlgABPRescan, ss, p)
+						label := formatABPLabel(c.n, seed, k, lambda, gamma)
+						requireIdenticalRuns(t, label, hSel, hRounds, rSel, rRounds)
+					}
+				}
+			}
+		}
+	}
+}
+
+func formatABPLabel(n int, seed int64, k int, lambda, gamma float64) string {
+	return "n=" + itoaTest(n) + " seed=" + itoaTest(int(seed)) + " k=" + itoaTest(k) +
+		" λ=" + ftoaTest(lambda) + " γ=" + ftoaTest(gamma)
+}
+
+func itoaTest(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func ftoaTest(f float64) string {
+	switch f {
+	case 0:
+		return "0"
+	case 0.5:
+		return "0.5"
+	case 1:
+		return "1"
+	}
+	return "?"
+}
+
+// TestABPVariantsAgreeOnTies pins the tie-break canonicalisation: when
+// many pairs share one exact score (identical places → every pair scores
+// the same), the heap, rescan and eager variants must all fall back to
+// the (i, j)-ascending order rather than whatever their data structure
+// happens to surface first.
+func TestABPVariantsAgreeOnTies(t *testing.T) {
+	q := geo.Pt(0, 0)
+	ctxSet := textctx.NewSet(1, 2, 3)
+	places := make([]Place, 24)
+	for i := range places {
+		places[i] = Place{ID: word(i), Loc: geo.Pt(1, 1), Rel: 0.7, Context: ctxSet}
+	}
+	ss := mustScores(t, q, places, ScoreOptions{Gamma: 0.5})
+	for _, k := range []int{2, 5, 6, 23} {
+		p := Params{K: k, Lambda: 0.5, Gamma: 0.5}
+		want, err := ABPRescan(ss, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{AlgABP, AlgABPEager} {
+			got, err := Select(alg, ss, p)
+			if err != nil {
+				t.Fatalf("%s: %v", alg, err)
+			}
+			if !equalInts(got.Indices, want.Indices) {
+				t.Errorf("k=%d: %s selected %v; abp-rescan selected %v", k, alg, got.Indices, want.Indices)
+			}
+		}
+	}
+}
+
+// TestABPHeapOrderMatchesSort cross-checks the hand-rolled heap against
+// TestABPScoresMatchPairHPF pins the hoisted-constant materialiser loop
+// to its definition: every materialised pair score must carry exactly the
+// bits of ss.PairHPF(i, j, k, λ). Any reassociation slipped into the
+// inlined arithmetic shows up here before it can perturb a tie.
+func TestABPScoresMatchPairHPF(t *testing.T) {
+	q := geo.Pt(0, 0)
+	rng := rand.New(rand.NewSource(23))
+	places := makePlaces(rng, q, 80, 12, 40, 0.2)
+	ss := mustScores(t, q, places, ScoreOptions{Gamma: 0.5})
+	for _, k := range []int{2, 7, 10} {
+		for _, lambda := range []float64{0, 0.3, 1} {
+			ps, err := abpScores(context.Background(), ss, k, lambda, "test")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ps) != 80*79/2 {
+				t.Fatalf("k=%d λ=%v: %d pairs, want %d", k, lambda, len(ps), 80*79/2)
+			}
+			for _, p := range ps {
+				want := ss.PairHPF(int(p.i), int(p.j), k, lambda)
+				if math.Float64bits(p.score) != math.Float64bits(want) {
+					t.Fatalf("k=%d λ=%v: score(%d,%d) = %v, PairHPF = %v",
+						k, lambda, p.i, p.j, p.score, want)
+				}
+			}
+		}
+	}
+}
+
+// sort.Slice under the same total order on adversarial inputs (duplicate
+// scores, already-sorted, reversed): popping every element must yield the
+// sorted sequence exactly.
+func TestABPHeapOrderMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		ps := make([]abpPair, n)
+		for i := range ps {
+			// Few distinct scores force heavy tie-breaking.
+			ps[i] = abpPair{i: int32(rng.Intn(10)), j: int32(rng.Intn(10)), score: float64(rng.Intn(4))}
+		}
+		want := make([]abpPair, n)
+		copy(want, ps)
+		sortAbpPairs(want)
+		h := make([]abpPair, n)
+		copy(h, ps)
+		abpHeapify(h)
+		for i := 0; i < n; i++ {
+			var top abpPair
+			h, top = abpPop(h)
+			if top != want[i] {
+				t.Fatalf("trial %d: pop %d = %+v, want %+v", trial, i, top, want[i])
+			}
+		}
+	}
+}
+
+func sortAbpPairs(ps []abpPair) {
+	// Insertion sort — independent of the comparator usage under test.
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && abpBefore(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -122,13 +122,189 @@ func iaduCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
 }
 
+// abpPair is one materialised candidate pair: endpoint indices into the
+// score set plus HPF(p_i, p_j).
+type abpPair struct {
+	i, j  int32
+	score float64
+}
+
+// abpBefore is the total order every ABP variant ranks pairs by: score
+// descending, ties broken by (i, j) ascending. A total order (rather than
+// the raw score comparison alone) makes equal-score selections identical
+// across the heap-based, sort-based and eager implementations — the
+// invariant the abp ≡ abp-rescan property tests pin down.
+func abpBefore(a, b abpPair) bool {
+	if a.score != b.score {
+		return a.score > b.score
+	}
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}
+
+// abpScores materialises the O(K²) pair scores. Both the heap-based ABP
+// and the sort-based rescan build their ranking from this one function,
+// so their inputs are bit-identical by construction. stage labels the
+// cancellation checkpoints (polled once per row).
+//
+// The loop is PairHPF inlined with the per-call constants hoisted and the
+// sF matrix walked row-wise: every arithmetic operation appears in the
+// same order as in PairHPF, so each score is bit-identical to
+// ss.PairHPF(i, j, k, lambda) — only the per-pair struct loads, matrix
+// index arithmetic and recomputed constants are gone. This matters
+// because materialisation is the cost shared by every ABP variant: it
+// bounds the speedup the incremental heap can show over the rescan.
+func abpScores(ctx context.Context, ss *ScoreSet, k int, lambda float64, stage string) ([]abpPair, error) {
+	n := ss.K()
+	kf := float64(k - 1)
+	c1 := (1 - lambda) * float64(n-k) // (1−λ)(K−k), the relevance weight
+	rels := make([]float64, n)
+	for i := range rels {
+		rels[i] = ss.Places[i].Rel
+	}
+	pfs := ss.PFS
+	ps := make([]abpPair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		if err := checkpoint(ctx, stage); err != nil {
+			return nil, err
+		}
+		ri, pi := rels[i], pfs[i]
+		for t, s := range ss.SF.Row(i) {
+			j := i + 1 + t
+			score := c1*(ri+rels[j])/kf + lambda*((pi+pfs[j])/kf-2*s)
+			ps = append(ps, abpPair{int32(i), int32(j), score})
+		}
+	}
+	return ps, nil
+}
+
+// abpSiftDown restores the max-heap property (w.r.t. abpBefore) below
+// position i. Hand-rolled rather than container/heap: the interface-free
+// inner loop is what makes heap maintenance cheaper than sorting the
+// whole pair list.
+func abpSiftDown(h []abpPair, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		best := l
+		if r := l + 1; r < len(h) && abpBefore(h[r], h[l]) {
+			best = r
+		}
+		if !abpBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+// abpHeapify builds the max-heap in place in O(n).
+func abpHeapify(h []abpPair) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		abpSiftDown(h, i)
+	}
+}
+
+// abpPop removes and returns the best pair; the returned slice aliases
+// the input with the last slot freed.
+func abpPop(h []abpPair) ([]abpPair, abpPair) {
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h = h[:last]
+	if len(h) > 0 {
+		abpSiftDown(h, 0)
+	}
+	return h, top
+}
+
+// abpPush reinserts a pair (used by the explain runner-up peek).
+func abpPush(h []abpPair, p abpPair) []abpPair {
+	h = append(h, p)
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !abpBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	return h
+}
+
+// abpFirstPick handles the degenerate k=1 instance shared by the ABP
+// variants: rank by relevance alone.
+func abpFirstPick(ec *explain.Collector, ss *ScoreSet, lambda float64) Selection {
+	best := 0
+	for i := 1; i < ss.K(); i++ {
+		if ss.Places[i].Rel > ss.Places[best].Rel {
+			best = i
+		}
+	}
+	r := []int{best}
+	if ec != nil {
+		explainRound(ec, ss, 1, r, ss.Places[best].Rel, nil, 0)
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, lambda).Total}
+}
+
+// abpOddTail completes an odd-k result: the unused place contributing the
+// most to the current R, with the second-best tracked for the explain
+// trace. Shared by the heap and rescan variants so the odd-k tail
+// (including its runner-up bookkeeping) cannot drift between them.
+func abpOddTail(ec *explain.Collector, ss *ScoreSet, k int, lambda float64, round int, r []int, used []bool) []int {
+	n := ss.K()
+	bi, ri := -1, -1
+	var bc, rc float64
+	for i := 0; i < n; i++ {
+		if used[i] {
+			continue
+		}
+		var c float64
+		for _, j := range r {
+			c += ss.PairHPF(i, j, k, lambda)
+		}
+		if bi < 0 || c > bc {
+			bi, bc, ri, rc = i, c, bi, bc
+		} else if ri < 0 || c > rc {
+			ri, rc = i, c
+		}
+	}
+	if ec != nil {
+		if ri >= 0 {
+			explainRound(ec, ss, round+1, []int{bi}, bc, []int{ri}, rc)
+		} else {
+			explainRound(ec, ss, round+1, []int{bi}, bc, nil, 0)
+		}
+	}
+	return append(r, bi)
+}
+
+// abpPollStride is the number of heap pops between cancellation polls in
+// the ABP selection loop: each pop is O(log K²), so cancellation latency
+// stays far below one materialisation row while the poll cost vanishes.
+const abpPollStride = 256
+
 // ABP implements the Any-Best-Pair greedy algorithm (Section 5, adapted
 // from Cai et al.): all O(K²) pairs are ranked by HPF(p_i, p_j) (Eq. 15)
 // and the best pair whose endpoints are both unused is repeatedly added,
 // invalidating used endpoints lazily. ⌊k/2⌋ pairs are selected; for odd k
 // the last place is the unused one with the largest contribution to the
-// current R (the paper allows an arbitrary choice here). Complexity
-// O(K² log K²); a 2-approximation under the Theorem 8.2 condition.
+// current R (the paper allows an arbitrary choice here). A
+// 2-approximation under the Theorem 8.2 condition.
+//
+// Best-pair maintenance is incremental: the materialised pairs are
+// heapified in O(K²) and popped only until ⌊k/2⌋ disjoint pairs emerge —
+// a pair invalidated by an earlier selection is discarded lazily when it
+// surfaces, never re-examined. This replaces the full O(K² log K²) sort
+// of the rescan baseline (kept as AlgABPRescan for the equivalence
+// property tests and the bench tier); selections, gains and explain
+// traces are identical because both variants rank by abpBefore over the
+// same abpScores materialisation.
 func ABP(ss *ScoreSet, p Params) (Selection, error) {
 	return abpCtx(context.Background(), ss, p)
 }
@@ -141,35 +317,93 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 	k := p.K
 	ec := explain.FromContext(ctx)
 	if k == 1 {
-		best := 0
-		for i := 1; i < n; i++ {
-			if ss.Places[i].Rel > ss.Places[best].Rel {
-				best = i
-			}
-		}
-		r := []int{best}
-		if ec != nil {
-			explainRound(ec, ss, 1, r, ss.Places[best].Rel, nil, 0)
-		}
-		return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+		return abpFirstPick(ec, ss, p.Lambda), nil
 	}
 
-	type pair struct {
-		i, j  int32
-		score float64
+	h, err := abpScores(ctx, ss, k, p.Lambda, "select:abp")
+	if err != nil {
+		return Selection{}, err
 	}
-	ps := make([]pair, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		// The O(K²) materialisation is the dominant cost; poll per row.
-		if err := checkpoint(ctx, "select:abp"); err != nil {
-			return Selection{}, err
-		}
-		for j := i + 1; j < n; j++ {
-			ps = append(ps, pair{int32(i), int32(j), ss.PairHPF(i, j, k, p.Lambda)})
-		}
-	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].score > ps[b].score })
+	abpHeapify(h)
 	if err := checkpoint(ctx, "select:abp"); err != nil {
+		return Selection{}, err
+	}
+
+	r := make([]int, 0, k)
+	used := make([]bool, n)
+	round := 0
+	for pops := 0; len(r)+2 <= k && len(h) > 0; {
+		if pops++; pops%abpPollStride == 0 {
+			if err := checkpoint(ctx, "select:abp"); err != nil {
+				return Selection{}, err
+			}
+		}
+		var pr abpPair
+		h, pr = abpPop(h)
+		// Lazy deletion: a pair touching an already selected place is
+		// invalid forever (used only grows), so it is dropped the moment
+		// it surfaces instead of being hunted down at selection time.
+		if used[pr.i] || used[pr.j] {
+			continue
+		}
+		round++
+		if ec != nil {
+			// Runner-up: the next pair in the total order whose endpoints
+			// are both unused before this selection. Invalid pairs popped
+			// on the way are permanently dead and stay discarded; the
+			// runner-up itself may be selected later, so it is pushed back.
+			found := false
+			var ru abpPair
+			for len(h) > 0 {
+				h, ru = abpPop(h)
+				if !used[ru.i] && !used[ru.j] {
+					found = true
+					h = abpPush(h, ru)
+					break
+				}
+			}
+			if found {
+				explainRound(ec, ss, round, []int{int(pr.i), int(pr.j)}, pr.score,
+					[]int{int(ru.i), int(ru.j)}, ru.score)
+			} else {
+				explainRound(ec, ss, round, []int{int(pr.i), int(pr.j)}, pr.score, nil, 0)
+			}
+		}
+		used[pr.i], used[pr.j] = true, true
+		r = append(r, int(pr.i), int(pr.j))
+	}
+	if len(r) < k {
+		r = abpOddTail(ec, ss, k, p.Lambda, round, r, used)
+	}
+	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
+}
+
+// ABPRescan is the pre-incremental ABP: a full sort of the materialised
+// pairs followed by a linear scan with lazy endpoint invalidation. It is
+// kept as the reference implementation the incremental heap is proven
+// against (selections, gains and explain traces must match bit-for-bit)
+// and as the baseline the bench-miss tier measures the speedup over.
+func ABPRescan(ss *ScoreSet, p Params) (Selection, error) {
+	return abpRescanCtx(context.Background(), ss, p)
+}
+
+func abpRescanCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
+	n := ss.K()
+	if err := p.validate(n); err != nil {
+		return Selection{}, err
+	}
+	k := p.K
+	ec := explain.FromContext(ctx)
+	if k == 1 {
+		return abpFirstPick(ec, ss, p.Lambda), nil
+	}
+
+	ps, err := abpScores(ctx, ss, k, p.Lambda, "select:abp-rescan")
+	if err != nil {
+		return Selection{}, err
+	}
+	sort.Slice(ps, func(a, b int) bool { return abpBefore(ps[a], ps[b]) })
+	if err := checkpoint(ctx, "select:abp-rescan"); err != nil {
 		return Selection{}, err
 	}
 
@@ -187,9 +421,8 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 		}
 		round++
 		if ec != nil {
-			// Runner-up: the next pair in score order whose endpoints are
-			// both unused before this selection. The look-ahead scan runs
-			// only under an explain collector.
+			// Runner-up: the next pair in the total order whose endpoints
+			// are both unused before this selection.
 			ru := -1
 			for t := pi + 1; t < len(ps); t++ {
 				q := ps[t]
@@ -209,31 +442,7 @@ func abpCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error) {
 		r = append(r, int(pr.i), int(pr.j))
 	}
 	if len(r) < k {
-		// Odd k: add the unused place contributing most to the current R.
-		bi, ri := -1, -1
-		var bc, rc float64
-		for i := 0; i < n; i++ {
-			if used[i] {
-				continue
-			}
-			var c float64
-			for _, j := range r {
-				c += ss.PairHPF(i, j, k, p.Lambda)
-			}
-			if bi < 0 || c > bc {
-				bi, bc, ri, rc = i, c, bi, bc
-			} else if ri < 0 || c > rc {
-				ri, rc = i, c
-			}
-		}
-		if ec != nil {
-			if ri >= 0 {
-				explainRound(ec, ss, round+1, []int{bi}, bc, []int{ri}, rc)
-			} else {
-				explainRound(ec, ss, round+1, []int{bi}, bc, nil, 0)
-			}
-		}
-		r = append(r, bi)
+		r = abpOddTail(ec, ss, k, p.Lambda, round, r, used)
 	}
 	return Selection{Indices: r, HPF: ss.Evaluate(r, p.Lambda).Total}, nil
 }

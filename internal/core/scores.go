@@ -73,6 +73,14 @@ type ScoreOptions struct {
 	// in [0, 1]; pSS is derived from its row sums. Used to swap Euclidean
 	// Ptolemy similarity for alternatives such as road-network distance.
 	CustomSpatial func(q geo.Point, places []Place) (*pairs.Matrix, error)
+	// Workers fans the quadratic Step-1 fills (contextual all-pairs when
+	// Contextual is nil, the exact spatial all-pairs, and the squared-grid
+	// matrix fill) out over this many goroutines. ≤ 1 keeps every phase
+	// sequential; the parallel variants are bit-identical to the
+	// sequential ones, so Workers never changes any score. A non-nil
+	// Contextual engine is used as configured — it carries its own
+	// parallelism if any.
+	Workers int
 }
 
 // ScoreSet is the Step-1 output: every per-place and pairwise score the
@@ -125,7 +133,11 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 	}
 	engine := opt.Contextual
 	if engine == nil {
-		engine = textctx.MSJHEngine{}
+		if opt.Workers > 1 {
+			engine = textctx.MSJHParallelEngine{Workers: opt.Workers}
+		} else {
+			engine = textctx.MSJHEngine{}
+		}
 	}
 
 	sets := make([]textctx.Set, len(places))
@@ -164,7 +176,16 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 	switch opt.Spatial {
 	case SpatialExact:
 		var err error
-		if pss, sp, err = grid.PSSBaselineCtx(ctx, q, pts); err != nil {
+		if opt.Workers > 1 {
+			// Bit-identical to the sequential fill; the parallel variant
+			// records the pSS span itself (once, on whichever path runs).
+			if sp, err = grid.AllPairsSpatialParallelCtx(ctx, q, pts, opt.Workers); err == nil {
+				pss = sp.RowSums()
+			}
+		} else {
+			pss, sp, err = grid.PSSBaselineCtx(ctx, q, pts)
+		}
+		if err != nil {
 			if ce := CtxErr(ctx); ce != nil {
 				return nil, ce
 			}
@@ -176,10 +197,11 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			ec.SetGrid(explain.GridStats{Kind: "exact", Places: len(pts)})
 		}
 	case SpatialSquaredGrid:
-		// The grid approximations take no context (they are near-linear
-		// thanks to the precomputed tables), so the pSS span is recorded
-		// here at the stage boundary; the exact path records it inside
-		// grid.AllPairsSpatialCtx.
+		// The pSS span is recorded here at the stage boundary; the grid
+		// fill variants (sequential or parallel, including the parallel
+		// variant's sequential fallback) record none, so the stage is
+		// counted exactly once. The exact path instead records it inside
+		// grid.AllPairsSpatial(Parallel)Ctx.
 		endPSS := telemetry.StartSpan(ctx, telemetry.StagePSS)
 		g, err := grid.NewSquared(q, pts, cells)
 		if err != nil {
@@ -187,7 +209,18 @@ func ComputeScoresCtx(ctx context.Context, q geo.Point, places []Place, opt Scor
 			return nil, err
 		}
 		pss = g.PSS(opt.SquaredTable)
-		sp = g.ApproxAllPairs(opt.SquaredTable)
+		if opt.Workers > 1 {
+			sp, err = g.ApproxAllPairsParallelCtx(ctx, opt.SquaredTable, opt.Workers)
+		} else {
+			sp, err = g.ApproxAllPairsCtx(ctx, opt.SquaredTable)
+		}
+		if err != nil {
+			endPSS()
+			if ce := CtxErr(ctx); ce != nil {
+				return nil, ce
+			}
+			return nil, err
+		}
 		endPSS()
 		if ec := explain.FromContext(ctx); ec != nil {
 			ec.SetGrid(gridStats("squared", g.Cells(), g.OccupiedCells(), q, pts, sp))

@@ -139,20 +139,13 @@ func abpEagerCtx(ctx context.Context, ss *ScoreSet, p Params) (Selection, error)
 	if k == 1 {
 		return abpCtx(ctx, ss, p)
 	}
-	type pair struct {
-		i, j  int32
-		score float64
+	ps, err := abpScores(ctx, ss, k, p.Lambda, "select:abp-eager")
+	if err != nil {
+		return Selection{}, err
 	}
-	ps := make([]pair, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		if err := checkpoint(ctx, "select:abp-eager"); err != nil {
-			return Selection{}, err
-		}
-		for j := i + 1; j < n; j++ {
-			ps = append(ps, pair{int32(i), int32(j), ss.PairHPF(i, j, k, p.Lambda)})
-		}
-	}
-	sort.Slice(ps, func(a, b int) bool { return ps[a].score > ps[b].score })
+	// Sort by the shared ABP total order so equal-score ties select the
+	// same pairs as the lazy variants.
+	sort.Slice(ps, func(a, b int) bool { return abpBefore(ps[a], ps[b]) })
 
 	r := make([]int, 0, k)
 	used := make([]bool, n)

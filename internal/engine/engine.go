@@ -106,6 +106,13 @@ type Options struct {
 	// bitwise identical to the unsharded engine (see dataset.ShardView).
 	// 0 or 1 serves the single unsharded tree.
 	Shards int
+	// Step1Workers fans the quadratic Step-1 fills of a cache miss
+	// (contextual all-pairs, spatial all-pairs or grid matrix fill) out
+	// over this many goroutines. ≤ 1 keeps Step 1 sequential. The
+	// parallel variants are bit-identical to the sequential ones, so the
+	// knob never changes a response — which is why cache keys and the
+	// selection memo deliberately do not encode it.
+	Step1Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -374,7 +381,7 @@ func (e *Engine) build(ctx context.Context, req *QueryRequest) (*entry, error) {
 		return nil, fmt.Errorf("%w: retrieved %d places; need more than k=1",
 			ErrBadRequest, len(places))
 	}
-	opt := core.ScoreOptions{Gamma: req.Gamma, Spatial: req.spatial}
+	opt := core.ScoreOptions{Gamma: req.Gamma, Spatial: req.spatial, Workers: e.opt.Step1Workers}
 	switch req.spatial {
 	case core.SpatialSquaredGrid:
 		opt.SquaredTable = e.SquaredTable()

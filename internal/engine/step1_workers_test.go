@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestStep1WorkersInvisibleToCachingAndResults: the Step1Workers knob may
+// only change how fast a miss computes, never what it computes. The cache
+// key must not encode it (so a restart with a different worker count
+// still hits WAL-warmed keys), and results — including the memoised
+// Step-2 selections keyed only by (algo, k, λ) — must be bit-identical
+// across worker settings. This is sound because the parallel Step-1
+// fills are bit-identical to the sequential ones, which
+// core.TestComputeScoresWorkersBitIdentical pins down, tie-heavy and
+// NaN-adjacent instances included.
+func TestStep1WorkersInvisibleToCachingAndResults(t *testing.T) {
+	d := testData(t)
+	serial := New(d, Options{})
+	parallel := New(d, Options{Step1Workers: 4})
+
+	for _, spatial := range []string{"exact", "squared"} {
+		reqA := serial.NewRequest()
+		reqA.K, reqA.SmallK, reqA.Spatial = 120, 9, spatial
+		reqB := parallel.NewRequest()
+		reqB.K, reqB.SmallK, reqB.Spatial = 120, 9, spatial
+
+		keyA, err := reqA.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyB, err := reqB.Normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if keyA.String() != keyB.String() {
+			t.Fatalf("%s: cache keys differ across Step1Workers: %q vs %q", spatial, keyA, keyB)
+		}
+
+		resA, err := serial.Query(context.Background(), reqA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resB, err := parallel.Query(context.Background(), reqB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIndices(resA.Sel.Indices, resB.Sel.Indices) {
+			t.Errorf("%s: selections differ: %v vs %v", spatial, resA.Sel.Indices, resB.Sel.Indices)
+		}
+		if math.Float64bits(resA.Sel.HPF) != math.Float64bits(resB.Sel.HPF) {
+			t.Errorf("%s: HPF bits differ: %v vs %v", spatial, resA.Sel.HPF, resB.Sel.HPF)
+		}
+		if math.Float64bits(resA.Breakdown.Total) != math.Float64bits(resB.Breakdown.Total) {
+			t.Errorf("%s: breakdown totals differ: %v vs %v", spatial, resA.Breakdown.Total, resB.Breakdown.Total)
+		}
+
+		// Second identical query on the parallel engine: must come from the
+		// selection memo / cache and still match the serial result.
+		reqC := parallel.NewRequest()
+		reqC.K, reqC.SmallK, reqC.Spatial = 120, 9, spatial
+		resC, err := parallel.Query(context.Background(), reqC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resC.Cache != CacheHit {
+			t.Errorf("%s: repeat query cache = %q, want hit", spatial, resC.Cache)
+		}
+		if !sameIndices(resA.Sel.Indices, resC.Sel.Indices) {
+			t.Errorf("%s: memoised selection differs from serial: %v vs %v",
+				spatial, resC.Sel.Indices, resA.Sel.Indices)
+		}
+	}
+}

@@ -23,9 +23,10 @@ type ErrorSample struct {
 // SampleApproxError estimates the error a grid approximation introduced
 // by recomputing the exact sS (Eq. 7) for up to samples random pairs of
 // pts and comparing against the approximate matrix. When the instance has
-// no more than samples pairs the comparison is exhaustive. Sampling is
-// deterministic in (len(pts), samples) so repeated runs over the same
-// instance agree — the estimate feeds the /v1/explain introspection
+// no more than samples pairs the comparison is exhaustive; otherwise
+// samples distinct pairs are drawn (without replacement — every sampled
+// pair contributes exactly once). Sampling is deterministic in
+// (len(pts), samples) so repeated runs over the same instance agree — the estimate feeds the /v1/explain introspection
 // surface and the propserve_grid_err_sampled gauge, where jitter between
 // identical requests would read as noise.
 func SampleApproxError(q geo.Point, pts []geo.Point, approx *pairs.Matrix, samples int) ErrorSample {
@@ -50,14 +51,31 @@ func SampleApproxError(q geo.Point, pts []geo.Point, approx *pairs.Matrix, sampl
 			}
 		}
 	} else {
+		// Sample without replacement: a redrawn duplicate pair would count
+		// twice in Pairs and skew MeanAbs toward whatever it happened to
+		// hit — on small instances (total barely above samples) collisions
+		// are common enough to matter. total > samples here, so enough
+		// distinct pairs exist for the redraw loop to terminate.
 		rng := rand.New(rand.NewSource(int64(n)*1_000_003 + int64(samples)))
+		seen := make(map[int]struct{}, samples)
 		for s := 0; s < samples; s++ {
-			i := rng.Intn(n)
-			j := rng.Intn(n - 1)
-			if j >= i {
-				j++
+			for {
+				i := rng.Intn(n)
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				if i > j {
+					i, j = j, i
+				}
+				key := i*n + j
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+				observe(i, j)
+				break
 			}
-			observe(i, j)
 		}
 	}
 	es.MeanAbs = sum / float64(es.Pairs)

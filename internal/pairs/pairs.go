@@ -39,6 +39,18 @@ func (m *Matrix) idx(i, j int) int {
 // At returns the score of the pair (i, j), i ≠ j.
 func (m *Matrix) At(i, j int) float64 { return m.val[m.idx(i, j)] }
 
+// Row returns the mutable slice of scores of the pairs (i, i+1) … (i, n−1):
+// entry t of the returned slice is the score of (i, i+1+t). Bulk fills use
+// it to write a whole row without per-entry index arithmetic; the slice
+// aliases the matrix. Row(n−1) is empty.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("pairs: row %d out of range for n=%d", i, m.n))
+	}
+	base := i*m.n - i*(i+1)/2
+	return m.val[base : base+m.n-i-1]
+}
+
 // Set stores the score of the pair (i, j), i ≠ j.
 func (m *Matrix) Set(i, j int, v float64) { m.val[m.idx(i, j)] = v }
 
